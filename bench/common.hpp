@@ -1,0 +1,144 @@
+// Shared benchmark-harness plumbing: build a (workload x configuration)
+// grid, run it on the thread pool, and print a paper-style table (one row
+// per benchmark plus the harmonic-mean INT row the paper uses).
+#pragma once
+
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/presets.hpp"
+#include "sim/sweep.hpp"
+#include "stats/table.hpp"
+#include "workloads/workloads.hpp"
+
+namespace cfir::bench {
+
+struct NamedConfig {
+  std::string name;
+  core::CoreConfig config;
+};
+
+/// Metric extracted from a finished run for the table cells.
+using Metric = std::function<double(const stats::SimStats&)>;
+
+inline uint64_t default_max_insts() {
+  const uint64_t env = sim::env_max_insts();
+  return env != 0 ? env : 30000;
+}
+
+/// Runs all workloads under all configs and prints one row per workload and
+/// one column per config. When `harmonic_summary` is set, appends the INT
+/// row (harmonic mean — only meaningful for IPC-like metrics; use
+/// arithmetic sums for counters via `sum_summary`).
+inline void run_figure(const std::string& title,
+                       const std::vector<NamedConfig>& configs,
+                       const Metric& metric, int precision = 2,
+                       bool harmonic_summary = true,
+                       const std::vector<std::string>& workload_names =
+                           workloads::names()) {
+  const uint32_t scale = sim::env_scale();
+  const uint64_t max_insts = default_max_insts();
+
+  std::vector<sim::RunSpec> specs;
+  for (const std::string& wl : workload_names) {
+    for (const NamedConfig& nc : configs) {
+      sim::RunSpec s;
+      s.workload = wl;
+      s.config_name = nc.name;
+      s.config = nc.config;
+      s.max_insts = max_insts;
+      s.scale = scale;
+      specs.push_back(std::move(s));
+    }
+  }
+  const auto outcomes = sim::run_all(specs, sim::env_threads());
+
+  std::vector<std::string> headers{"bench"};
+  for (const NamedConfig& nc : configs) headers.push_back(nc.name);
+  stats::Table table(std::move(headers));
+
+  std::vector<std::vector<double>> columns(configs.size());
+  size_t i = 0;
+  for (const std::string& wl : workload_names) {
+    std::vector<double> row;
+    for (size_t c = 0; c < configs.size(); ++c, ++i) {
+      const double v = metric(outcomes[i].stats);
+      row.push_back(v);
+      columns[c].push_back(v);
+    }
+    table.add_row(wl, row, precision);
+  }
+  if (harmonic_summary) {
+    std::vector<double> intr;
+    for (auto& col : columns) intr.push_back(stats::harmonic_mean(col));
+    table.add_row("INT(hmean)", intr, precision);
+  } else {
+    std::vector<double> sums;
+    for (auto& col : columns) {
+      double s = 0;
+      for (double v : col) s += v;
+      sums.push_back(s);
+    }
+    table.add_row("TOTAL", sums, precision);
+  }
+  std::printf("%s\n", title.c_str());
+  std::printf("(max %llu committed insts/run, scale %u; set CFIR_MAX_INSTS / "
+              "CFIR_SCALE / CFIR_THREADS to change)\n\n",
+              static_cast<unsigned long long>(max_insts), scale);
+  std::printf("%s\n", table.to_text().c_str());
+}
+
+/// Variant keyed by register count instead of workload: one row per sweep
+/// point, columns are configs, cells are harmonic-mean IPC over all
+/// workloads (Figures 9, 11, 13, 14).
+inline void run_register_sweep(
+    const std::string& title,
+    const std::function<std::vector<NamedConfig>(uint32_t regs)>& make_configs,
+    int precision = 2) {
+  const uint32_t scale = sim::env_scale();
+  const uint64_t max_insts = default_max_insts();
+  const auto regs_sweep = sim::presets::register_sweep();
+  const auto& wls = workloads::names();
+
+  const auto proto = make_configs(256);
+  std::vector<std::string> headers{"regs"};
+  for (const NamedConfig& nc : proto) headers.push_back(nc.name);
+  stats::Table table(std::move(headers));
+
+  std::vector<sim::RunSpec> specs;
+  for (const uint32_t regs : regs_sweep) {
+    for (const NamedConfig& nc : make_configs(regs)) {
+      for (const std::string& wl : wls) {
+        sim::RunSpec s;
+        s.workload = wl;
+        s.config_name = nc.name;
+        s.config = nc.config;
+        s.max_insts = max_insts;
+        s.scale = scale;
+        specs.push_back(std::move(s));
+      }
+    }
+  }
+  const auto outcomes = sim::run_all(specs, sim::env_threads());
+
+  size_t i = 0;
+  for (const uint32_t regs : regs_sweep) {
+    std::vector<double> row;
+    for (size_t c = 0; c < proto.size(); ++c) {
+      std::vector<double> ipcs;
+      for (size_t w = 0; w < wls.size(); ++w, ++i) {
+        ipcs.push_back(outcomes[i].stats.ipc());
+      }
+      row.push_back(stats::harmonic_mean(ipcs));
+    }
+    table.add_row(sim::presets::reg_label(regs) + " regs", row, precision);
+  }
+  std::printf("%s\n", title.c_str());
+  std::printf("(harmonic-mean IPC over %zu workloads; max %llu insts/run)\n\n",
+              wls.size(), static_cast<unsigned long long>(max_insts));
+  std::printf("%s\n", table.to_text().c_str());
+}
+
+}  // namespace cfir::bench

@@ -1,0 +1,23 @@
+// Figure 11: IPC depending on the number of replicas per vectorized
+// instruction (1/2/4/8) across the register sweep. Paper: 2 or 4 replicas
+// are the sweet spot; 8 only pays with very many registers.
+#include "common.hpp"
+
+int main() {
+  using namespace cfir;
+  using namespace cfir::bench;
+  run_register_sweep(
+      "Figure 11: IPC vs replicas per vectorized instruction (ci1p)",
+      [](uint32_t regs) -> std::vector<NamedConfig> {
+        std::vector<NamedConfig> configs = {
+            {"sc", sim::presets::scal(1, regs)},
+            {"wb", sim::presets::wb(1, regs)},
+        };
+        for (const uint32_t reps : {1u, 2u, 4u, 8u}) {
+          configs.push_back({std::to_string(reps) + "rep",
+                             sim::presets::ci(1, regs, reps)});
+        }
+        return configs;
+      });
+  return 0;
+}

@@ -1,0 +1,25 @@
+// Figure 13: performance of the control-independence mechanism when the
+// replica values live in the small speculative data memory (ci-h-N for N in
+// 128/256/512/768 slots) instead of the register file. Paper: 256 registers
+// plus 768 slots ~= an unbounded monolithic register file.
+#include "common.hpp"
+
+int main() {
+  using namespace cfir;
+  using namespace cfir::bench;
+  run_register_sweep(
+      "Figure 13: IPC with the speculative data memory (1 wide port)",
+      [](uint32_t regs) -> std::vector<NamedConfig> {
+        std::vector<NamedConfig> configs = {
+            {"scal", sim::presets::scal(1, regs)},
+            {"wb", sim::presets::wb(1, regs)},
+            {"ci", sim::presets::ci(1, regs)},
+        };
+        for (const uint32_t slots : {128u, 256u, 512u, 768u}) {
+          configs.push_back({"ci-h-" + std::to_string(slots),
+                             sim::presets::ci_specmem(1, regs, slots)});
+        }
+        return configs;
+      });
+  return 0;
+}

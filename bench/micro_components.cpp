@@ -1,0 +1,87 @@
+// google-benchmark microbenchmarks of the substrate components, used to
+// size the experiment scales and catch performance regressions in the
+// simulator itself.
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "branch/gshare.hpp"
+#include "ci/stride_predictor.hpp"
+#include "isa/interpreter.hpp"
+#include "mem/cache.hpp"
+#include "sim/presets.hpp"
+#include "sim/simulator.hpp"
+#include "workloads/workloads.hpp"
+
+namespace {
+
+using namespace cfir;
+
+void BM_CacheAccess(benchmark::State& state) {
+  mem::Cache cache(mem::CacheConfig{"L1D", 64 * 1024, 2, 32, 1});
+  std::mt19937_64 gen(1);
+  uint64_t now = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.access(gen() % (1 << 20), false, ++now, 6));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_CacheAccess);
+
+void BM_GsharePredictTrain(benchmark::State& state) {
+  branch::Gshare g;
+  std::mt19937_64 gen(2);
+  for (auto _ : state) {
+    const uint64_t pc = 0x1000 + (gen() % 512) * 4;
+    const bool pred = g.predict(pc);
+    const uint64_t snap = g.speculate(pred);
+    g.train(pc, snap, gen() & 1);
+    g.recover(snap, gen() & 1);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_GsharePredictTrain);
+
+void BM_StridePredictorTrain(benchmark::State& state) {
+  ci::StridePredictor sp;
+  uint64_t addr = 0x100000;
+  for (auto _ : state) {
+    sp.train(0x1020, addr += 8);
+    benchmark::DoNotOptimize(sp.lookup(0x1020));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_StridePredictorTrain);
+
+void BM_Interpreter(benchmark::State& state) {
+  const isa::Program p = workloads::build("bzip2", 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(isa::run_program(p, 20000));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 20000);
+}
+BENCHMARK(BM_Interpreter);
+
+void BM_CoreBaseline(benchmark::State& state) {
+  const isa::Program p = workloads::build("bzip2", 1);
+  for (auto _ : state) {
+    sim::Simulator s(sim::presets::scal(1, 256), p);
+    benchmark::DoNotOptimize(s.run(20000));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 20000);
+}
+BENCHMARK(BM_CoreBaseline);
+
+void BM_CoreWithCi(benchmark::State& state) {
+  const isa::Program p = workloads::build("bzip2", 1);
+  for (auto _ : state) {
+    sim::Simulator s(sim::presets::ci(2, 512), p);
+    benchmark::DoNotOptimize(s.run(20000));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 20000);
+}
+BENCHMARK(BM_CoreWithCi);
+
+}  // namespace
+
+BENCHMARK_MAIN();

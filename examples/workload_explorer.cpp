@@ -1,0 +1,54 @@
+// Workload explorer: run any of the twelve SpecInt2000-named kernels under
+// any mechanism and print the full statistics block.
+//
+//   $ ./example_workload_explorer                 # list workloads
+//   $ ./example_workload_explorer bzip2 ci 512    # workload, policy, regs
+//     policies: scal | wb | ci | ci-iw | vect | ci-h
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "sim/presets.hpp"
+#include "sim/simulator.hpp"
+#include "sim/sweep.hpp"
+#include "workloads/workloads.hpp"
+
+using namespace cfir;
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::printf("usage: %s <workload> [policy=ci] [regs=512]\n\n", argv[0]);
+    std::printf("workloads:\n");
+    for (const auto& name : workloads::names()) {
+      std::printf("  %-8s %s\n", name.c_str(),
+                  workloads::describe(name).c_str());
+    }
+    std::printf("\npolicies: scal wb ci ci-iw vect ci-h\n");
+    return 0;
+  }
+  const std::string wl = argv[1];
+  const std::string policy = argc > 2 ? argv[2] : "ci";
+  const uint32_t regs =
+      argc > 3 ? static_cast<uint32_t>(std::atoi(argv[3])) : 512;
+
+  core::CoreConfig cfg;
+  if (policy == "scal") cfg = sim::presets::scal(1, regs);
+  else if (policy == "wb") cfg = sim::presets::wb(1, regs);
+  else if (policy == "ci") cfg = sim::presets::ci(2, regs);
+  else if (policy == "ci-iw") cfg = sim::presets::ci_window(1, regs);
+  else if (policy == "vect") cfg = sim::presets::vect(2, regs);
+  else if (policy == "ci-h") cfg = sim::presets::ci_specmem(1, regs, 768);
+  else {
+    std::fprintf(stderr, "unknown policy: %s\n", policy.c_str());
+    return 1;
+  }
+
+  std::printf("%s under %s:\n  %s\n\n", wl.c_str(), cfg.label().c_str(),
+              workloads::describe(wl).c_str());
+  sim::Simulator sim(cfg, workloads::build(wl, sim::env_scale()));
+  const stats::SimStats st = sim.run(sim::env_max_insts() != 0
+                                         ? sim::env_max_insts()
+                                         : 200000);
+  std::printf("%s\n", st.to_string().c_str());
+  return 0;
+}

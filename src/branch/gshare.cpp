@@ -1,0 +1,42 @@
+#include "branch/gshare.hpp"
+
+#include <cassert>
+
+namespace cfir::branch {
+
+Gshare::Gshare(uint32_t entries, uint32_t history_bits) {
+  assert(entries > 0 && (entries & (entries - 1)) == 0);
+  table_.assign(entries, 2);  // weakly taken
+  mask_ = entries - 1;
+  history_mask_ = history_bits >= 64 ? ~uint64_t{0}
+                                     : ((uint64_t{1} << history_bits) - 1);
+}
+
+uint32_t Gshare::index(uint64_t pc, uint64_t history) const {
+  return static_cast<uint32_t>((pc >> 2) ^ history) & mask_;
+}
+
+bool Gshare::predict(uint64_t pc) const {
+  return table_[index(pc, history_)] >= 2;
+}
+
+uint64_t Gshare::speculate(bool predicted) {
+  const uint64_t snapshot = history_;
+  history_ = ((history_ << 1) | (predicted ? 1 : 0)) & history_mask_;
+  return snapshot;
+}
+
+void Gshare::train(uint64_t pc, uint64_t snapshot, bool taken) {
+  uint8_t& c = table_[index(pc, snapshot)];
+  if (taken) {
+    if (c < 3) ++c;
+  } else {
+    if (c > 0) --c;
+  }
+}
+
+void Gshare::recover(uint64_t snapshot, bool taken) {
+  history_ = ((snapshot << 1) | (taken ? 1 : 0)) & history_mask_;
+}
+
+}  // namespace cfir::branch

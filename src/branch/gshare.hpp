@@ -1,0 +1,49 @@
+// Gshare conditional branch predictor (64K-entry 2-bit counter table per
+// Table 1 of the paper) with speculative global-history management: fetch
+// shifts the prediction into the history; misprediction recovery restores
+// the pre-branch snapshot and shifts in the actual outcome.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace cfir::branch {
+
+class Gshare {
+ public:
+  explicit Gshare(uint32_t entries = 64 * 1024, uint32_t history_bits = 16);
+
+  /// Predicts `pc`'s direction using current speculative history.
+  [[nodiscard]] bool predict(uint64_t pc) const;
+
+  /// Returns the history snapshot to store with the in-flight branch, then
+  /// speculatively shifts `predicted` into the history.
+  uint64_t speculate(bool predicted);
+
+  /// Trains the counter table with the resolved outcome. Uses the history
+  /// the branch was predicted with (`snapshot`).
+  void train(uint64_t pc, uint64_t snapshot, bool taken);
+
+  /// Misprediction repair: restores `snapshot` and shifts in `taken`.
+  void recover(uint64_t snapshot, bool taken);
+
+  /// Raw history restore (used when an indirect jump mispredicts: the jump
+  /// itself never entered the history, but squashed wrong-path conditional
+  /// branches after it did).
+  void set_history(uint64_t h) { history_ = h & history_mask_; }
+
+  [[nodiscard]] uint64_t history() const { return history_; }
+  [[nodiscard]] uint32_t entries() const {
+    return static_cast<uint32_t>(table_.size());
+  }
+
+ private:
+  [[nodiscard]] uint32_t index(uint64_t pc, uint64_t history) const;
+
+  std::vector<uint8_t> table_;  ///< 2-bit saturating counters
+  uint32_t mask_;
+  uint64_t history_mask_;
+  uint64_t history_ = 0;
+};
+
+}  // namespace cfir::branch

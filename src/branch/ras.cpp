@@ -1,0 +1,24 @@
+#include "branch/ras.hpp"
+#include <cstddef>
+
+namespace cfir::branch {
+
+void ReturnAddressStack::push(uint64_t return_pc) {
+  if (state_.top == kEntries) {
+    // Overflow: shift down (oldest entry lost), standard RAS behaviour.
+    for (int i = 1; i < kEntries; ++i) state_.stack[static_cast<size_t>(i - 1)] = state_.stack[static_cast<size_t>(i)];
+    state_.top = kEntries - 1;
+  }
+  state_.stack[static_cast<size_t>(state_.top++)] = return_pc;
+}
+
+uint64_t ReturnAddressStack::pop() {
+  if (state_.top == 0) return 0;
+  return state_.stack[static_cast<size_t>(--state_.top)];
+}
+
+uint64_t ReturnAddressStack::peek() const {
+  return state_.top == 0 ? 0 : state_.stack[static_cast<size_t>(state_.top - 1)];
+}
+
+}  // namespace cfir::branch

@@ -1,0 +1,32 @@
+// Return address stack for CALL/RET prediction, with full-state snapshots
+// so that wrong-path pushes/pops are undone exactly on recovery.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace cfir::branch {
+
+class ReturnAddressStack {
+ public:
+  static constexpr int kEntries = 16;
+
+  struct Snapshot {
+    std::array<uint64_t, kEntries> stack{};
+    int top = 0;  ///< index of next free slot (0 == empty)
+  };
+
+  void push(uint64_t return_pc);
+  /// Pops and returns the predicted return target (0 when empty).
+  uint64_t pop();
+  [[nodiscard]] uint64_t peek() const;
+  [[nodiscard]] int depth() const { return state_.top; }
+
+  [[nodiscard]] Snapshot snapshot() const { return state_; }
+  void restore(const Snapshot& s) { state_ = s; }
+
+ private:
+  Snapshot state_;
+};
+
+}  // namespace cfir::branch

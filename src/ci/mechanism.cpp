@@ -1,0 +1,627 @@
+#include "ci/mechanism.hpp"
+
+#include <cassert>
+
+namespace cfir::ci {
+
+using core::DynInst;
+using isa::Opcode;
+
+CiMechanism::CiMechanism(const core::CoreConfig& cfg)
+    : cfg_(cfg),
+      stride_(cfg.stride_sets, cfg.stride_ways),
+      srsmt_(cfg.srsmt_sets, cfg.srsmt_ways, cfg.replicas),
+      nrbq_(cfg.nrbq_entries) {
+  if (cfg_.use_spec_memory) {
+    specmem_ = std::make_unique<SpecDataMemory>(
+        cfg_.spec_memory_slots, cfg_.spec_memory_latency,
+        cfg_.spec_memory_read_ports, cfg_.spec_memory_write_ports);
+  }
+}
+
+CiMechanism::~CiMechanism() = default;
+
+void CiMechanism::attach(core::Core& core) {
+  core_ = &core;
+  engine_ = std::make_unique<ReplicaEngine>(core, srsmt_, specmem_.get());
+}
+
+bool CiMechanism::vectorizable_arith(const isa::Instruction& inst) {
+  const Opcode op = inst.op;
+  if (!isa::has_dest(op)) return false;
+  if (isa::is_mem(op) || isa::is_branch(op)) return false;
+  if (op == Opcode::kMovi || op == Opcode::kCall) return false;
+  return isa::num_sources(op) >= 1;
+}
+
+// ---------------------------------------------------------------------------
+// Decode: validation of previously vectorized PCs, or fresh vectorization.
+// ---------------------------------------------------------------------------
+void CiMechanism::on_decode(DynInst& di) {
+  // CRP "reached" check (R flag, section 2.3.2); the NRBQ entries track
+  // their own re-convergent points the same way.
+  nrbq_.observe_pc(di.pc);
+  if (crp_.active && !crp_.reached && di.pc == crp_.rp_pc) {
+    crp_.reached = true;
+    crp_.select_budget = cfg_.ci_select_window;
+  }
+  if (di.is_load || vectorizable_arith(di.inst)) validate_or_create(di);
+}
+
+void CiMechanism::validate_or_create(DynInst& di) {
+  auto& stats = core_->stats();
+  const uint32_t slot = srsmt_.find(di.pc);
+  if (slot == kInvalidSrsmtSlot) {
+    // No entry: consider creating one (step 3 of the paper — vectorization
+    // happens the next time the selected instruction is encountered).
+    if (di.is_load) {
+      const StridePredictor::Info sp = stride_.lookup(di.pc);
+      if (sp.known && sp.confident && sp.selected && sp.stride != 0) {
+        create_load_entry(di, sp);
+      }
+    } else {
+      create_arith_entry(di);
+    }
+    return;
+  }
+
+  SrsmtEntry& e = srsmt_.entry(slot);
+  srsmt_.touch(slot);
+
+  // Validation (step 4 / section 2.3.4). A poisoned (desynced) ring is a
+  // standing hard failure: it re-vectorizes once quiescent.
+  bool hard_fail = e.poisoned;
+  bool soft_fail = false;
+  if (di.is_load) {
+    const StridePredictor::Info sp = stride_.lookup(di.pc);
+    if (!sp.known || sp.stride != e.stride) {
+      hard_fail = true;  // the stride did not keep on being the same
+    } else if (!sp.confident) {
+      soft_fail = true;
+    } else if (!e.anchored) {
+      soft_fail = true;  // creator has not committed yet
+    }
+  } else {
+    for (const SrsmtOperand* op : {&e.op1, &e.op2}) {
+      if (!op->present) continue;
+      const int logical = op == &e.op1 ? di.inst.rs1 : di.inst.rs2;
+      const RenameExt& x = ext_[static_cast<size_t>(logical)];
+      if (op->is_self) {
+        // The recurrence input must still be produced by this very entry
+        // (paper: I11's seq1 is I11's own PC).
+        if (!x.vs || x.seq_pc != di.pc || x.entry_uid != e.uid) {
+          hard_fail = true;
+          break;
+        }
+      } else if (op->is_vector) {
+        if (!x.vs || x.seq_pc != op->producer_pc ||
+            x.entry_uid != op->producer_uid) {
+          hard_fail = true;  // producer identity changed
+          break;
+        }
+      } else {
+        const int ps = op == &e.op1 ? di.ps1 : di.ps2;
+        if (ps < 0 || !core_->regfile().ready(ps)) {
+          soft_fail = true;
+        } else if (core_->regfile().value(ps) != op->scalar_value) {
+          hard_fail = true;  // scalar operand changed value
+          break;
+        }
+      }
+    }
+  }
+
+  if (hard_fail && e.decode_count == e.commit_count) {
+    // Quiescent: no in-flight validations reference the ring, so the entry
+    // and its registers can be dropped and re-vectorized with the new
+    // operands (paper 2.3.4).
+    ++stats.validations_failed;
+    engine_->release_entry(slot, "replace");
+    if (di.is_load) {
+      const StridePredictor::Info sp = stride_.lookup(di.pc);
+      if (sp.known && sp.confident && sp.selected && sp.stride != 0) {
+        create_load_entry(di, sp);
+      }
+    } else {
+      create_arith_entry(di);
+    }
+    return;
+  }
+  // A hard failure with validations still in flight degrades to a soft
+  // failure: the instance executes normally (consuming its index so the
+  // ring stays aligned) and the release happens at a later encounter once
+  // the ring drains. Eager release here would strand the in-flight
+  // validations waiting on replicas that can no longer complete.
+  const bool degraded = hard_fail;
+
+  // This dynamic instance consumes the next replica index either way so the
+  // ring stays aligned with the instance stream.
+  const uint64_t idx = e.decode_count;
+  di.mech.index_consumed = true;
+  di.mech.srsmt_slot = slot;
+  di.mech.entry_uid = e.uid;
+  di.mech.replica_index = idx;
+  ++e.decode_count;
+
+  if (degraded || soft_fail || !engine_->replica_available(e, idx)) {
+    ++stats.validations_failed;
+    return;  // executes normally; index retires at commit
+  }
+
+  // Reuse.
+  di.mech.reused = true;
+  if (di.is_load) {
+    // The replica's address is the instruction's effective address (the
+    // commit-time architectural recheck verifies this exactly).
+    di.mem_addr = e.addr_of(idx);
+  }
+  if (specmem_ != nullptr) {
+    di.mech.via_copy = true;
+  } else {
+    di.mech.reuse_phys = e.at(idx).phys_reg;
+    assert(di.mech.reuse_phys >= 0);
+  }
+}
+
+void CiMechanism::create_load_entry(DynInst& di,
+                                    const StridePredictor::Info& sp) {
+  auto release = [this](uint32_t victim) {
+    engine_->release_entry(victim, "replace");
+  };
+  const uint32_t slot = srsmt_.alloc(di.pc, release);
+  if (slot == kInvalidSrsmtSlot) return;
+  SrsmtEntry& e = srsmt_.entry(slot);
+  e.inst = di.inst;
+  e.is_load = true;
+  e.stride = sp.stride;
+  e.anchored = false;  // anchored when this instance commits
+  e.origin_branch_pc = sp.origin_branch_pc;
+  ++core_->stats().srsmt_allocs;
+  di.mech.created_entry = true;
+  di.mech.created_slot = slot;
+  di.mech.created_uid = e.uid;
+}
+
+void CiMechanism::create_arith_entry(DynInst& di) {
+  // Requires >=1 source produced by a live vectorized entry; scalar sources
+  // must be ready so their value can be latched (the paper stalls decode in
+  // this case; we simply skip and retry at the next encounter).
+  struct SrcInfo {
+    bool present = false;
+    bool vector = false;
+    bool self = false;
+    const RenameExt* ext = nullptr;
+    int ps = -1;
+    int logical = 0;
+  };
+  SrcInfo s1, s2;
+  if (isa::reads_rs1(di.inst.op)) {
+    s1 = {true, false, false, &ext_[di.inst.rs1], di.ps1, di.inst.rs1};
+  }
+  if (isa::reads_rs2(di.inst.op)) {
+    s2 = {true, false, false, &ext_[di.inst.rs2], di.ps2, di.inst.rs2};
+  }
+  bool any_vector = false;
+  uint64_t origin = 0;
+  for (SrcInfo* s : {&s1, &s2}) {
+    if (!s->present) continue;
+    if (isa::has_dest(di.inst.op) && s->logical == di.inst.rd) {
+      // Accumulator recurrence (paper Figure 1, I11: ADD R4,R4,R0): the
+      // operand is this instruction's own previous result.
+      s->self = true;
+      continue;
+    }
+    if (s->ext->vs) {
+      const SrsmtEntry& p = srsmt_.entry(s->ext->entry_slot);
+      if (p.valid && p.uid == s->ext->entry_uid) {
+        s->vector = true;
+        any_vector = true;
+        if (origin == 0) origin = p.origin_branch_pc;
+      } else {
+        return;  // stale producer; do not vectorize this time
+      }
+    } else {
+      if (s->ps < 0 || !core_->regfile().ready(s->ps)) return;
+    }
+  }
+  if (!any_vector) return;  // chains must start at a vectorized producer
+
+  auto release = [this](uint32_t victim) {
+    engine_->release_entry(victim, "replace");
+  };
+  const uint32_t slot = srsmt_.alloc(di.pc, release);
+  if (slot == kInvalidSrsmtSlot) return;
+  SrsmtEntry& e = srsmt_.entry(slot);
+  e.inst = di.inst;
+  e.is_load = false;
+  const bool has_self = s1.self || s2.self;
+  // Self-recurrent chains anchor on the creator's committed result;
+  // pure feed-forward chains are live immediately.
+  e.anchored = !has_self;
+  e.origin_branch_pc = origin;
+  auto fill = [&](SrsmtOperand& op, const SrcInfo& s) {
+    if (!s.present) return;
+    op.present = true;
+    if (s.self) {
+      op.is_self = true;
+      op.producer_pc = di.pc;
+      op.producer_slot = slot;
+      op.producer_uid = e.uid;
+      e.consumer_slots.push_back(slot);  // own completions arm successors
+    } else if (s.vector) {
+      SrsmtEntry& p = srsmt_.entry(s.ext->entry_slot);
+      op.is_vector = true;
+      op.producer_pc = s.ext->seq_pc;
+      op.producer_slot = s.ext->entry_slot;
+      op.producer_uid = s.ext->entry_uid;
+      op.index_offset = p.decode_count;
+      p.consumer_slots.push_back(slot);
+    } else {
+      op.scalar_value = core_->regfile().value(s.ps);
+    }
+  };
+  fill(e.op1, s1);
+  fill(e.op2, s2);
+  ++core_->stats().srsmt_allocs;
+  di.mech.created_entry = true;
+  di.mech.created_slot = slot;
+  di.mech.created_uid = e.uid;
+  if (e.anchored) engine_->materialize(slot);
+}
+
+// ---------------------------------------------------------------------------
+// Rename: stridedPC/V-S propagation, NRBQ/CRP masks, CI selection.
+// ---------------------------------------------------------------------------
+void CiMechanism::on_renamed(DynInst& di) {
+  auto& stats = core_->stats();
+  const Opcode op = di.inst.op;
+
+  if (di.is_cond_branch && !vect_policy()) {
+    const uint64_t rp =
+        estimate_reconvergence_point(core_->program(), di.pc, di.inst);
+    nrbq_.push(di.seq, di.pc, rp);
+  }
+
+  // CI selection (section 2.3.2): instructions past the re-convergent point
+  // whose sources were not written between the branch and the RP.
+  if (!vect_policy() && crp_.active && crp_.reached &&
+      crp_.select_budget > 0 && !di.is_branch) {
+    --crp_.select_budget;
+    bool clean = true;
+    int checked = 0;
+    if (isa::reads_rs1(op)) {
+      ++checked;
+      clean &= (crp_.mask & (uint64_t{1} << di.inst.rs1)) == 0;
+    }
+    if (isa::reads_rs2(op)) {
+      ++checked;
+      clean &= (crp_.mask & (uint64_t{1} << di.inst.rs2)) == 0;
+    }
+    if (clean && checked > 0) {
+      mark_selected(crp_.branch_pc);
+      // Select the strided loads at the base of the backward slice for
+      // speculative vectorization (sets their S flags).
+      auto select_sources = [&](int logical) {
+        const RenameExt& x = ext_[static_cast<size_t>(logical)];
+        for (uint8_t i = 0; i < x.strided_count; ++i) {
+          stride_.select(x.strided_pcs[i], crp_.branch_pc);
+        }
+      };
+      if (isa::reads_rs1(op)) select_sources(di.inst.rs1);
+      if (isa::reads_rs2(op)) select_sources(di.inst.rs2);
+    }
+    if (crp_.select_budget == 0) crp_.active = false;
+  }
+
+  if (!di.has_dest) return;
+
+  // Register-write masks.
+  nrbq_.on_dest_write(di.inst.rd);
+  if (crp_.active && !crp_.reached) {
+    crp_.mask |= uint64_t{1} << di.inst.rd;
+  }
+
+  // Rename extension update with walk-recovery snapshot.
+  RenameExt& x = ext_[static_cast<size_t>(di.inst.rd)];
+  di.mech.prev_strided_pcs = x.strided_pcs;
+  di.mech.prev_strided_count = x.strided_count;
+  di.mech.prev_vs = x.vs;
+  di.mech.prev_seq_pc = x.seq_pc;
+  di.mech.prev_entry_slot = x.entry_slot;
+  di.mech.prev_entry_uid = x.entry_uid;
+  di.mech.ext_saved = true;
+
+  RenameExt nx;  // default: cleared
+  if (di.is_load) {
+    const StridePredictor::Info sp = stride_.lookup(di.pc);
+    if (sp.known && sp.confident) {
+      nx.strided_pcs[0] = di.pc;
+      nx.strided_count = 1;
+    }
+  } else if (vectorizable_arith(di.inst)) {
+    // Union of the sources' stridedPC sets, truncated to the configured
+    // per-entry budget (Figure 4 sweeps this width).
+    auto add_from = [&](int logical) {
+      const RenameExt& src = ext_[static_cast<size_t>(logical)];
+      for (uint8_t i = 0; i < src.strided_count; ++i) {
+        const uint64_t pc = src.strided_pcs[i];
+        bool dup = false;
+        for (uint8_t j = 0; j < nx.strided_count; ++j) {
+          if (nx.strided_pcs[j] == pc) { dup = true; break; }
+        }
+        if (dup) continue;
+        if (nx.strided_count <
+            std::min<uint32_t>(cfg_.stridedpc_per_entry, 4)) {
+          nx.strided_pcs[nx.strided_count++] = pc;
+        } else {
+          ++stats.stridedpc_overflows;
+        }
+      }
+    };
+    if (isa::reads_rs1(op)) add_from(di.inst.rs1);
+    if (isa::reads_rs2(op)) add_from(di.inst.rs2);
+    if (nx.strided_count > 0) {
+      ++stats.stridedpc_propagations;
+      stats.stridedpc_width_accum += nx.strided_count;
+    }
+  }
+  // V/S flag: the latest writer of this logical register is vectorized.
+  const uint32_t slot = di.mech.created_entry ? di.mech.created_slot
+                                              : di.mech.srsmt_slot;
+  if (slot != kInvalidSrsmtSlot) {
+    const SrsmtEntry& e = srsmt_.entry(slot);
+    if (e.valid && e.pc == di.pc) {
+      nx.vs = true;
+      nx.seq_pc = di.pc;
+      nx.entry_slot = slot;
+      nx.entry_uid = e.uid;
+    }
+  }
+  x = nx;
+}
+
+// ---------------------------------------------------------------------------
+// Branch resolution, squash, commit.
+// ---------------------------------------------------------------------------
+void CiMechanism::on_mispredict_pre(DynInst& di) {
+  if (!di.is_cond_branch || vect_policy()) return;
+  if (!core_->mbs().is_hard(di.pc)) return;
+  ++core_->stats().hard_mispredicts;
+  EpisodeStats& ep = episodes_[di.pc];
+  ++ep.episodes;
+  ep.cur_selected = false;
+  ep.cur_reused = false;
+  // Initialize the CRP from the NRBQ before the squash removes the
+  // wrong-path branches (their masks count, section 2.3.2).
+  const NrbqEntry* entry = nrbq_.find(di.seq);
+  if (entry == nullptr) {
+    crp_.active = false;  // NRBQ overflow evicted it; episode finds nothing
+    return;
+  }
+  // The R flag starts clear: the post-recovery refetch must cross the RP.
+  crp_.active = true;
+  crp_.reached = false;
+  crp_.rp_pc = entry->rp_pc;
+  crp_.mask = nrbq_.mask_of(di.seq);
+  crp_.branch_pc = di.pc;
+  crp_.select_budget = 0;
+}
+
+void CiMechanism::on_branch_resolved(DynInst& /*di*/, bool mispredicted) {
+  if (mispredicted) run_daec();
+}
+
+void CiMechanism::run_daec() {
+  // Section 2.4.2: on every branch misprediction recovery, entries whose
+  // decode and commit fields match age; at the threshold their speculative
+  // work is presumed dead and the registers are reclaimed.
+  for (uint32_t slot = 0; slot < srsmt_.num_slots(); ++slot) {
+    SrsmtEntry& e = srsmt_.entry(slot);
+    if (!e.valid) continue;
+    if (e.decode_count == e.commit_count) {
+      if (++e.daec >= cfg_.daec_threshold && e.issue_count == 0) {
+        engine_->release_entry(slot, "daec");
+      }
+    } else {
+      e.daec = 0;
+    }
+  }
+}
+
+void CiMechanism::on_squash(DynInst& di) {
+  if (di.is_cond_branch) nrbq_.on_branch_squash(di.seq);
+  if (di.mech.index_consumed) {
+    SrsmtEntry& e = srsmt_.entry(di.mech.srsmt_slot);
+    if (e.valid && e.uid == di.mech.entry_uid) {
+      // Hand the replica index back (exact equivalent of the paper's
+      // "copy commit into decode": squash walks youngest-first, so indices
+      // return in reverse order).
+      assert(e.decode_count == di.mech.replica_index + 1);
+      --e.decode_count;
+    } else if (di.mech.reused && di.mech.pd_from_replica && di.pd >= 0) {
+      // The entry died while this validation was in flight (hard
+      // validation failure or coherence release). Ownership of the replica
+      // register was transferred to this instruction at release time; the
+      // squash must return it to the free list (the core skips
+      // replica-owned registers).
+      core_->regfile().free_reg(di.pd);
+    }
+  }
+  if (di.mech.created_entry) {
+    SrsmtEntry& e = srsmt_.entry(di.mech.created_slot);
+    if (e.valid && e.uid == di.mech.created_uid) {
+      // The creating instance was wrong-path speculation; drop the entry.
+      engine_->release_entry(di.mech.created_slot, "creator-squash");
+    }
+  }
+  if (di.mech.ext_saved) {
+    RenameExt& x = ext_[static_cast<size_t>(di.inst.rd)];
+    x.strided_pcs = di.mech.prev_strided_pcs;
+    x.strided_count = di.mech.prev_strided_count;
+    x.vs = di.mech.prev_vs;
+    x.seq_pc = di.mech.prev_seq_pc;
+    x.entry_slot = di.mech.prev_entry_slot;
+    x.entry_uid = di.mech.prev_entry_uid;
+  }
+}
+
+void CiMechanism::on_commit(DynInst& di) {
+  if (di.is_cond_branch) nrbq_.on_branch_commit(di.seq);
+
+  if (di.is_load) stride_.train(di.pc, di.mem_addr);
+  if (di.is_load && vect_policy()) {
+    // Full-blown dynamic vectorization [12]: every confident strided load
+    // is selected, independent of control-independence analysis.
+    const StridePredictor::Info sp = stride_.lookup(di.pc);
+    if (sp.confident && !sp.selected && sp.stride != 0) {
+      stride_.select(di.pc, 0);
+    }
+  }
+
+  if (di.mech.created_entry) {
+    SrsmtEntry& e = srsmt_.entry(di.mech.created_slot);
+    if (e.valid && e.uid == di.mech.created_uid && !e.anchored) {
+      // The creator's commit anchors the speculative stream: loads get
+      // their architectural base address, self-recurrent chains their seed
+      // value.
+      e.anchored = true;
+      if (e.is_load) {
+        e.base_addr = di.mem_addr;
+      } else {
+        e.anchor_value = di.result;
+      }
+      engine_->materialize(di.mech.created_slot);
+    }
+  }
+
+  if (di.mech.index_consumed) {
+    SrsmtEntry& e = srsmt_.entry(di.mech.srsmt_slot);
+    if (e.valid && e.uid == di.mech.entry_uid) {
+      bool desync = false;
+      if (!di.mech.reused) {
+        // The instance executed normally; verify the ring still tracks the
+        // architectural stream and resynchronize by release when not.
+        if (e.is_load) {
+          desync = e.anchored &&
+                   e.addr_of(di.mech.replica_index) != di.mem_addr;
+        } else if (engine_->replica_done(e, di.mech.replica_index)) {
+          desync = e.at(di.mech.replica_index).value != di.result;
+        }
+      }
+      if (desync) {
+        // Younger validations may still be waiting on this ring; an eager
+        // release would strand them. Poison the entry (no new reuses or
+        // replicas), keep retiring indices so it drains, and release once
+        // quiescent; still-speculative reuses resolve through the
+        // commit-time recheck.
+        e.poisoned = true;
+      }
+      engine_->retire_index(di.mech.srsmt_slot, di.mech.replica_index,
+                            di.mech.reused);
+      if (e.valid && e.poisoned && e.deallocatable()) {
+        engine_->release_entry(di.mech.srsmt_slot, "desync");
+      } else if (di.mech.reused && e.valid) {
+        mark_reused(e.origin_branch_pc);
+      }
+    }
+  }
+}
+
+bool CiMechanism::on_store_commit(DynInst& di) {
+  auto& stats = core_->stats();
+  ++stats.store_range_checks;
+  const uint64_t lo = di.mem_addr;
+  const uint64_t hi = di.mem_addr + static_cast<uint64_t>(di.mem_size);
+  bool conflict = false;
+  for (uint32_t slot = 0; slot < srsmt_.num_slots(); ++slot) {
+    SrsmtEntry& e = srsmt_.entry(slot);
+    if (!e.valid || !e.is_load || !e.anchored) continue;
+    if (e.materialized <= e.commit_count) continue;
+    // Outstanding replica address range (section 2.4.3).
+    const uint64_t first = e.addr_of(e.commit_count);
+    const uint64_t last = e.addr_of(e.materialized - 1);
+    const uint64_t rlo = std::min(first, last);
+    const uint64_t rhi =
+        std::max(first, last) + static_cast<uint64_t>(isa::mem_bytes(e.inst.op));
+    if (lo < rhi && rlo < hi) {
+      engine_->release_entry(slot, "coherence");
+      conflict = true;
+    }
+  }
+  if (conflict) ++stats.store_range_conflicts;
+  return conflict;
+}
+
+void CiMechanism::issue_cycle(uint64_t cycle, core::CycleResources& res) {
+  engine_->tick(cycle, res);
+}
+
+void CiMechanism::on_misvalidation(DynInst& di) {
+  SrsmtEntry& e = srsmt_.entry(di.mech.srsmt_slot);
+  if (e.valid && e.uid == di.mech.entry_uid) {
+    engine_->release_entry(di.mech.srsmt_slot, "misvalidation");
+  }
+}
+
+void CiMechanism::on_watchdog_reclaim() { engine_->reclaim_unclaimed(); }
+
+bool CiMechanism::copy_source_ready(const DynInst& di) {
+  const SrsmtEntry& e = srsmt_.entry(di.mech.srsmt_slot);
+  if (!e.valid || e.uid != di.mech.entry_uid) return false;
+  return engine_->replica_done(e, di.mech.replica_index);
+}
+
+void CiMechanism::register_copy_waiter(uint32_t rob_slot, const DynInst& di) {
+  engine_->register_copy_waiter(rob_slot, di.seq, di.mech.srsmt_slot,
+                                di.mech.entry_uid, di.mech.replica_index);
+}
+
+bool CiMechanism::try_issue_copy(DynInst& di, uint64_t cycle,
+                                 uint32_t& latency, uint64_t& value) {
+  return engine_->try_issue_copy(di.mech.srsmt_slot, di.mech.entry_uid,
+                                 di.mech.replica_index, cycle, latency, value);
+}
+
+// ---------------------------------------------------------------------------
+// Episode accounting (Figure 5).
+// ---------------------------------------------------------------------------
+void CiMechanism::mark_selected(uint64_t branch_pc) {
+  const auto it = episodes_.find(branch_pc);
+  if (it == episodes_.end()) return;
+  if (!it->second.cur_selected) {
+    it->second.cur_selected = true;
+    ++it->second.selected;
+  }
+}
+
+void CiMechanism::mark_reused(uint64_t branch_pc) {
+  if (branch_pc == 0) return;  // vect policy: no episode attribution
+  const auto it = episodes_.find(branch_pc);
+  if (it == episodes_.end()) return;
+  if (!it->second.cur_reused) {
+    it->second.cur_reused = true;
+    ++it->second.reused;
+  }
+}
+
+void CiMechanism::finalize() {
+  if (finalized_ || core_ == nullptr) return;
+  finalized_ = true;
+  auto& stats = core_->stats();
+  for (const auto& [pc, ep] : episodes_) {
+    stats.ep_total += ep.episodes;
+    stats.ep_ci_selected += ep.selected;
+    stats.ep_ci_reused += ep.reused;
+  }
+}
+
+uint64_t CiMechanism::storage_bytes() const {
+  // Section 3.1 inventory. Rename extension: 16 bytes per entry * 64.
+  uint64_t total = srsmt_.storage_bytes() + stride_.storage_bytes() +
+                   nrbq_.storage_bytes() + Crp::storage_bytes() + 64 * 16;
+  total += core_ != nullptr ? core_->mbs().storage_bytes()
+                            : uint64_t{cfg_.mbs_sets} * cfg_.mbs_ways * 8;
+  return total;
+}
+
+}  // namespace cfir::ci

@@ -1,0 +1,65 @@
+#include "ci/reconvergence.hpp"
+
+namespace cfir::ci {
+
+uint64_t estimate_reconvergence_point(const isa::Program& prog,
+                                      uint64_t branch_pc,
+                                      const isa::Instruction& br) {
+  const uint64_t target = static_cast<uint64_t>(br.imm);
+  if (target <= branch_pc) {
+    // Backward branch: loop-closing; re-converges at the fall-through
+    // (Figure 2a).
+    return branch_pc + isa::kInstBytes;
+  }
+  // Forward branch: inspect the instruction one location above the target.
+  const uint64_t probe_pc = target - isa::kInstBytes;
+  const isa::Instruction* probe = prog.try_at(probe_pc);
+  if (probe != nullptr && probe->op == isa::Opcode::kJmp &&
+      static_cast<uint64_t>(probe->imm) > probe_pc) {
+    // Unconditional forward branch right above the target: the classic
+    // if-then-else shape (Figure 2c); re-converge where that jump lands.
+    return static_cast<uint64_t>(probe->imm);
+  }
+  // if-then shape (Figure 2b): re-converge at the branch target itself.
+  return target;
+}
+
+void Nrbq::push(uint64_t branch_seq, uint64_t branch_pc, uint64_t rp_pc) {
+  if (q_.size() >= capacity_) q_.pop_front();
+  q_.push_back(NrbqEntry{branch_seq, branch_pc, rp_pc, 0});
+}
+
+void Nrbq::observe_pc(uint64_t pc) {
+  for (NrbqEntry& e : q_) {
+    if (!e.reached && e.rp_pc == pc) e.reached = true;
+  }
+}
+
+void Nrbq::on_dest_write(int logical) {
+  const uint64_t bit = uint64_t{1} << logical;
+  for (NrbqEntry& e : q_) {
+    if (!e.reached) e.mask |= bit;
+  }
+}
+
+void Nrbq::on_branch_commit(uint64_t branch_seq) {
+  if (!q_.empty() && q_.front().branch_seq == branch_seq) q_.pop_front();
+}
+
+void Nrbq::on_branch_squash(uint64_t branch_seq) {
+  if (!q_.empty() && q_.back().branch_seq == branch_seq) q_.pop_back();
+}
+
+uint64_t Nrbq::mask_of(uint64_t branch_seq) const {
+  const NrbqEntry* e = find(branch_seq);
+  return e == nullptr ? 0 : e->mask;
+}
+
+const NrbqEntry* Nrbq::find(uint64_t branch_seq) const {
+  for (const NrbqEntry& e : q_) {
+    if (e.branch_seq == branch_seq) return &e;
+  }
+  return nullptr;
+}
+
+}  // namespace cfir::ci

@@ -1,0 +1,91 @@
+// Re-convergent point estimation and tracking, paper section 2.3.1-2.3.2:
+//
+//  * RP heuristics — backward branches re-converge at the fall-through;
+//    forward branches are classified by inspecting the instruction one slot
+//    above the target (an unconditional forward branch there means
+//    if-then-else, otherwise if-then).
+//  * NRBQ — a 16-entry queue of in-flight conditional branches, each with a
+//    64-bit mask of logical registers written after that branch and before
+//    the next one.
+//  * CRP — the current re-convergent point: RP address, R (reached) flag
+//    and the accumulated write mask used to filter control-independent
+//    instructions.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+
+#include "isa/program.hpp"
+
+namespace cfir::ci {
+
+/// Estimates the re-convergent point of the conditional branch at
+/// `branch_pc` using the static heuristics of section 2.3.1.
+[[nodiscard]] uint64_t estimate_reconvergence_point(const isa::Program& prog,
+                                                    uint64_t branch_pc,
+                                                    const isa::Instruction& br);
+
+struct NrbqEntry {
+  uint64_t branch_seq = 0;
+  uint64_t branch_pc = 0;
+  uint64_t rp_pc = 0;
+  uint64_t mask = 0;   ///< logical registers written since this branch
+  bool reached = false;  ///< decode passed this branch's re-convergent point
+};
+
+/// Not-Retired Branch Queue.
+class Nrbq {
+ public:
+  explicit Nrbq(uint32_t capacity = 16) : capacity_(capacity) {}
+
+  /// Pushes a decoded conditional branch; evicts the oldest entry when full
+  /// (that branch then simply cannot seed a CRP).
+  void push(uint64_t branch_seq, uint64_t branch_pc, uint64_t rp_pc);
+  /// Every decoded PC: entries whose re-convergent point this is stop
+  /// accumulating mask bits (the paper's mask covers writes *between* the
+  /// branch and its RP — Figure 1's I11 must not disqualify itself by
+  /// writing R4 after the join).
+  void observe_pc(uint64_t pc);
+  /// Records a register write: sets the bit in every entry that has not yet
+  /// passed its re-convergent point. Each entry's mask therefore holds
+  /// exactly "registers written after this branch and before its RP, on
+  /// either path" — the region the CRP needs (see DESIGN.md on why the
+  /// paper's OR-to-tail formulation is interpreted this way: with a literal
+  /// OR the paper's own Figure 1 example would taint R4/R0 and never select
+  /// I11).
+  void on_dest_write(int logical);
+  /// Branch left the window from the front (commit).
+  void on_branch_commit(uint64_t branch_seq);
+  /// Branch squashed from the back.
+  void on_branch_squash(uint64_t branch_seq);
+
+  /// The accumulated write mask of `branch_seq`'s region (CRP mask
+  /// initialization of section 2.3.2). Returns 0 for unknown branches.
+  [[nodiscard]] uint64_t mask_of(uint64_t branch_seq) const;
+  [[nodiscard]] const NrbqEntry* find(uint64_t branch_seq) const;
+  [[nodiscard]] size_t size() const { return q_.size(); }
+  [[nodiscard]] uint32_t capacity() const { return capacity_; }
+
+  /// Section 3.1: 16 entries * 8 bytes.
+  [[nodiscard]] uint64_t storage_bytes() const { return capacity_ * 8; }
+
+ private:
+  uint32_t capacity_;
+  std::deque<NrbqEntry> q_;
+};
+
+/// Current Re-convergent Point register.
+struct Crp {
+  bool active = false;
+  bool reached = false;     ///< R flag
+  uint64_t rp_pc = 0;
+  uint64_t mask = 0;
+  uint64_t branch_pc = 0;   ///< the hard mispredicted branch (episode owner)
+  uint32_t select_budget = 0;  ///< instructions still inspectable past RP
+
+  /// Section 3.1: 8 bytes PC + 8 bytes mask.
+  [[nodiscard]] static uint64_t storage_bytes() { return 16; }
+};
+
+}  // namespace cfir::ci

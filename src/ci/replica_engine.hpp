@@ -1,0 +1,109 @@
+// Replica engine, paper sections 2.3.3 and 2.4.1: creates the speculative
+// instances ("replicas") of vectorized instructions, issues them with the
+// cycle's leftover resources (lower priority than the main thread), and
+// retires them in writeback. Replicas live outside the window: branch
+// squashes never touch them.
+//
+// Replica index k of a load entry reads anchor + stride*(k+1); replica k of
+// an arithmetic entry consumes ring value (k + offset) of each vectorized
+// producer (offset captured at entry creation) or a latched scalar operand.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "ci/spec_memory.hpp"
+#include "ci/srsmt.hpp"
+#include "core/pipeline.hpp"
+
+namespace cfir::ci {
+
+class ReplicaEngine {
+ public:
+  ReplicaEngine(core::Core& core, Srsmt& srsmt, SpecDataMemory* specmem);
+
+  /// Creates replicas of `slot` up to the ring window
+  /// [commit_count, commit_count + Nregs), as registers/slots allow.
+  void materialize(uint32_t slot);
+
+  /// Per-cycle: process due completions, retry starved materializations,
+  /// then issue ready replicas with the leftover resources.
+  void tick(uint64_t cycle, core::CycleResources& res);
+
+  /// Frees every resource still owned by the entry and invalidates it.
+  void release_entry(uint32_t slot, const char* reason);
+
+  /// A dynamic instance with index `abs` committed. `reused` tells whether
+  /// it consumed the replica value (ownership transfer) or executed
+  /// normally (the replica is dead; its register is reclaimed).
+  void retire_index(uint32_t slot, uint64_t abs, bool reused);
+
+  /// Reuse support ----------------------------------------------------------
+  [[nodiscard]] bool replica_available(const SrsmtEntry& e, uint64_t abs) const;
+  [[nodiscard]] bool replica_done(const SrsmtEntry& e, uint64_t abs) const;
+  void register_copy_waiter(uint32_t rob_slot, uint64_t seq, uint32_t slot,
+                            uint32_t uid, uint64_t abs);
+  [[nodiscard]] bool try_issue_copy(uint32_t slot, uint32_t uid, uint64_t abs,
+                                    uint64_t cycle, uint32_t& latency,
+                                    uint64_t& value);
+
+  /// Liveness guard: frees materialized-but-unclaimed replicas (indices at
+  /// or beyond decode_count) so rename can make progress.
+  void reclaim_unclaimed();
+
+ private:
+  struct Ref {
+    uint32_t slot;
+    uint32_t uid;
+    uint64_t abs;
+  };
+  struct Completion {
+    uint64_t when;
+    uint64_t order;
+    Ref ref;
+    bool operator>(const Completion& o) const {
+      return when != o.when ? when > o.when : order > o.order;
+    }
+  };
+
+  [[nodiscard]] bool ref_live(const Ref& r) const;
+  /// Operand value for an arith replica; requires readiness checked before.
+  [[nodiscard]] uint64_t operand_value(const SrsmtEntry& e,
+                                       const SrsmtOperand& op,
+                                       uint64_t abs) const;
+  [[nodiscard]] bool operand_ready(const SrsmtEntry& e, const SrsmtOperand& op,
+                                   uint64_t abs) const;
+  /// Latches operand values and queues the replica (both operands ready).
+  void arm_replica(uint32_t slot, SrsmtEntry& e, uint64_t abs);
+  void complete(const Ref& ref);
+  void notify_consumers(uint32_t producer_slot, uint32_t producer_uid,
+                        uint64_t produced_abs);
+  void free_replica_storage(Replica& r);
+  [[nodiscard]] uint32_t alu_latency(isa::Opcode op) const;
+
+  core::Core& core_;
+  Srsmt& srsmt_;
+  SpecDataMemory* specmem_;  ///< null in monolithic-register-file mode
+
+  std::deque<Ref> ready_;
+  std::priority_queue<Completion, std::vector<Completion>, std::greater<>>
+      completions_;
+  uint64_t completion_order_ = 0;
+  std::vector<uint32_t> materialize_retry_;
+
+  struct CopyWaiter {
+    uint32_t rob_slot;
+    uint64_t seq;
+  };
+  /// (slot, abs) -> waiting validation; validated lazily through the core.
+  std::unordered_map<uint64_t, CopyWaiter> copy_waiters_;
+  [[nodiscard]] static uint64_t waiter_key(uint32_t slot, uint64_t abs) {
+    return (static_cast<uint64_t>(slot) << 40) ^ abs;
+  }
+};
+
+}  // namespace cfir::ci

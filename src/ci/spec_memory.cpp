@@ -1,0 +1,51 @@
+#include "ci/spec_memory.hpp"
+
+#include <cassert>
+
+namespace cfir::ci {
+
+SpecDataMemory::SpecDataMemory(uint32_t slots, uint32_t latency,
+                               uint32_t read_ports, uint32_t write_ports)
+    : latency_(latency), read_ports_(read_ports), write_ports_(write_ports) {
+  values_.assign(slots, 0);
+  free_.reserve(slots);
+  for (int s = static_cast<int>(slots) - 1; s >= 0; --s) free_.push_back(s);
+}
+
+int SpecDataMemory::alloc() {
+  if (free_.empty()) return -1;
+  const int s = free_.back();
+  free_.pop_back();
+  return s;
+}
+
+void SpecDataMemory::free_slot(int slot) {
+  assert(slot >= 0 && slot < static_cast<int>(values_.size()));
+  free_.push_back(slot);
+}
+
+uint64_t SpecDataMemory::book_write(uint64_t cycle) {
+  uint64_t c = cycle;
+  while (writes_at_[c] >= write_ports_) ++c;
+  ++writes_at_[c];
+  // Opportunistic cleanup of old bookings.
+  if (writes_at_.size() > 1024 && cycle > gc_watermark_ + 1024) {
+    for (auto it = writes_at_.begin(); it != writes_at_.end();) {
+      it = it->first < cycle ? writes_at_.erase(it) : std::next(it);
+    }
+    for (auto it = reads_at_.begin(); it != reads_at_.end();) {
+      it = it->first < cycle ? reads_at_.erase(it) : std::next(it);
+    }
+    gc_watermark_ = cycle;
+  }
+  return c;
+}
+
+bool SpecDataMemory::try_book_read(uint64_t cycle) {
+  auto& n = reads_at_[cycle];
+  if (n >= read_ports_) return false;
+  ++n;
+  return true;
+}
+
+}  // namespace cfir::ci

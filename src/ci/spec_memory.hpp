@@ -1,0 +1,57 @@
+// Speculative data memory, paper section 2.4.6: a small, cheap memory
+// (hierarchical-register-file style) holding replica results instead of the
+// physical register file. Two write ports from the functional units, two
+// read ports toward the register file, and twice the register-file latency.
+// Values move into the register file through copy micro-ops inserted when a
+// validation instruction decodes.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace cfir::ci {
+
+class SpecDataMemory {
+ public:
+  SpecDataMemory(uint32_t slots, uint32_t latency, uint32_t read_ports,
+                 uint32_t write_ports);
+
+  [[nodiscard]] int alloc();          ///< -1 when full
+  void free_slot(int slot);
+  [[nodiscard]] uint32_t free_count() const {
+    return static_cast<uint32_t>(free_.size());
+  }
+  [[nodiscard]] uint32_t size() const {
+    return static_cast<uint32_t>(values_.size());
+  }
+  [[nodiscard]] uint32_t in_use() const { return size() - free_count(); }
+  [[nodiscard]] uint32_t latency() const { return latency_; }
+
+  void write(int slot, uint64_t value) {
+    values_[static_cast<size_t>(slot)] = value;
+  }
+  [[nodiscard]] uint64_t read(int slot) const {
+    return values_[static_cast<size_t>(slot)];
+  }
+
+  /// Write-port arbitration: earliest cycle >= `cycle` with a free write
+  /// port; books it.
+  [[nodiscard]] uint64_t book_write(uint64_t cycle);
+  /// Read-port arbitration for copy micro-ops: true when a read port is
+  /// available at `cycle` (books it).
+  [[nodiscard]] bool try_book_read(uint64_t cycle);
+
+ private:
+  uint32_t latency_;
+  uint32_t read_ports_;
+  uint32_t write_ports_;
+  std::vector<uint64_t> values_;
+  std::vector<int> free_;
+  std::unordered_map<uint64_t, uint32_t> writes_at_;
+  std::unordered_map<uint64_t, uint32_t> reads_at_;
+  uint64_t gc_watermark_ = 0;
+};
+
+}  // namespace cfir::ci

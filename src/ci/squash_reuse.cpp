@@ -1,0 +1,105 @@
+#include "ci/squash_reuse.hpp"
+
+namespace cfir::ci {
+
+using core::DynInst;
+using isa::Opcode;
+
+namespace {
+/// Only simple register-to-register computations are reusable: loads would
+/// need memory invalidation, branches/stores have no register result.
+bool reusable(const isa::Instruction& inst) {
+  const Opcode op = inst.op;
+  if (!isa::has_dest(op)) return false;
+  if (isa::is_mem(op) || isa::is_branch(op)) return false;
+  if (op == Opcode::kCall) return false;
+  return true;
+}
+}  // namespace
+
+SquashReuseMechanism::SquashReuseMechanism(const core::CoreConfig& cfg)
+    : cfg_(cfg), nrbq_(cfg.nrbq_entries) {
+  uint32_t n = 1;
+  while (n < cfg.squash_reuse_entries) n <<= 1;
+  buffer_.assign(n, BufferEntry{});
+}
+
+void SquashReuseMechanism::attach(core::Core& core) { core_ = &core; }
+
+void SquashReuseMechanism::on_decode(DynInst& di) {
+  nrbq_.observe_pc(di.pc);
+  if (!reusable(di.inst)) return;
+  BufferEntry& e = buffer_[index_of(di.pc)];
+  if (!e.valid || e.pc != di.pc || !(e.inst == di.inst)) return;
+  // Value-based reuse test: both operands must be ready with the captured
+  // values (conservative but exact).
+  auto value_ok = [&](bool reads, int ps, uint64_t captured) {
+    if (!reads) return true;
+    return ps >= 0 && core_->regfile().ready(ps) &&
+           core_->regfile().value(ps) == captured;
+  };
+  if (!value_ok(isa::reads_rs1(di.inst.op), di.ps1, e.v1)) return;
+  if (!value_ok(isa::reads_rs2(di.inst.op), di.ps2, e.v2)) return;
+  di.mech.squash_reused = true;
+  di.mech.squash_value = e.result;
+  e.valid = false;  // one-shot
+  ++hits_;
+}
+
+void SquashReuseMechanism::on_renamed(DynInst& di) {
+  if (di.is_cond_branch) {
+    const uint64_t rp =
+        estimate_reconvergence_point(core_->program(), di.pc, di.inst);
+    nrbq_.push(di.seq, di.pc, rp);
+  }
+  if (di.has_dest) nrbq_.on_dest_write(di.inst.rd);
+}
+
+void SquashReuseMechanism::on_mispredict_pre(DynInst& di) {
+  capture_active_ = false;
+  if (!di.is_cond_branch) return;
+  if (!core_->mbs().is_hard(di.pc)) return;
+  ++core_->stats().hard_mispredicts;
+  const NrbqEntry* entry = nrbq_.find(di.seq);
+  if (entry == nullptr) return;
+  capture_active_ = true;
+  capture_rp_ = entry->rp_pc;
+  capture_mask_ = nrbq_.mask_of(di.seq);
+}
+
+void SquashReuseMechanism::on_branch_resolved(DynInst& /*di*/,
+                                              bool mispredicted) {
+  if (mispredicted) capture_active_ = false;
+}
+
+void SquashReuseMechanism::on_squash(DynInst& di) {
+  if (di.is_cond_branch) nrbq_.on_branch_squash(di.seq);
+  if (!capture_active_ || !di.completed || !reusable(di.inst)) return;
+  if (di.pc < capture_rp_) return;  // before the re-convergent point
+  // Control independent: no source register written between the branch and
+  // the re-convergent point (CRP mask test, section 2.3.2).
+  if (isa::reads_rs1(di.inst.op) &&
+      (capture_mask_ & (uint64_t{1} << di.inst.rs1)) != 0) {
+    return;
+  }
+  if (isa::reads_rs2(di.inst.op) &&
+      (capture_mask_ & (uint64_t{1} << di.inst.rs2)) != 0) {
+    return;
+  }
+  BufferEntry& e = buffer_[index_of(di.pc)];
+  e.valid = true;
+  e.pc = di.pc;
+  e.inst = di.inst;
+  e.v1 = di.v1;
+  e.v2 = di.v2;
+  e.result = di.result;
+}
+
+void SquashReuseMechanism::on_commit(DynInst& di) {
+  if (di.is_cond_branch) nrbq_.on_branch_commit(di.seq);
+  if (di.mech.squash_reused) ++core_->stats().reused_committed;
+}
+
+bool SquashReuseMechanism::on_store_commit(DynInst& /*di*/) { return false; }
+
+}  // namespace cfir::ci

@@ -1,0 +1,62 @@
+// Squash-reuse baseline ("ci-iw" in Figure 10): control independence is
+// exploited only for instructions that were already inside the window when
+// the misprediction was detected. On a hard misprediction the squashed
+// control-independent instructions (past the estimated re-convergent point,
+// operands untouched between branch and RP) deposit their results in a
+// PC-indexed reuse buffer; when the same PC is refetched down the correct
+// path with identical operand values, the result is reused without
+// execution (Sodani/Sohi-style value-based reuse test, reference [19]).
+//
+// No pre-execution happens: this is exactly the "ci-iw" restriction the
+// paper uses to isolate the value of executing beyond the window.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ci/reconvergence.hpp"
+#include "core/pipeline.hpp"
+
+namespace cfir::ci {
+
+class SquashReuseMechanism : public core::Mechanism {
+ public:
+  explicit SquashReuseMechanism(const core::CoreConfig& cfg);
+
+  void attach(core::Core& core) override;
+  void on_decode(core::DynInst& di) override;
+  void on_renamed(core::DynInst& di) override;
+  void on_mispredict_pre(core::DynInst& di) override;
+  void on_branch_resolved(core::DynInst& di, bool mispredicted) override;
+  void on_squash(core::DynInst& di) override;
+  void on_commit(core::DynInst& di) override;
+  bool on_store_commit(core::DynInst& di) override;
+
+  [[nodiscard]] const Nrbq& nrbq() const { return nrbq_; }
+  [[nodiscard]] uint64_t buffer_hits() const { return hits_; }
+
+ private:
+  struct BufferEntry {
+    bool valid = false;
+    uint64_t pc = 0;
+    isa::Instruction inst;
+    uint64_t v1 = 0, v2 = 0;
+    uint64_t result = 0;
+  };
+  [[nodiscard]] size_t index_of(uint64_t pc) const {
+    return (pc >> 2) & (buffer_.size() - 1);
+  }
+
+  core::CoreConfig cfg_;
+  core::Core* core_ = nullptr;
+  Nrbq nrbq_;
+  std::vector<BufferEntry> buffer_;
+  // Active squash context (set between on_mispredict_pre and
+  // on_branch_resolved of a hard mispredicted branch).
+  bool capture_active_ = false;
+  uint64_t capture_rp_ = 0;
+  uint64_t capture_mask_ = 0;
+  uint64_t hits_ = 0;
+};
+
+}  // namespace cfir::ci

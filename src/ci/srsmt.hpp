@@ -1,0 +1,189 @@
+// SRSMT — Scalar Register Set Map Table, paper Figure 6 and sections
+// 2.3.3-2.3.4. A 4-way x 64-set PC-indexed table; each entry manages the
+// ring of speculative replicas of one vectorized instruction:
+//
+//   PC | set of registers | Nregs | decode | commit | issue | seq1 | seq2 |
+//   DAEC | address range
+//
+// Replica index k (absolute, monotonically increasing) corresponds to the
+// k-th dynamic instance of the instruction after the entry's anchor; for
+// loads its address is anchor + stride*(k+1). Every decoded instance of the
+// PC consumes one index so the ring stays aligned with the instance stream;
+// a validation that cannot reuse (replica not materialized yet) simply
+// executes normally and retires its index at commit.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "isa/isa.hpp"
+
+namespace cfir::ci {
+
+inline constexpr uint32_t kInvalidSrsmtSlot =
+    std::numeric_limits<uint32_t>::max();
+
+/// One speculative replica (a ring element of an entry).
+struct Replica {
+  enum class State : uint8_t {
+    kEmpty,    ///< not materialized (no register/slot allocated)
+    kWaiting,  ///< waiting for producer ring values
+    kReady,    ///< operands available, eligible for issue
+    kIssued,   ///< executing
+    kDone,     ///< value produced
+  };
+  State state = State::kEmpty;
+  uint64_t abs_index = 0;
+  int phys_reg = -1;        ///< monolithic register file mode
+  int spec_slot = -1;       ///< speculative-data-memory mode
+  uint64_t value = 0;       ///< kept in the ring for consumer entries
+  uint64_t addr = 0;        ///< loads
+  bool consumed = false;    ///< a committed validation took the register
+  uint8_t waiting_ops = 0;  ///< producers still pending (arith)
+  // Operand values are latched when the replica becomes ready, so ring
+  // wraparound of a producer can never corrupt an already-armed replica.
+  uint64_t captured_a = 0;
+  uint64_t captured_b = 0;
+};
+
+/// Operand descriptor — the paper's seq1/seq2 fields: either the PC (and
+/// entry identity) of a vectorized producer or a captured scalar value.
+struct SrsmtOperand {
+  bool present = false;
+  bool is_vector = false;
+  bool is_self = false;  ///< recurrence: replica k reads own replica k-1
+                         ///< (the paper's I11 "ADD R4,R4,R0" needs this —
+                         ///< its seq1 is its own PC)
+  uint64_t producer_pc = 0;
+  uint32_t producer_slot = kInvalidSrsmtSlot;
+  uint32_t producer_uid = 0;
+  uint64_t index_offset = 0;  ///< producer ring index = own index + offset
+  uint64_t scalar_value = 0;
+};
+
+struct SrsmtEntry {
+  bool valid = false;
+  uint32_t uid = 0;  ///< generation id; consumers check it before reading
+  uint64_t pc = 0;
+  isa::Instruction inst;
+  bool is_load = false;
+
+  // Load stream state.
+  int64_t stride = 0;
+  uint64_t base_addr = 0;  ///< address of the anchor instance
+  bool anchored = false;   ///< anchor valid (set at the creator's commit)
+  uint64_t anchor_value = 0;  ///< creator's committed result (self chains)
+
+  // Operands (arith).
+  SrsmtOperand op1, op2;
+
+  // Counters (Figure 6). Absolute indices; ring position = index % Nregs.
+  uint64_t decode_count = 0;   ///< indices handed to decoded instances
+  uint64_t commit_count = 0;   ///< indices retired by committed instances
+  uint64_t materialized = 0;   ///< replicas created (high-water index)
+  uint32_t issue_count = 0;    ///< replicas currently executing
+  uint32_t daec = 0;           ///< Dead Association Elimination Counter
+  uint64_t lru = 0;
+  uint64_t origin_branch_pc = 0;  ///< selecting hard branch (Figure 5 credit)
+  bool mat_pending = false;    ///< materialization stalled (no registers)
+  bool poisoned = false;       ///< ring desynced from the architectural
+                               ///< stream; no new reuses or replicas, the
+                               ///< entry is released once it drains
+
+  std::vector<Replica> ring;              ///< Nregs elements
+  std::vector<uint32_t> consumer_slots;   ///< entries whose operands read us
+
+  [[nodiscard]] uint32_t nregs() const {
+    return static_cast<uint32_t>(ring.size());
+  }
+  [[nodiscard]] Replica& at(uint64_t abs) { return ring[abs % ring.size()]; }
+  [[nodiscard]] const Replica& at(uint64_t abs) const {
+    return ring[abs % ring.size()];
+  }
+  /// Whether ring position for `abs` currently holds that absolute index.
+  [[nodiscard]] bool holds(uint64_t abs) const {
+    const Replica& r = at(abs);
+    return r.state != Replica::State::kEmpty && r.abs_index == abs;
+  }
+  /// Predicted address of replica `abs` (loads).
+  [[nodiscard]] uint64_t addr_of(uint64_t abs) const {
+    return base_addr + static_cast<uint64_t>(stride) * (abs + 1);
+  }
+  /// Deallocation eligibility, paper 2.3.3: no in-flight validations and no
+  /// replicas executing.
+  [[nodiscard]] bool deallocatable() const {
+    return decode_count == commit_count && issue_count == 0;
+  }
+};
+
+/// The table proper.
+class Srsmt {
+ public:
+  Srsmt(uint32_t sets, uint32_t ways, uint32_t replicas_per_entry);
+
+  [[nodiscard]] uint32_t find(uint64_t pc) const;  ///< slot or kInvalidSrsmtSlot
+  /// Allocates a slot for `pc`: free way first, then a deallocatable LRU
+  /// victim (whose resources the caller must have released via the
+  /// `release` callback passed here). Returns kInvalidSrsmtSlot if none.
+  template <typename ReleaseFn>
+  uint32_t alloc(uint64_t pc, ReleaseFn&& release) {
+    const uint32_t set = set_of(pc);
+    const uint32_t base = set * ways_;
+    uint32_t victim = kInvalidSrsmtSlot;
+    for (uint32_t w = 0; w < ways_; ++w) {
+      SrsmtEntry& e = entries_[base + w];
+      if (!e.valid) { victim = base + w; break; }
+    }
+    if (victim == kInvalidSrsmtSlot) {
+      uint64_t best_lru = ~uint64_t{0};
+      for (uint32_t w = 0; w < ways_; ++w) {
+        SrsmtEntry& e = entries_[base + w];
+        if (e.deallocatable() && e.lru < best_lru) {
+          best_lru = e.lru;
+          victim = base + w;
+        }
+      }
+      if (victim == kInvalidSrsmtSlot) return kInvalidSrsmtSlot;
+      release(victim);
+    }
+    SrsmtEntry& e = entries_[victim];
+    const uint32_t ways_keep = replicas_;
+    e = SrsmtEntry{};
+    e.ring.assign(ways_keep, Replica{});
+    e.valid = true;
+    e.pc = pc;
+    e.uid = ++uid_counter_;
+    e.lru = ++stamp_;
+    return victim;
+  }
+
+  [[nodiscard]] SrsmtEntry& entry(uint32_t slot) { return entries_[slot]; }
+  [[nodiscard]] const SrsmtEntry& entry(uint32_t slot) const {
+    return entries_[slot];
+  }
+  [[nodiscard]] uint32_t num_slots() const {
+    return static_cast<uint32_t>(entries_.size());
+  }
+  void touch(uint32_t slot) { entries_[slot].lru = ++stamp_; }
+
+  /// Section 3.1: 4 ways * 64 sets * 45 bytes = 11520 bytes.
+  [[nodiscard]] uint64_t storage_bytes() const {
+    return static_cast<uint64_t>(sets_) * ways_ * 45;
+  }
+
+ private:
+  [[nodiscard]] uint32_t set_of(uint64_t pc) const {
+    return static_cast<uint32_t>(pc >> 2) & (sets_ - 1);
+  }
+
+  uint32_t sets_;
+  uint32_t ways_;
+  uint32_t replicas_;
+  uint64_t stamp_ = 0;
+  uint32_t uid_counter_ = 0;
+  std::vector<SrsmtEntry> entries_;
+};
+
+}  // namespace cfir::ci

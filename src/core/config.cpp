@@ -1,0 +1,28 @@
+#include "core/config.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace cfir::core {
+
+std::string CoreConfig::label() const {
+  std::ostringstream os;
+  switch (policy) {
+    case Policy::kNone: os << (wide_bus ? "wb" : "scal"); break;
+    case Policy::kCi: os << (use_spec_memory ? "ci-h" : "ci"); break;
+    case Policy::kCiWindow: os << "ci-iw"; break;
+    case Policy::kVect: os << "vect"; break;
+  }
+  os << cache_ports << "p/" << num_phys_regs << "r";
+  if (policy == Policy::kCi || policy == Policy::kVect) {
+    os << "/" << replicas << "rep";
+  }
+  if (use_spec_memory) os << "/" << spec_memory_slots << "slots";
+  return os.str();
+}
+
+void CoreConfig::scale_window_to_regs() {
+  rob_size = std::max<uint32_t>(256, num_phys_regs);
+}
+
+}  // namespace cfir::core

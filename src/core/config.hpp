@@ -1,0 +1,95 @@
+// Processor configuration. Defaults reproduce Table 1 of the paper:
+// 8-wide fetch/issue/commit, 256-entry window, gshare 64K, 64-entry LSQ,
+// and the three-level cache hierarchy. Mechanism-specific knobs (replica
+// count, stridedPC width, speculative data memory) live here too so that a
+// single struct describes a full experiment point.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "mem/hierarchy.hpp"
+
+namespace cfir::core {
+
+/// Which speculation mechanism runs on top of the baseline core.
+enum class Policy : uint8_t {
+  kNone,        ///< plain superscalar (scalXp)
+  kCi,          ///< the paper's control-independence scheme (ciXp)
+  kCiWindow,    ///< squash reuse: CI only inside the window (ci-iw)
+  kVect,        ///< full-blown dynamic vectorization of ref. [12] (vect)
+};
+
+struct CoreConfig {
+  // --- front end -----------------------------------------------------------
+  uint32_t fetch_width = 8;        ///< up to 1 taken branch per cycle
+  uint32_t decode_width = 8;
+  uint32_t recovery_penalty = 5;   ///< cycles from resolve to first refetch
+
+  // --- window / issue --------------------------------------------------------
+  uint32_t rob_size = 256;         ///< instruction window (Table 1)
+  uint32_t issue_width = 8;
+  uint32_t commit_width = 8;
+  uint32_t lsq_size = 64;
+
+  // --- physical registers ----------------------------------------------------
+  // Paper sweeps 128/256/512/768/"infinite". The window automatically grows
+  // with the register file above 256 (section 3.2); presets handle this.
+  uint32_t num_phys_regs = 256;
+
+  // --- functional units (latency in cycles, Table 1) -------------------------
+  uint32_t simple_int_units = 6;
+  uint32_t int_alu_latency = 1;
+  uint32_t muldiv_units = 3;
+  uint32_t mul_latency = 2;
+  uint32_t div_latency = 12;
+  uint32_t branch_latency = 1;
+
+  // --- memory ---------------------------------------------------------------
+  uint32_t cache_ports = 1;        ///< L1D ports (paper sweeps 1 and 2)
+  bool wide_bus = false;           ///< line-wide port, <=4 loads per access
+  uint32_t wide_bus_loads_per_access = 4;
+  uint32_t agu_latency = 1;
+  mem::HierarchyConfig memory;
+
+  // --- branch prediction ------------------------------------------------------
+  uint32_t gshare_entries = 64 * 1024;
+  uint32_t gshare_history_bits = 16;
+
+  // --- mechanism (sections 2.3-2.4) -------------------------------------------
+  Policy policy = Policy::kNone;
+  uint32_t replicas = 4;             ///< speculative instances per instruction
+  uint32_t stridedpc_per_entry = 2;  ///< propagated PCs per rename entry (Fig 4)
+  uint32_t srsmt_sets = 64;          ///< 4-way (Table 1)
+  uint32_t srsmt_ways = 4;
+  uint32_t stride_sets = 256;        ///< 4-way (Table 1)
+  uint32_t stride_ways = 4;
+  uint32_t mbs_sets = 64;
+  uint32_t mbs_ways = 4;
+  uint32_t nrbq_entries = 16;
+  uint32_t daec_threshold = 2;
+  uint32_t ci_select_window = 32;    ///< instructions inspected past the
+                                     ///< re-convergent point (see DESIGN.md)
+  uint32_t replica_reg_reserve = 16; ///< free registers kept for rename
+  // Squash-reuse buffer (ci-iw baseline).
+  uint32_t squash_reuse_entries = 256;
+
+  // --- speculative data memory (section 2.4.6) --------------------------------
+  bool use_spec_memory = false;
+  uint32_t spec_memory_slots = 768;
+  uint32_t spec_memory_latency = 2;  ///< twice the register file
+  uint32_t spec_memory_read_ports = 2;
+  uint32_t spec_memory_write_ports = 2;
+
+  // --- liveness guard ---------------------------------------------------------
+  uint64_t watchdog_cycles = 2000;   ///< rename-starvation reclaim threshold
+  uint64_t deadlock_cycles = 200000; ///< hard failure (indicates a bug)
+
+  /// Short label such as "ci2p/256r" used in tables.
+  [[nodiscard]] std::string label() const;
+
+  /// Applies the paper's rule that the window scales with registers >256.
+  void scale_window_to_regs();
+};
+
+}  // namespace cfir::core

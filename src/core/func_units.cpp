@@ -1,0 +1,48 @@
+#include "core/func_units.hpp"
+
+namespace cfir::core {
+
+bool FuPool::try_reserve(isa::Opcode op) {
+  switch (isa::fu_class(op)) {
+    case isa::FuClass::kIntAlu:
+    case isa::FuClass::kBranch:
+      if (simple_int_ == 0) return false;
+      --simple_int_;
+      return true;
+    case isa::FuClass::kIntMul:
+    case isa::FuClass::kIntDiv:
+      if (muldiv_ == 0) return false;
+      --muldiv_;
+      return true;
+    case isa::FuClass::kMem:
+      // Address generation shares the memory path; ports are handled by the
+      // memory stage, so dispatching the AGU op is free here.
+      return true;
+    case isa::FuClass::kNone:
+      return true;
+  }
+  return true;
+}
+
+bool FuPool::try_reserve_mem_port() {
+  if (mem_ports_ == 0) return false;
+  --mem_ports_;
+  return true;
+}
+
+uint32_t FuPool::latency(isa::Opcode op) const {
+  switch (isa::fu_class(op)) {
+    case isa::FuClass::kIntAlu: return cfg_.int_alu_latency;
+    case isa::FuClass::kBranch: return cfg_.branch_latency;
+    case isa::FuClass::kIntMul: return cfg_.mul_latency;
+    case isa::FuClass::kIntDiv:
+      return op == isa::Opcode::kDiv || op == isa::Opcode::kRem
+                 ? cfg_.div_latency
+                 : cfg_.mul_latency;
+    case isa::FuClass::kMem: return cfg_.agu_latency;
+    case isa::FuClass::kNone: return 1;
+  }
+  return 1;
+}
+
+}  // namespace cfir::core

@@ -1,0 +1,41 @@
+// Per-cycle functional-unit availability (fully pipelined pools, Table 1).
+#pragma once
+
+#include <cstdint>
+
+#include "core/config.hpp"
+#include "isa/isa.hpp"
+
+namespace cfir::core {
+
+class FuPool {
+ public:
+  explicit FuPool(const CoreConfig& cfg) : cfg_(cfg) { new_cycle(); }
+
+  void new_cycle() {
+    simple_int_ = cfg_.simple_int_units;
+    muldiv_ = cfg_.muldiv_units;
+    mem_ports_ = cfg_.cache_ports;
+  }
+
+  [[nodiscard]] uint32_t simple_int_left() const { return simple_int_; }
+  [[nodiscard]] uint32_t muldiv_left() const { return muldiv_; }
+  [[nodiscard]] uint32_t mem_ports_left() const { return mem_ports_; }
+
+  /// Attempts to reserve the FU needed by `op` (memory ports are reserved
+  /// separately by the memory stage). Returns false when the pool is empty.
+  bool try_reserve(isa::Opcode op);
+  bool try_reserve_mem_port();
+  void give_back_mem_port() { ++mem_ports_; }
+
+  /// Execution latency of `op` excluding cache time.
+  [[nodiscard]] uint32_t latency(isa::Opcode op) const;
+
+ private:
+  const CoreConfig& cfg_;
+  uint32_t simple_int_ = 0;
+  uint32_t muldiv_ = 0;
+  uint32_t mem_ports_ = 0;
+};
+
+}  // namespace cfir::core

@@ -1,0 +1,57 @@
+#include "core/lsq.hpp"
+
+namespace cfir::core {
+
+bool LoadStoreQueue::push(const LsqEntry& e) {
+  if (full()) return false;
+  entries_.push_back(e);
+  return true;
+}
+
+void LoadStoreQueue::pop_front() {
+  if (!entries_.empty()) entries_.pop_front();
+}
+
+void LoadStoreQueue::squash_younger(uint64_t seq) {
+  while (!entries_.empty() && entries_.back().seq > seq) entries_.pop_back();
+}
+
+LsqEntry* LoadStoreQueue::find(uint64_t seq) {
+  for (auto& e : entries_) {
+    if (e.seq == seq) return &e;
+  }
+  return nullptr;
+}
+
+bool LoadStoreQueue::older_store_addrs_known(uint64_t seq) const {
+  for (const auto& e : entries_) {
+    if (e.seq >= seq) break;
+    if (e.is_store && !e.addr_known) return false;
+  }
+  return true;
+}
+
+LoadStoreQueue::ForwardResult LoadStoreQueue::try_forward(
+    uint64_t seq, uint64_t addr, int size, uint64_t& value_out) const {
+  // Scan youngest-to-oldest among older stores; the first overlap decides.
+  for (auto it = entries_.rbegin(); it != entries_.rend(); ++it) {
+    const LsqEntry& e = *it;
+    if (e.seq >= seq || !e.is_store) continue;
+    if (!e.addr_known) return ForwardResult::kConflict;
+    const uint64_t a0 = addr, a1 = addr + static_cast<uint64_t>(size);
+    const uint64_t b0 = e.addr, b1 = e.addr + static_cast<uint64_t>(e.size);
+    const bool overlap = a0 < b1 && b0 < a1;
+    if (!overlap) continue;
+    const bool contained = b0 <= a0 && a1 <= b1;
+    if (!contained || !e.value_known) return ForwardResult::kConflict;
+    // Extract the requested bytes out of the store's value.
+    const uint64_t shift = 8 * (a0 - b0);
+    uint64_t v = e.value >> shift;
+    if (size < 8) v &= (uint64_t{1} << (8 * size)) - 1;
+    value_out = v;
+    return ForwardResult::kForwarded;
+  }
+  return ForwardResult::kNone;
+}
+
+}  // namespace cfir::core

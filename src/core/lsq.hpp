@@ -1,0 +1,57 @@
+// Load/store queue with store-to-load forwarding and conservative
+// disambiguation (Table 1: "loads may execute when prior store addresses
+// are known").
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+
+namespace cfir::core {
+
+struct LsqEntry {
+  uint64_t seq = 0;
+  bool is_store = false;
+  bool addr_known = false;
+  bool value_known = false;  ///< stores: data operand computed
+  uint64_t addr = 0;
+  int size = 0;
+  uint64_t value = 0;
+  uint32_t rob_slot = 0;
+};
+
+class LoadStoreQueue {
+ public:
+  explicit LoadStoreQueue(uint32_t capacity) : capacity_(capacity) {}
+
+  [[nodiscard]] bool full() const { return entries_.size() >= capacity_; }
+  [[nodiscard]] size_t size() const { return entries_.size(); }
+
+  /// Appends in program order; returns false when full.
+  bool push(const LsqEntry& e);
+  /// Removes the oldest entry (commit).
+  void pop_front();
+  /// Removes entries younger than `seq` (squash).
+  void squash_younger(uint64_t seq);
+
+  [[nodiscard]] LsqEntry* find(uint64_t seq);
+
+  /// True when every store older than `seq` has a known address — the
+  /// precondition for a load to access memory.
+  [[nodiscard]] bool older_store_addrs_known(uint64_t seq) const;
+
+  enum class ForwardResult { kNone, kForwarded, kConflict };
+  /// Checks the youngest older store overlapping [addr, addr+size).
+  /// kForwarded: full containment, `value_out` holds the bytes.
+  /// kConflict: partial overlap or unknown data — the load must wait.
+  [[nodiscard]] ForwardResult try_forward(uint64_t seq, uint64_t addr, int size,
+                                          uint64_t& value_out) const;
+
+  [[nodiscard]] const std::deque<LsqEntry>& entries() const { return entries_; }
+
+ private:
+  uint32_t capacity_;
+  std::deque<LsqEntry> entries_;
+};
+
+}  // namespace cfir::core

@@ -1,0 +1,189 @@
+// The out-of-order core: an 8-wide, RUU-style superscalar with wrong-path
+// fetch and execution, walk-based rename recovery, an LSQ, a wide-bus
+// memory stage and in-order commit with an architectural recheck.
+//
+// This is the SimpleScalar-sim-outorder-equivalent substrate the paper
+// extends; the control-independence machinery attaches through the
+// Mechanism hook interface (core/types.hpp).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "branch/gshare.hpp"
+#include "branch/mbs.hpp"
+#include "branch/ras.hpp"
+#include "core/config.hpp"
+#include "core/func_units.hpp"
+#include "core/lsq.hpp"
+#include "core/regfile.hpp"
+#include "core/rename.hpp"
+#include "core/types.hpp"
+#include "isa/program.hpp"
+#include "mem/hierarchy.hpp"
+#include "mem/main_memory.hpp"
+#include "stats/stats.hpp"
+
+namespace cfir::core {
+
+class Core {
+ public:
+  /// `mechanism` may be null (plain superscalar). `memory` must already hold
+  /// the program's data image.
+  Core(const CoreConfig& config, const isa::Program& program,
+       mem::MainMemory& memory, Mechanism* mechanism);
+
+  /// Runs until `max_commits` instructions commit, HALT commits, or the
+  /// program runs off its image. Throws std::runtime_error on deadlock
+  /// (which indicates a simulator bug, not a program property).
+  void run(uint64_t max_commits);
+
+  /// Executes a single cycle (tests drive this directly).
+  void step_cycle();
+
+  [[nodiscard]] bool halted() const { return halted_; }
+  [[nodiscard]] uint64_t cycle() const { return cycle_; }
+  [[nodiscard]] const stats::SimStats& stats() const { return stats_; }
+  [[nodiscard]] stats::SimStats& stats() { return stats_; }
+
+  // --- architectural state (commit order) ---------------------------------
+  [[nodiscard]] uint64_t arch_reg(int logical) const {
+    return arch_regs_[static_cast<size_t>(logical)];
+  }
+
+  // --- services used by the attached mechanism -----------------------------
+  [[nodiscard]] const CoreConfig& config() const { return cfg_; }
+  [[nodiscard]] const isa::Program& program() const { return program_; }
+  [[nodiscard]] mem::MainMemory& memory() { return mem_; }
+  [[nodiscard]] mem::CacheHierarchy& hierarchy() { return hierarchy_; }
+  [[nodiscard]] PhysRegFile& regfile() { return regfile_; }
+  [[nodiscard]] branch::MbsTable& mbs() { return mbs_; }
+  [[nodiscard]] int rename_lookup(int logical) const {
+    return rename_.lookup(logical);
+  }
+
+  /// Mechanism wrote `phys` (replica result): wake anything waiting on it.
+  void replica_written(int phys);
+
+  /// Mechanism signals the copy source of a waiting reused instruction is
+  /// now available.
+  void wake_copy(uint32_t rob_slot, uint64_t seq);
+
+  /// Timed load issued by the replica engine. Honours wide-bus batching and
+  /// port limits for the current cycle; returns false when no port (or
+  /// batching slot) is available. On success `latency_out` is the cycles
+  /// until data availability.
+  bool try_replica_load_access(uint64_t addr, uint32_t& latency_out);
+
+  /// Remaining L1D ports this cycle (after scalar issue).
+  [[nodiscard]] uint32_t mem_ports_left() const {
+    return fu_.mem_ports_left();
+  }
+
+ private:
+  struct Event {
+    uint64_t when;
+    uint64_t seq;
+    uint32_t slot;
+    bool operator>(const Event& o) const {
+      return when != o.when ? when > o.when : seq > o.seq;
+    }
+  };
+  struct Waiter {
+    uint32_t slot;
+    uint64_t seq;
+  };
+
+  // Stages (executed in this order each cycle).
+  void commit_stage();
+  void writeback_stage();
+  void issue_stage();
+  void fetch_stage();
+
+  // Helpers.
+  [[nodiscard]] DynInst& at(uint32_t slot) { return rob_[slot]; }
+  [[nodiscard]] bool slot_live(uint32_t slot, uint64_t seq) const;
+  [[nodiscard]] uint32_t rob_tail_slot() const;
+  void dispatch(DynInst di);
+  bool try_issue(uint32_t slot);
+  bool issue_mem(DynInst& di);
+  void execute(DynInst& di, uint32_t slot, uint32_t latency);
+  void complete(uint32_t slot);
+  void resolve_branch(uint32_t slot);
+  void schedule_completion(uint32_t slot, uint64_t seq, uint64_t when);
+  void add_waiter(int phys, uint32_t slot, uint64_t seq);
+  void wake_reg(int phys);
+  /// Squashes everything strictly younger than `seq` and redirects fetch.
+  void recover_to(uint64_t seq, uint64_t new_fetch_pc, uint64_t resume_delay);
+  void squash_younger(uint64_t seq);
+  /// Architectural recheck of the head instruction; returns false and
+  /// triggers recovery when the executed result is not architectural.
+  bool commit_check(DynInst& di);
+  void apply_commit(DynInst& di);
+
+  // --- configuration and attached subsystems --------------------------------
+  CoreConfig cfg_;
+  const isa::Program& program_;
+  mem::MainMemory& mem_;
+  Mechanism* mech_;
+  mem::CacheHierarchy hierarchy_;
+  branch::Gshare gshare_;
+  branch::ReturnAddressStack ras_;
+  branch::MbsTable mbs_;
+  PhysRegFile regfile_;
+  RenameMap rename_;
+  LoadStoreQueue lsq_;
+  FuPool fu_;
+  stats::SimStats stats_;
+
+  // --- ROB ring --------------------------------------------------------------
+  std::vector<DynInst> rob_;
+  uint32_t rob_head_ = 0;
+  uint32_t rob_count_ = 0;
+
+  // --- wakeup/select ----------------------------------------------------------
+  std::vector<std::vector<Waiter>> reg_waiters_;  ///< per physical register
+  using ReadyQueue =
+      std::priority_queue<std::pair<uint64_t, uint32_t>,
+                          std::vector<std::pair<uint64_t, uint32_t>>,
+                          std::greater<>>;
+  ReadyQueue ready_q_;                    ///< (seq, slot), lazy-validated
+  std::vector<std::pair<uint64_t, uint32_t>> stalled_mem_;  ///< LSQ retries
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> events_;
+
+  // --- wide-bus line buffers -----------------------------------------------
+  // A wide access reads the whole line into a short-lived buffer; up to
+  // cfg.wide_bus_loads_per_access loads can be served from it (section
+  // 2.4.5) within a small window, without extra cache accesses or ports.
+  struct LineAccess {
+    uint64_t ready_cycle;
+    uint32_t uses;
+    uint64_t expire_cycle;
+  };
+  std::unordered_map<uint64_t, LineAccess> line_buffer_;
+  static constexpr uint64_t kLineBufferWindow = 8;
+  bool line_buffer_lookup(uint64_t line, uint32_t& latency_out);
+  void line_buffer_insert(uint64_t line, uint32_t latency);
+
+  // --- fetch -------------------------------------------------------------------
+  uint64_t fetch_pc_ = 0;
+  uint64_t fetch_resume_cycle_ = 0;
+  bool fetch_stalled_ = false;  ///< ran off the image / hit HALT; waits redirect
+  uint64_t last_fetch_line_ = ~uint64_t{0};
+  uint64_t next_seq_ = 1;
+
+  // --- architectural ------------------------------------------------------------
+  std::array<uint64_t, isa::kNumLogicalRegs> arch_regs_{};
+  uint64_t cycle_ = 0;
+  bool halted_ = false;
+  uint64_t committed_target_ = UINT64_MAX;
+  uint64_t last_commit_cycle_ = 0;
+  uint64_t rename_starved_since_ = 0;
+  uint32_t stores_committed_this_cycle_ = 0;
+  uint32_t commit_slots_used_ = 0;
+};
+
+}  // namespace cfir::core

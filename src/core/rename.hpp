@@ -1,0 +1,33 @@
+// Logical-to-physical rename map. Recovery is walk-based: each DynInst
+// records the mapping it replaced, and squash restores youngest-first.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "isa/isa.hpp"
+
+namespace cfir::core {
+
+class RenameMap {
+ public:
+  RenameMap() { map_.fill(-1); }
+
+  [[nodiscard]] int lookup(int logical) const {
+    return map_[static_cast<size_t>(logical)];
+  }
+  /// Installs a new mapping; returns the replaced physical register.
+  int remap(int logical, int phys) {
+    const int old = map_[static_cast<size_t>(logical)];
+    map_[static_cast<size_t>(logical)] = phys;
+    return old;
+  }
+  void restore(int logical, int phys) {
+    map_[static_cast<size_t>(logical)] = phys;
+  }
+
+ private:
+  std::array<int, isa::kNumLogicalRegs> map_;
+};
+
+}  // namespace cfir::core

@@ -1,0 +1,194 @@
+// Dynamic-instruction record and the mechanism hook interface through which
+// the paper's control-independence machinery (src/ci) plugs into the core.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+
+#include "branch/ras.hpp"
+#include "isa/isa.hpp"
+
+namespace cfir::core {
+
+inline constexpr int kNoReg = -1;
+inline constexpr uint32_t kInvalidSlot = std::numeric_limits<uint32_t>::max();
+
+/// Per-instruction bookkeeping owned by the attached mechanism. The fields
+/// mirror the rename-map extension of the paper (Figure 7) so that squash
+/// recovery can restore the extension exactly like the rename map proper.
+struct MechInfo {
+  // Previous rename-extension state of the destination logical register
+  // (restored youngest-first on squash).
+  std::array<uint64_t, 4> prev_strided_pcs{};
+  uint8_t prev_strided_count = 0;
+  bool prev_vs = false;            ///< previous V/S flag (Figure 7)
+  uint64_t prev_seq_pc = 0;        ///< previous producer PC ("sequence")
+  uint32_t prev_entry_uid = 0;     ///< previous SRSMT entry uid
+  uint32_t prev_entry_slot = kInvalidSlot;
+  bool ext_saved = false;          ///< above fields are meaningful
+
+  // Reuse state.
+  bool reused = false;             ///< validated against SRSMT; skips execute
+  bool via_copy = false;           ///< spec-memory mode: behaves as copy µop
+  int reuse_phys = kNoReg;         ///< replica register handed to rename
+  uint32_t srsmt_slot = kInvalidSlot;
+  uint32_t entry_uid = 0;
+  uint64_t replica_index = 0;      ///< absolute replica counter consumed
+  bool pd_from_replica = false;    ///< dest phys reg owned by the SRSMT entry
+
+  // Creation state.
+  bool created_entry = false;      ///< this instance allocated the SRSMT entry
+  uint32_t created_slot = kInvalidSlot;
+  uint32_t created_uid = 0;
+
+  // Index bookkeeping: every decoded instance of a vectorized PC consumes a
+  // replica index so the ring stays aligned with the dynamic instance
+  // stream even when individual validations fail softly.
+  bool index_consumed = false;
+
+  // ci-iw (squash reuse) state: the instruction's result was found in the
+  // squash-reuse buffer; the core completes it at dispatch with this value.
+  bool squash_reused = false;
+  uint64_t squash_value = 0;
+};
+
+/// One in-flight instruction (ROB entry).
+struct DynInst {
+  // --- identity -------------------------------------------------------------
+  uint64_t seq = 0;      ///< global fetch order, never reused within a run
+  uint64_t pc = 0;
+  isa::Instruction inst;
+
+  // --- rename ---------------------------------------------------------------
+  int pd = kNoReg;       ///< destination physical register
+  int prev_pd = kNoReg;  ///< mapping replaced at rename (squash restore)
+  int old_pd = kNoReg;   ///< same as prev_pd; freed at commit
+  int ps1 = kNoReg;
+  int ps2 = kNoReg;
+  bool has_dest = false;
+
+  // --- execution ------------------------------------------------------------
+  bool dispatched = false;
+  bool issued = false;
+  bool completed = false;
+  uint64_t v1 = 0, v2 = 0;   ///< operand values captured at issue
+  uint64_t result = 0;
+  uint32_t pending_ops = 0;  ///< unready source operands
+
+  // --- memory ---------------------------------------------------------------
+  bool is_load = false, is_store = false;
+  uint64_t mem_addr = 0;
+  int mem_size = 0;
+  bool addr_known = false;
+  uint64_t store_value = 0;
+  uint32_t lsq_index = kInvalidSlot;
+  bool forwarded = false;
+
+  // --- control --------------------------------------------------------------
+  bool is_branch = false, is_cond_branch = false;
+  bool predicted_taken = false;
+  uint64_t predicted_target = 0;
+  bool actual_taken = false;
+  uint64_t actual_target = 0;
+  bool resolved = false;
+  bool mispredicted = false;
+  uint64_t gshare_snapshot = 0;
+  branch::ReturnAddressStack::Snapshot ras_snapshot;
+  bool has_ras_snapshot = false;
+
+  // --- mechanism ------------------------------------------------------------
+  MechInfo mech;
+
+  [[nodiscard]] bool ready_to_issue() const {
+    return dispatched && !issued && !completed && pending_ops == 0 &&
+           !mech.reused;
+  }
+};
+
+class Core;
+
+/// Per-cycle leftover resources the mechanism may consume for replicas and
+/// copy micro-ops (paper section 2.4.1: speculative instructions have lower
+/// priority than the main thread).
+struct CycleResources {
+  uint32_t issue_slots = 0;
+  uint32_t simple_int = 0;
+  uint32_t muldiv = 0;
+  uint32_t mem_ports = 0;
+};
+
+/// Hook interface implemented by the control-independence mechanism (and by
+/// the vect / ci-iw baselines). The default implementation is a no-op,
+/// giving the plain superscalar.
+class Mechanism {
+ public:
+  virtual ~Mechanism() = default;
+
+  /// Called once the core is constructed.
+  virtual void attach(Core& /*core*/) {}
+
+  /// Decode/rename time, before the destination is renamed. The hook may
+  /// mark `di.mech.reused` (and related fields) to turn the instruction
+  /// into a validation that skips execution, and is where vectorization of
+  /// strided loads / dependents is triggered.
+  virtual void on_decode(DynInst& /*di*/) {}
+
+  /// After the destination has been renamed (`pd` assigned).
+  virtual void on_renamed(DynInst& /*di*/) {}
+
+  /// Called on a misprediction *before* the core squashes younger
+  /// instructions — this is when the CRP captures the OR of the NRBQ masks
+  /// from the mispredicted branch to the tail (paper section 2.3.2), which
+  /// must include the wrong-path branches about to be squashed.
+  virtual void on_mispredict_pre(DynInst& /*di*/) {}
+
+  /// Branch resolution in the backend. `mispredicted` implies the core has
+  /// already squashed younger instructions.
+  virtual void on_branch_resolved(DynInst& /*di*/, bool /*mispredicted*/) {}
+
+  /// The commit-time architectural recheck caught a wrong reused value; the
+  /// mechanism must deallocate the offending SRSMT entry (the instruction
+  /// and everything younger is about to be squashed and refetched).
+  virtual void on_misvalidation(DynInst& /*di*/) {}
+
+  /// Spec-memory mode: is the ring value for this copy µop available now?
+  virtual bool copy_source_ready(const DynInst& /*di*/) { return true; }
+  /// Spec-memory mode: the value is not ready — notify `wake_copy` later.
+  virtual void register_copy_waiter(uint32_t /*rob_slot*/,
+                                    const DynInst& /*di*/) {}
+  /// Spec-memory mode: try to issue the copy µop (read-port arbitration).
+  /// On success fills the data latency and the value read from the ring.
+  virtual bool try_issue_copy(DynInst& /*di*/, uint64_t /*cycle*/,
+                              uint32_t& /*latency*/, uint64_t& /*value*/) {
+    return false;
+  }
+
+  /// Called for every squashed instruction, youngest first.
+  virtual void on_squash(DynInst& /*di*/) {}
+
+  /// In-order commit. For stores this runs *before* the memory write.
+  virtual void on_commit(DynInst& /*di*/) {}
+
+  /// Store at commit: return true when the store address conflicts with a
+  /// vectorized load range (section 2.4.3); the core then squashes younger
+  /// instructions and the mechanism must already have deallocated the entry.
+  virtual bool on_store_commit(DynInst& /*di*/) { return false; }
+
+  /// End-of-cycle: leftover resources for replica execution.
+  virtual void issue_cycle(uint64_t /*cycle*/, CycleResources& /*res*/) {}
+
+  /// Liveness guard: rename starved for cfg.watchdog_cycles; release
+  /// speculatively-held registers.
+  virtual void on_watchdog_reclaim() {}
+
+  /// Extra commit latency for stores (the paper charges one extra cycle
+  /// per store commit when the CI scheme is active, max 2 stores/cycle).
+  [[nodiscard]] virtual uint32_t store_commit_extra_cycles() const { return 0; }
+  [[nodiscard]] virtual uint32_t max_store_commits_per_cycle() const { return 8; }
+
+  /// Called once after the run ends (fold deferred statistics).
+  virtual void finalize() {}
+};
+
+}  // namespace cfir::core

@@ -1,0 +1,87 @@
+#include "isa/interpreter.hpp"
+
+namespace cfir::isa {
+
+Interpreter::Interpreter(const Program& program, mem::MainMemory& memory)
+    : program_(program), mem_(memory), pc_(program.base()) {}
+
+bool Interpreter::step() {
+  if (halted_) return false;
+  const Instruction* inst = program_.try_at(pc_);
+  if (inst == nullptr) {
+    halted_ = true;
+    return false;
+  }
+  const Opcode op = inst->op;
+  uint64_t next_pc = pc_ + kInstBytes;
+  switch (op) {
+    case Opcode::kNop:
+      break;
+    case Opcode::kHalt:
+      halted_ = true;
+      return false;
+    case Opcode::kJmp:
+      next_pc = static_cast<uint64_t>(inst->imm);
+      break;
+    case Opcode::kCall:
+      regs_[kLinkReg] = pc_ + kInstBytes;
+      next_pc = static_cast<uint64_t>(inst->imm);
+      break;
+    case Opcode::kRet:
+      next_pc = regs_[inst->rs1];
+      break;
+    default: {
+      if (is_cond_branch(op)) {
+        const bool taken = eval_branch(op, regs_[inst->rs1], regs_[inst->rs2]);
+        if (taken) next_pc = static_cast<uint64_t>(inst->imm);
+        if (on_branch) on_branch(pc_, taken, next_pc);
+      } else if (is_load(op)) {
+        const uint64_t addr = regs_[inst->rs1] + static_cast<uint64_t>(inst->imm);
+        const int bytes = mem_bytes(op);
+        regs_[inst->rd] = mem_.read(addr, bytes);
+        if (on_mem) on_mem(pc_, addr, bytes, /*is_store=*/false);
+      } else if (is_store(op)) {
+        const uint64_t addr = regs_[inst->rs1] + static_cast<uint64_t>(inst->imm);
+        const int bytes = mem_bytes(op);
+        mem_.write(addr, regs_[inst->rs2], bytes);
+        if (on_mem) on_mem(pc_, addr, bytes, /*is_store=*/true);
+      } else {
+        // ALU.
+        regs_[inst->rd] =
+            eval_alu(op, regs_[inst->rs1], regs_[inst->rs2], inst->imm);
+      }
+      break;
+    }
+  }
+  pc_ = next_pc;
+  ++executed_;
+  return true;
+}
+
+uint64_t Interpreter::run(uint64_t max_insts) {
+  const uint64_t start = executed_;
+  while (executed_ - start < max_insts && step()) {
+  }
+  return executed_ - start;
+}
+
+void load_data_image(const Program& program, mem::MainMemory& memory) {
+  for (const DataSegment& seg : program.data()) {
+    memory.write_block(seg.addr, seg.bytes.data(), seg.bytes.size());
+  }
+}
+
+InterpResult run_program(const Program& program, uint64_t max_insts) {
+  mem::MainMemory memory;
+  load_data_image(program, memory);
+  Interpreter interp(program, memory);
+  interp.run(max_insts);
+  InterpResult r;
+  r.executed = interp.executed();
+  r.halted = interp.halted();
+  r.regs = interp.regs();
+  r.mem_digest = memory.digest();
+  return r;
+}
+
+}  // namespace cfir::isa

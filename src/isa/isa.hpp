@@ -1,0 +1,98 @@
+// Compact 64-bit RISC ISA used by the simulator substrate.
+//
+// The ISA deliberately mirrors the properties the paper's mechanism relies
+// on: 64 logical registers (the NRBQ/CRP masks and the rename-map extension
+// in the paper are sized for 64 logical registers), fixed-size instruction
+// slots so that "the instruction one location above the branch target"
+// (re-convergence heuristic, paper section 2.3.1) is well defined, and
+// absolute branch targets resolved at assembly time.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace cfir::isa {
+
+/// Number of architectural (logical) integer registers.
+inline constexpr int kNumLogicalRegs = 64;
+/// Size of one instruction slot; PCs advance in units of this.
+inline constexpr uint64_t kInstBytes = 4;
+/// Register used as the link register by CALL/RET.
+inline constexpr uint8_t kLinkReg = 63;
+
+/// Operation codes. Arithmetic is 64-bit two's complement (wrapping).
+enum class Opcode : uint8_t {
+  kNop,
+  kHalt,
+  // Register-register ALU.
+  kAdd, kSub, kMul, kDiv, kRem,
+  kAnd, kOr, kXor,
+  kShl, kShr, kSar,
+  kSlt, kSltu, kSeq,
+  kMin, kMax,
+  // Register-immediate ALU.
+  kAddi, kMuli, kAndi, kOri, kXori, kShli, kShrli,
+  kMovi,  ///< rd = imm
+  kMov,   ///< rd = rs1
+  // Memory: address = rs1 + imm. Loads zero-extend sub-word accesses.
+  kLd8, kLd4, kLd2, kLd1,
+  kSt8, kSt4, kSt2, kSt1,
+  // Control. Conditional branches compare rs1 against rs2; target is the
+  // absolute PC held in imm (labels are resolved by the assembler).
+  kBeq, kBne, kBlt, kBge, kBltu, kBgeu,
+  kJmp,   ///< unconditional direct jump to imm
+  kCall,  ///< r63 = pc + 4; jump to imm
+  kRet,   ///< jump to rs1 (predicted via the return address stack)
+  kOpcodeCount,
+};
+
+/// One static instruction. `imm` holds immediates, load/store displacements
+/// and absolute branch targets.
+struct Instruction {
+  Opcode op = Opcode::kNop;
+  uint8_t rd = 0;
+  uint8_t rs1 = 0;
+  uint8_t rs2 = 0;
+  int64_t imm = 0;
+
+  bool operator==(const Instruction&) const = default;
+};
+
+/// Functional-unit class an instruction executes on (latencies are
+/// configured in core::CoreConfig following Table 1 of the paper).
+enum class FuClass : uint8_t {
+  kNone,     ///< nop/halt/jumps resolved at decode
+  kIntAlu,   ///< simple integer
+  kIntMul,
+  kIntDiv,
+  kMem,      ///< loads and stores (address generation + cache access)
+  kBranch,   ///< conditional branches and indirect jumps (use an ALU)
+};
+
+[[nodiscard]] bool has_dest(Opcode op);
+[[nodiscard]] int num_sources(Opcode op);  ///< 0, 1 or 2 register sources
+[[nodiscard]] bool reads_rs1(Opcode op);
+[[nodiscard]] bool reads_rs2(Opcode op);
+[[nodiscard]] bool is_load(Opcode op);
+[[nodiscard]] bool is_store(Opcode op);
+[[nodiscard]] bool is_mem(Opcode op);
+[[nodiscard]] bool is_cond_branch(Opcode op);
+[[nodiscard]] bool is_uncond_branch(Opcode op);  ///< jmp/call/ret
+[[nodiscard]] bool is_branch(Opcode op);         ///< any control transfer
+[[nodiscard]] bool is_indirect(Opcode op);       ///< target comes from a register
+[[nodiscard]] FuClass fu_class(Opcode op);
+[[nodiscard]] int mem_bytes(Opcode op);  ///< access width, 0 for non-memory
+
+/// Number of bytes accessed by a load/store opcode; 0 otherwise.
+[[nodiscard]] const char* opcode_name(Opcode op);
+[[nodiscard]] std::string disassemble(const Instruction& inst, uint64_t pc);
+
+/// Evaluates a two-source ALU operation (used by both the reference
+/// interpreter and the out-of-order core so that semantics can never
+/// diverge between them).
+[[nodiscard]] uint64_t eval_alu(Opcode op, uint64_t a, uint64_t b, int64_t imm);
+
+/// Evaluates a conditional-branch predicate.
+[[nodiscard]] bool eval_branch(Opcode op, uint64_t a, uint64_t b);
+
+}  // namespace cfir::isa

@@ -1,0 +1,30 @@
+#include "isa/program.hpp"
+
+#include <sstream>
+
+namespace cfir::isa {
+
+void Program::set_label(std::string name, uint64_t pc) {
+  labels_.emplace_back(std::move(name), pc);
+}
+
+std::optional<uint64_t> Program::label(const std::string& name) const {
+  for (const auto& [n, pc] : labels_) {
+    if (n == name) return pc;
+  }
+  return std::nullopt;
+}
+
+std::string Program::listing() const {
+  std::ostringstream os;
+  for (size_t i = 0; i < code_.size(); ++i) {
+    const uint64_t pc = pc_of(i);
+    for (const auto& [n, lpc] : labels_) {
+      if (lpc == pc) os << n << ":\n";
+    }
+    os << "  " << disassemble(code_[i], pc) << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace cfir::isa

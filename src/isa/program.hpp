@@ -1,0 +1,74 @@
+// Program container: a code image (fixed-slot instructions at a base PC)
+// plus an initial data image applied to main memory before simulation.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "isa/isa.hpp"
+
+namespace cfir::isa {
+
+/// Default base address of the code segment.
+inline constexpr uint64_t kCodeBase = 0x1000;
+/// Default base address of the data segment (assembler-managed).
+inline constexpr uint64_t kDataBase = 0x100000;
+
+/// A contiguous chunk of initialized data.
+struct DataSegment {
+  uint64_t addr = 0;
+  std::vector<uint8_t> bytes;
+};
+
+/// A fully assembled program: instructions, label map and initial data.
+class Program {
+ public:
+  Program() = default;
+  explicit Program(std::vector<Instruction> code, uint64_t base = kCodeBase)
+      : code_(std::move(code)), base_(base) {}
+
+  [[nodiscard]] uint64_t base() const { return base_; }
+  [[nodiscard]] size_t size() const { return code_.size(); }
+  [[nodiscard]] bool empty() const { return code_.empty(); }
+  [[nodiscard]] uint64_t end_pc() const { return base_ + size() * kInstBytes; }
+
+  [[nodiscard]] uint64_t pc_of(size_t index) const {
+    return base_ + index * kInstBytes;
+  }
+  /// Whether `pc` addresses an instruction slot of this program.
+  [[nodiscard]] bool contains(uint64_t pc) const {
+    return pc >= base_ && pc < end_pc() && (pc - base_) % kInstBytes == 0;
+  }
+  /// Instruction at `pc`; `contains(pc)` must hold.
+  [[nodiscard]] const Instruction& at(uint64_t pc) const {
+    return code_[(pc - base_) / kInstBytes];
+  }
+  /// Instruction at `pc`, or nullptr when `pc` is outside the image (used
+  /// by wrong-path fetch, which may run off the program).
+  [[nodiscard]] const Instruction* try_at(uint64_t pc) const {
+    return contains(pc) ? &at(pc) : nullptr;
+  }
+
+  [[nodiscard]] const std::vector<Instruction>& code() const { return code_; }
+  std::vector<Instruction>& mutable_code() { return code_; }
+
+  void add_data(DataSegment seg) { data_.push_back(std::move(seg)); }
+  [[nodiscard]] const std::vector<DataSegment>& data() const { return data_; }
+
+  void set_label(std::string name, uint64_t pc);
+  [[nodiscard]] std::optional<uint64_t> label(const std::string& name) const;
+
+  /// Full disassembly listing (one line per instruction, labels inline).
+  [[nodiscard]] std::string listing() const;
+
+ private:
+  std::vector<Instruction> code_;
+  uint64_t base_ = kCodeBase;
+  std::vector<DataSegment> data_;
+  std::vector<std::pair<std::string, uint64_t>> labels_;
+};
+
+}  // namespace cfir::isa

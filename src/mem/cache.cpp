@@ -1,0 +1,98 @@
+#include "mem/cache.hpp"
+
+#include <cassert>
+
+namespace cfir::mem {
+
+Cache::Cache(const CacheConfig& config) : config_(config) {
+  assert(config_.line_bytes > 0 && config_.assoc > 0);
+  num_sets_ = config_.size_bytes / (config_.line_bytes * config_.assoc);
+  assert(num_sets_ > 0 && (num_sets_ & (num_sets_ - 1)) == 0 &&
+         "set count must be a power of two");
+  lines_.assign(static_cast<size_t>(num_sets_) * config_.assoc, Line{});
+}
+
+void Cache::reset() {
+  for (Line& l : lines_) l = Line{};
+  inflight_fills_.clear();
+  stats_ = CacheStats{};
+  use_stamp_ = 0;
+}
+
+bool Cache::probe(uint64_t addr) const {
+  const uint64_t line_addr = addr / config_.line_bytes;
+  const uint32_t set = static_cast<uint32_t>(line_addr) & (num_sets_ - 1);
+  const uint64_t tag = line_addr >> 0;
+  const size_t base = static_cast<size_t>(set) * config_.assoc;
+  for (uint32_t w = 0; w < config_.assoc; ++w) {
+    const Line& l = lines_[base + w];
+    if (l.valid && l.tag == tag) return true;
+  }
+  return false;
+}
+
+Cache::Result Cache::access(uint64_t addr, bool is_write, uint64_t now,
+                            uint32_t miss_fill_latency) {
+  ++stats_.accesses;
+  const uint64_t line_addr = addr / config_.line_bytes;
+  const uint32_t set = static_cast<uint32_t>(line_addr) & (num_sets_ - 1);
+  const uint64_t tag = line_addr;  // full line address as tag (simple, exact)
+  const size_t base = static_cast<size_t>(set) * config_.assoc;
+
+  ++use_stamp_;
+  for (uint32_t w = 0; w < config_.assoc; ++w) {
+    Line& l = lines_[base + w];
+    if (l.valid && l.tag == tag) {
+      ++stats_.hits;
+      l.lru = use_stamp_;
+      if (is_write) l.dirty = true;
+      // Hit under an outstanding fill: data arrives when the fill does.
+      uint32_t latency = config_.hit_latency;
+      if (const auto it = inflight_fills_.find(line_addr);
+          it != inflight_fills_.end() && it->second > now) {
+        latency = static_cast<uint32_t>(it->second - now);
+      }
+      return {true, latency};
+    }
+  }
+
+  // Miss. Merge with an in-flight fill of the same line if present.
+  ++stats_.misses;
+  uint32_t latency = config_.hit_latency + miss_fill_latency;
+  if (const auto it = inflight_fills_.find(line_addr);
+      it != inflight_fills_.end()) {
+    if (it->second > now) {
+      ++stats_.mshr_merges;
+      latency = static_cast<uint32_t>(it->second - now);
+    }
+  } else {
+    inflight_fills_[line_addr] = now + latency;
+    // Opportunistic cleanup to bound the map.
+    if (inflight_fills_.size() > 4096) {
+      for (auto it2 = inflight_fills_.begin(); it2 != inflight_fills_.end();) {
+        if (it2->second <= now) {
+          it2 = inflight_fills_.erase(it2);
+        } else {
+          ++it2;
+        }
+      }
+    }
+  }
+
+  // Victim selection: invalid first, then LRU.
+  size_t victim = base;
+  for (uint32_t w = 0; w < config_.assoc; ++w) {
+    Line& l = lines_[base + w];
+    if (!l.valid) { victim = base + w; break; }
+    if (l.lru < lines_[victim].lru) victim = base + w;
+  }
+  Line& v = lines_[victim];
+  if (v.valid && v.dirty) ++stats_.writebacks;
+  v.valid = true;
+  v.tag = tag;
+  v.dirty = is_write;
+  v.lru = use_stamp_;
+  return {false, latency};
+}
+
+}  // namespace cfir::mem

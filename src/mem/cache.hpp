@@ -1,0 +1,77 @@
+// Set-associative, write-back/write-allocate cache timing model with LRU
+// replacement and in-flight miss merging (MSHR-style). The model is
+// latency-based: data always comes functionally from MainMemory/LSQ; the
+// cache decides *when* it arrives and counts accesses for Figure 8.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace cfir::mem {
+
+struct CacheConfig {
+  std::string name = "cache";
+  uint32_t size_bytes = 64 * 1024;
+  uint32_t assoc = 2;
+  uint32_t line_bytes = 64;
+  uint32_t hit_latency = 1;
+};
+
+struct CacheStats {
+  uint64_t accesses = 0;
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t writebacks = 0;
+  uint64_t mshr_merges = 0;
+};
+
+/// One cache level. `access` returns the number of cycles until the data is
+/// available *from this level down* (the owning hierarchy adds upper-level
+/// latencies).
+class Cache {
+ public:
+  explicit Cache(const CacheConfig& config);
+
+  struct Result {
+    bool hit = false;
+    uint32_t latency = 0;  ///< cycles from access start until line available
+  };
+
+  /// Performs a timed access at absolute cycle `now`. `miss_fill_latency` is
+  /// the cost of fetching the line from the level below on a miss.
+  Result access(uint64_t addr, bool is_write, uint64_t now,
+                uint32_t miss_fill_latency);
+
+  /// Tag-only probe (no state change), for tests and warmup checks.
+  [[nodiscard]] bool probe(uint64_t addr) const;
+
+  [[nodiscard]] const CacheStats& stats() const { return stats_; }
+  [[nodiscard]] const CacheConfig& config() const { return config_; }
+  [[nodiscard]] uint64_t line_of(uint64_t addr) const {
+    return addr / config_.line_bytes;
+  }
+  [[nodiscard]] uint32_t num_sets() const { return num_sets_; }
+
+  void reset();
+
+ private:
+  struct Line {
+    uint64_t tag = 0;
+    bool valid = false;
+    bool dirty = false;
+    uint64_t lru = 0;  ///< last-use stamp
+  };
+
+  CacheConfig config_;
+  uint32_t num_sets_;
+  std::vector<Line> lines_;  ///< num_sets_ * assoc, set-major
+  uint64_t use_stamp_ = 0;
+  CacheStats stats_;
+  /// line address -> cycle at which an in-flight fill completes.
+  std::unordered_map<uint64_t, uint64_t> inflight_fills_;
+};
+
+}  // namespace cfir::mem

@@ -1,0 +1,48 @@
+#include "mem/hierarchy.hpp"
+
+namespace cfir::mem {
+
+CacheHierarchy::CacheHierarchy(const HierarchyConfig& config)
+    : config_(config),
+      l1i_(config.l1i),
+      l1d_(config.l1d),
+      l2_(config.l2),
+      l3_(config.l3) {}
+
+void CacheHierarchy::reset() {
+  l1i_.reset();
+  l1d_.reset();
+  l2_.reset();
+  l3_.reset();
+}
+
+uint32_t CacheHierarchy::lower_fill_latency(uint64_t addr, bool is_write,
+                                            uint64_t now) {
+  // L2 lookup happens after the L1 miss is detected.
+  const auto r2 = l2_.access(addr, is_write, now, /*placeholder*/ 0);
+  if (r2.hit) return r2.latency;
+  const auto r3 = l3_.access(addr, is_write, now + r2.latency, 0);
+  uint32_t below = r3.hit ? r3.latency
+                          : r3.latency + config_.memory_latency;
+  return l2_.config().hit_latency + below;
+}
+
+uint32_t CacheHierarchy::access_inst(uint64_t addr, uint64_t now) {
+  // Probe L1I first; only on a real miss do we consult the lower levels.
+  if (l1i_.probe(addr)) {
+    return l1i_.access(addr, false, now, 0).latency;
+  }
+  const uint32_t fill = lower_fill_latency(addr, false, now);
+  return l1i_.access(addr, false, now, fill).latency;
+}
+
+uint32_t CacheHierarchy::access_data(uint64_t addr, bool is_write,
+                                     uint64_t now) {
+  if (l1d_.probe(addr)) {
+    return l1d_.access(addr, is_write, now, 0).latency;
+  }
+  const uint32_t fill = lower_fill_latency(addr, is_write, now);
+  return l1d_.access(addr, is_write, now, fill).latency;
+}
+
+}  // namespace cfir::mem

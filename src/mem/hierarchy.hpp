@@ -1,0 +1,51 @@
+// Three-level hierarchy exactly as Table 1 of the paper: 64KB L1I / 64KB
+// L1D, 256KB L2, 2MB L3, 100-cycle main memory. Instruction and data sides
+// share L2/L3.
+#pragma once
+
+#include <cstdint>
+
+#include "mem/cache.hpp"
+
+namespace cfir::mem {
+
+struct HierarchyConfig {
+  CacheConfig l1i{"L1I", 64 * 1024, 2, 64, 1};
+  CacheConfig l1d{"L1D", 64 * 1024, 2, 32, 1};
+  CacheConfig l2{"L2", 256 * 1024, 4, 32, 6};
+  CacheConfig l3{"L3", 2 * 1024 * 1024, 4, 64, 18};
+  uint32_t memory_latency = 100;
+};
+
+class CacheHierarchy {
+ public:
+  explicit CacheHierarchy(const HierarchyConfig& config = {});
+
+  /// Timed instruction fetch of the line containing `addr`.
+  /// Returns cycles until the instruction bytes are available.
+  uint32_t access_inst(uint64_t addr, uint64_t now);
+
+  /// Timed data access. Counts one L1D access (a wide-bus access that
+  /// serves several loads calls this once; see the core's memory stage).
+  uint32_t access_data(uint64_t addr, bool is_write, uint64_t now);
+
+  [[nodiscard]] Cache& l1i() { return l1i_; }
+  [[nodiscard]] Cache& l1d() { return l1d_; }
+  [[nodiscard]] Cache& l2() { return l2_; }
+  [[nodiscard]] Cache& l3() { return l3_; }
+  [[nodiscard]] const Cache& l1d() const { return l1d_; }
+  [[nodiscard]] const HierarchyConfig& config() const { return config_; }
+
+  void reset();
+
+ private:
+  uint32_t lower_fill_latency(uint64_t addr, bool is_write, uint64_t now);
+
+  HierarchyConfig config_;
+  Cache l1i_;
+  Cache l1d_;
+  Cache l2_;
+  Cache l3_;
+};
+
+}  // namespace cfir::mem

@@ -1,0 +1,85 @@
+#include "mem/main_memory.hpp"
+
+#include <cassert>
+#include <cstring>
+
+namespace cfir::mem {
+
+const MainMemory::Page* MainMemory::find_page(uint64_t addr) const {
+  const auto it = pages_.find(addr >> kPageBits);
+  return it == pages_.end() ? nullptr : it->second.get();
+}
+
+MainMemory::Page& MainMemory::touch_page(uint64_t addr) {
+  auto& slot = pages_[addr >> kPageBits];
+  if (!slot) {
+    slot = std::make_unique<Page>();
+    slot->fill(0);
+  }
+  return *slot;
+}
+
+uint8_t MainMemory::read8(uint64_t addr) const {
+  const Page* p = find_page(addr);
+  return p ? (*p)[addr & (kPageSize - 1)] : 0;
+}
+
+uint64_t MainMemory::read(uint64_t addr, int bytes) const {
+  assert(bytes >= 1 && bytes <= 8);
+  uint64_t v = 0;
+  for (int i = 0; i < bytes; ++i) {
+    v |= static_cast<uint64_t>(read8(addr + static_cast<uint64_t>(i)))
+         << (8 * i);
+  }
+  return v;
+}
+
+void MainMemory::write8(uint64_t addr, uint8_t value) {
+  touch_page(addr)[addr & (kPageSize - 1)] = value;
+}
+
+void MainMemory::write(uint64_t addr, uint64_t value, int bytes) {
+  assert(bytes >= 1 && bytes <= 8);
+  for (int i = 0; i < bytes; ++i) {
+    write8(addr + static_cast<uint64_t>(i),
+           static_cast<uint8_t>(value >> (8 * i)));
+  }
+}
+
+void MainMemory::write_block(uint64_t addr, const uint8_t* data, size_t n) {
+  for (size_t i = 0; i < n; ++i) write8(addr + i, data[i]);
+}
+
+uint64_t MainMemory::digest() const {
+  // FNV-1a over (address, byte) pairs of non-zero bytes only, XOR-combined
+  // across pages so the result is independent of page iteration order and
+  // of whether a zero byte is resident or absent.
+  uint64_t acc = 0;
+  for (const auto& [page_no, page] : pages_) {
+    for (uint64_t off = 0; off < kPageSize; ++off) {
+      const uint8_t b = (*page)[off];
+      if (b == 0) continue;
+      uint64_t h = 1469598103934665603ULL;
+      const uint64_t addr = (page_no << kPageBits) | off;
+      for (int i = 0; i < 8; ++i) {
+        h ^= (addr >> (8 * i)) & 0xff;
+        h *= 1099511628211ULL;
+      }
+      h ^= b;
+      h *= 1099511628211ULL;
+      acc ^= h;
+    }
+  }
+  return acc;
+}
+
+MainMemory MainMemory::clone() const {
+  MainMemory copy;
+  for (const auto& [page_no, page] : pages_) {
+    auto p = std::make_unique<Page>(*page);
+    copy.pages_.emplace(page_no, std::move(p));
+  }
+  return copy;
+}
+
+}  // namespace cfir::mem

@@ -1,0 +1,44 @@
+// Sparse, paged main memory. Backs both the reference interpreter and the
+// timing simulator; reads of never-written locations return zero so that
+// wrong-path execution with garbage addresses stays well defined.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+namespace cfir::mem {
+
+class MainMemory {
+ public:
+  static constexpr uint64_t kPageBits = 12;
+  static constexpr uint64_t kPageSize = uint64_t{1} << kPageBits;
+
+  [[nodiscard]] uint8_t read8(uint64_t addr) const;
+  [[nodiscard]] uint64_t read(uint64_t addr, int bytes) const;
+  void write8(uint64_t addr, uint8_t value);
+  void write(uint64_t addr, uint64_t value, int bytes);
+
+  void write_block(uint64_t addr, const uint8_t* data, size_t n);
+
+  /// Number of resident pages (host-memory footprint check).
+  [[nodiscard]] size_t resident_pages() const { return pages_.size(); }
+
+  /// Order-independent digest of all resident content (zero pages and
+  /// absent pages hash identically), used by differential tests.
+  [[nodiscard]] uint64_t digest() const;
+
+  /// Deep copy (the interpreter runs on a private copy of the image).
+  [[nodiscard]] MainMemory clone() const;
+
+ private:
+  using Page = std::array<uint8_t, kPageSize>;
+  [[nodiscard]] const Page* find_page(uint64_t addr) const;
+  Page& touch_page(uint64_t addr);
+
+  std::unordered_map<uint64_t, std::unique_ptr<Page>> pages_;
+};
+
+}  // namespace cfir::mem

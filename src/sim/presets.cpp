@@ -1,0 +1,73 @@
+#include "sim/presets.hpp"
+
+namespace cfir::sim::presets {
+
+std::vector<uint32_t> register_sweep() {
+  return {128, 256, 512, 768, kInfRegs};
+}
+
+std::string reg_label(uint32_t regs) {
+  return regs >= kInfRegs ? "inf" : std::to_string(regs);
+}
+
+core::CoreConfig table1() {
+  core::CoreConfig cfg;  // struct defaults are Table 1
+  return cfg;
+}
+
+namespace {
+core::CoreConfig base(uint32_t ports, uint32_t regs) {
+  core::CoreConfig cfg = table1();
+  cfg.cache_ports = ports;
+  cfg.num_phys_regs = regs;
+  cfg.scale_window_to_regs();
+  return cfg;
+}
+}  // namespace
+
+core::CoreConfig scal(uint32_t ports, uint32_t regs) {
+  core::CoreConfig cfg = base(ports, regs);
+  cfg.policy = core::Policy::kNone;
+  cfg.wide_bus = false;
+  return cfg;
+}
+
+core::CoreConfig wb(uint32_t ports, uint32_t regs) {
+  core::CoreConfig cfg = base(ports, regs);
+  cfg.policy = core::Policy::kNone;
+  cfg.wide_bus = true;
+  return cfg;
+}
+
+core::CoreConfig ci(uint32_t ports, uint32_t regs, uint32_t replicas) {
+  core::CoreConfig cfg = base(ports, regs);
+  cfg.policy = core::Policy::kCi;
+  cfg.wide_bus = true;
+  cfg.replicas = replicas;
+  return cfg;
+}
+
+core::CoreConfig ci_specmem(uint32_t ports, uint32_t regs, uint32_t slots,
+                            uint32_t replicas) {
+  core::CoreConfig cfg = ci(ports, regs, replicas);
+  cfg.use_spec_memory = true;
+  cfg.spec_memory_slots = slots;
+  return cfg;
+}
+
+core::CoreConfig ci_window(uint32_t ports, uint32_t regs) {
+  core::CoreConfig cfg = base(ports, regs);
+  cfg.policy = core::Policy::kCiWindow;
+  cfg.wide_bus = true;
+  return cfg;
+}
+
+core::CoreConfig vect(uint32_t ports, uint32_t regs, uint32_t replicas) {
+  core::CoreConfig cfg = base(ports, regs);
+  cfg.policy = core::Policy::kVect;
+  cfg.wide_bus = true;
+  cfg.replicas = replicas;
+  return cfg;
+}
+
+}  // namespace cfir::sim::presets

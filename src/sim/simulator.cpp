@@ -1,0 +1,62 @@
+#include "sim/simulator.hpp"
+
+#include <sstream>
+
+namespace cfir::sim {
+
+Simulator::Simulator(const core::CoreConfig& config, isa::Program program)
+    : program_(std::move(program)) {
+  isa::load_data_image(program_, memory_);
+  switch (config.policy) {
+    case core::Policy::kNone:
+      break;
+    case core::Policy::kCi:
+    case core::Policy::kVect: {
+      auto m = std::make_unique<ci::CiMechanism>(config);
+      ci_ = m.get();
+      mech_ = std::move(m);
+      break;
+    }
+    case core::Policy::kCiWindow: {
+      auto m = std::make_unique<ci::SquashReuseMechanism>(config);
+      sr_ = m.get();
+      mech_ = std::move(m);
+      break;
+    }
+  }
+  core_ = std::make_unique<core::Core>(config, program_, memory_, mech_.get());
+}
+
+stats::SimStats Simulator::run(uint64_t max_insts) {
+  core_->run(max_insts);
+  if (mech_ != nullptr) mech_->finalize();
+  return core_->stats();
+}
+
+DiffResult differential_run(const core::CoreConfig& config,
+                            const isa::Program& program, uint64_t max_insts) {
+  DiffResult r;
+  // Reference.
+  const isa::InterpResult ref = isa::run_program(program, max_insts);
+  // Timing core.
+  Simulator sim(config, program);
+  const stats::SimStats st = sim.run(max_insts);
+  r.executed = st.committed;
+  std::ostringstream why;
+  if (st.committed != ref.executed) {
+    why << "committed " << st.committed << " != interpreter " << ref.executed
+        << "; ";
+  }
+  for (int i = 0; i < isa::kNumLogicalRegs; ++i) {
+    if (sim.arch_reg(i) != ref.regs[static_cast<size_t>(i)]) {
+      why << "r" << i << " = " << sim.arch_reg(i) << " != "
+          << ref.regs[static_cast<size_t>(i)] << "; ";
+    }
+  }
+  if (sim.memory_digest() != ref.mem_digest) why << "memory digest differs; ";
+  r.mismatch = why.str();
+  r.match = r.mismatch.empty();
+  return r;
+}
+
+}  // namespace cfir::sim

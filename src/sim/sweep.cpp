@@ -1,0 +1,77 @@
+#include "sim/sweep.hpp"
+
+#include <atomic>
+#include <mutex>
+#include <cstdlib>
+#include <stdexcept>
+#include <thread>
+
+#include "sim/simulator.hpp"
+#include "workloads/workloads.hpp"
+
+namespace cfir::sim {
+
+namespace {
+uint64_t env_u64(const char* name, uint64_t dflt) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return dflt;
+  return std::strtoull(v, nullptr, 10);
+}
+}  // namespace
+
+uint32_t env_scale() {
+  return static_cast<uint32_t>(env_u64("CFIR_SCALE", 1));
+}
+int env_threads() { return static_cast<int>(env_u64("CFIR_THREADS", 0)); }
+uint64_t env_max_insts() { return env_u64("CFIR_MAX_INSTS", 0); }
+
+std::vector<RunOutcome> run_all(const std::vector<RunSpec>& specs,
+                                int threads) {
+  if (threads <= 0) threads = env_threads();
+  if (threads <= 0) {
+    threads = static_cast<int>(std::thread::hardware_concurrency());
+  }
+  if (threads <= 0) threads = 1;
+  threads = std::min<int>(threads, static_cast<int>(specs.size()));
+
+  std::vector<RunOutcome> out(specs.size());
+  std::atomic<size_t> next{0};
+  std::atomic<bool> failed{false};
+  std::string error;
+  std::mutex error_mu;
+
+  auto worker = [&] {
+    for (;;) {
+      const size_t i = next.fetch_add(1);
+      if (i >= specs.size() || failed.load()) break;
+      const RunSpec& spec = specs[i];
+      try {
+        isa::Program program =
+            workloads::build(spec.workload, spec.scale);
+        Simulator sim(spec.config, std::move(program));
+        const uint64_t cap =
+            spec.max_insts == 0 ? UINT64_MAX : spec.max_insts;
+        out[i].spec = spec;
+        out[i].stats = sim.run(cap);
+      } catch (const std::exception& e) {
+        std::lock_guard<std::mutex> lk(error_mu);
+        error = std::string("run '") + spec.workload + "/" +
+                spec.config_name + "' failed: " + e.what();
+        failed.store(true);
+      }
+    }
+  };
+
+  if (threads == 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<size_t>(threads));
+    for (int t = 0; t < threads; ++t) pool.emplace_back(worker);
+    for (auto& th : pool) th.join();
+  }
+  if (failed.load()) throw std::runtime_error(error);
+  return out;
+}
+
+}  // namespace cfir::sim

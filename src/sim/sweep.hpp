@@ -1,0 +1,41 @@
+// Thread-pooled experiment runner: the figure benches enqueue one job per
+// (workload, configuration) grid point and collect SimStats. Simulations
+// are embarrassingly parallel, so this scales to the host's cores
+// (CFIR_THREADS overrides).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/config.hpp"
+#include "isa/program.hpp"
+#include "stats/stats.hpp"
+
+namespace cfir::sim {
+
+struct RunSpec {
+  std::string workload;     ///< name registered in cfir::workloads
+  std::string config_name;  ///< column label in the output table
+  core::CoreConfig config;
+  uint64_t max_insts = 0;   ///< 0 = run to completion
+  uint32_t scale = 1;       ///< workload size multiplier
+};
+
+struct RunOutcome {
+  RunSpec spec;
+  stats::SimStats stats;
+};
+
+/// Runs every spec (order preserved in the result). `threads` <= 0 picks
+/// CFIR_THREADS or the hardware concurrency.
+[[nodiscard]] std::vector<RunOutcome> run_all(const std::vector<RunSpec>& specs,
+                                              int threads = 0);
+
+/// Environment knobs shared by the bench binaries.
+[[nodiscard]] uint32_t env_scale();      ///< CFIR_SCALE, default 1
+[[nodiscard]] int env_threads();         ///< CFIR_THREADS, default 0 (auto)
+[[nodiscard]] uint64_t env_max_insts();  ///< CFIR_MAX_INSTS, default 0
+
+}  // namespace cfir::sim

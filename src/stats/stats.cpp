@@ -1,0 +1,43 @@
+#include "stats/stats.hpp"
+
+#include <sstream>
+
+namespace cfir::stats {
+
+std::string SimStats::to_string() const {
+  std::ostringstream os;
+  os << "cycles=" << cycles << " committed=" << committed
+     << " IPC=" << ipc() << '\n'
+     << "fetched=" << fetched << " squashed(specBP)=" << squashed
+     << " replicas(specCI)=" << replicas_executed << '\n'
+     << "cond_branches=" << cond_branches << " mispredicts=" << mispredicts
+     << " rate=" << mispredict_rate() << '\n'
+     << "CI episodes=" << ep_total << " selected=" << ep_ci_selected
+     << " reused=" << ep_ci_reused << '\n'
+     << "reused_committed=" << reused_committed
+     << " (" << 100.0 * reuse_fraction() << "% of committed)\n"
+     << "L1D accesses=" << l1d_accesses << " misses=" << l1d_misses
+     << " wide=" << wide_accesses << " piggybacked=" << loads_piggybacked
+     << '\n'
+     << "store range checks=" << store_range_checks
+     << " conflicts=" << store_range_conflicts << '\n'
+     << "avg regs in use=" << avg_regs_in_use()
+     << " max=" << regs_in_use_max
+     << " rename stalls=" << rename_stall_cycles << '\n'
+     << "validations failed=" << validations_failed
+     << " misvalidation squashes=" << misvalidation_squashes
+     << " safety net=" << safety_net_recoveries << '\n';
+  return os.str();
+}
+
+double harmonic_mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double denom = 0.0;
+  for (double x : xs) {
+    if (x <= 0.0) return 0.0;
+    denom += 1.0 / x;
+  }
+  return static_cast<double>(xs.size()) / denom;
+}
+
+}  // namespace cfir::stats

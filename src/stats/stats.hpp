@@ -1,0 +1,112 @@
+// Simulation statistics. One flat struct per run — every paper figure is
+// derived from these counters (see DESIGN.md section 4 for the mapping).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cfir::stats {
+
+struct SimStats {
+  // --- progress ----------------------------------------------------------
+  uint64_t cycles = 0;
+  uint64_t committed = 0;            ///< architecturally committed instructions
+  uint64_t committed_loads = 0;
+  uint64_t committed_stores = 0;
+  uint64_t committed_branches = 0;
+  uint64_t fetched = 0;              ///< instructions entering the pipeline
+  uint64_t squashed = 0;             ///< fetched but never committed (specBP)
+  bool halted = false;
+
+  // --- branches ------------------------------------------------------------
+  uint64_t cond_branches = 0;        ///< committed conditional branches
+  uint64_t mispredicts = 0;          ///< resolved mispredictions (recovery)
+  uint64_t hard_mispredicts = 0;     ///< mispredictions the MBS deems hard
+
+  // --- control independence episodes (Figure 5) ---------------------------
+  // One "episode" per hard mispredicted branch handled by the CRP.
+  uint64_t ep_total = 0;
+  uint64_t ep_ci_selected = 0;       ///< episodes selecting >=1 CI instruction
+  uint64_t ep_ci_reused = 0;         ///< episodes whose selections led to reuse
+
+  // --- reuse / replication (Figures 11-12) --------------------------------
+  uint64_t reused_committed = 0;     ///< committed instructions fed by replicas
+  uint64_t replicas_created = 0;
+  uint64_t replicas_executed = 0;    ///< specCI activity
+  uint64_t validations_failed = 0;   ///< SRSMT validation mismatches at decode
+  uint64_t misvalidation_squashes = 0;  ///< commit-time replica/value mismatch
+  uint64_t safety_net_recoveries = 0;   ///< architectural recheck firing
+  uint64_t srsmt_allocs = 0;
+  uint64_t srsmt_dealloc_daec = 0;
+  uint64_t srsmt_dealloc_coherence = 0;
+  uint64_t srsmt_dealloc_replace = 0;
+
+  // --- memory system (Figure 8) --------------------------------------------
+  uint64_t l1i_accesses = 0, l1i_misses = 0;
+  uint64_t l1d_accesses = 0, l1d_misses = 0;
+  uint64_t l2_accesses = 0, l2_misses = 0;
+  uint64_t l3_accesses = 0, l3_misses = 0;
+  uint64_t wide_accesses = 0;        ///< line-wide L1D reads issued
+  uint64_t loads_piggybacked = 0;    ///< loads served by someone else's access
+  uint64_t lsq_forwards = 0;
+
+  // --- coherence (section 2.4.3) -------------------------------------------
+  uint64_t store_range_checks = 0;
+  uint64_t store_range_conflicts = 0;
+
+  // --- register file (section 2.4.2, Figures 9/13) -------------------------
+  uint64_t regs_in_use_accum = 0;    ///< sum over sampled cycles
+  uint64_t reg_samples = 0;
+  uint64_t regs_in_use_max = 0;
+  uint64_t rename_stall_cycles = 0;  ///< cycles rename blocked on free list
+  uint64_t replica_alloc_denied = 0; ///< replicas skipped: no registers/slots
+  uint64_t watchdog_reclaims = 0;    ///< liveness guard firings (see DESIGN.md)
+
+  // --- stridedPC propagation (Figure 4) ------------------------------------
+  uint64_t stridedpc_propagations = 0;
+  uint64_t stridedpc_overflows = 0;  ///< unions truncated by the per-entry cap
+  uint64_t stridedpc_width_accum = 0;  ///< sum of set sizes after propagation
+
+  // --- speculative data memory (Figure 13) ---------------------------------
+  uint64_t specmem_writes = 0;
+  uint64_t specmem_copies = 0;       ///< copy micro-ops inserted
+  uint64_t specmem_alloc_denied = 0;
+
+  // --- derived -------------------------------------------------------------
+  [[nodiscard]] double ipc() const {
+    return cycles == 0 ? 0.0 : static_cast<double>(committed) /
+                                   static_cast<double>(cycles);
+  }
+  [[nodiscard]] double mispredict_rate() const {
+    return cond_branches == 0
+               ? 0.0
+               : static_cast<double>(mispredicts) /
+                     static_cast<double>(cond_branches);
+  }
+  [[nodiscard]] double avg_regs_in_use() const {
+    return reg_samples == 0 ? 0.0
+                            : static_cast<double>(regs_in_use_accum) /
+                                  static_cast<double>(reg_samples);
+  }
+  [[nodiscard]] double avg_stridedpc_width() const {
+    return stridedpc_propagations == 0
+               ? 0.0
+               : static_cast<double>(stridedpc_width_accum) /
+                     static_cast<double>(stridedpc_propagations);
+  }
+  [[nodiscard]] double reuse_fraction() const {
+    return committed == 0 ? 0.0
+                          : static_cast<double>(reused_committed) /
+                                static_cast<double>(committed);
+  }
+
+  /// Human-readable multi-line dump (examples, debugging).
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Harmonic mean, the average the paper uses for IPC across benchmarks.
+[[nodiscard]] double harmonic_mean(const std::vector<double>& xs);
+
+}  // namespace cfir::stats

@@ -1,0 +1,32 @@
+// Aligned-text table printer used by the benchmark harnesses to emit
+// paper-style rows (one row per benchmark / register count, one column per
+// configuration). Supports CSV output for downstream plotting.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace cfir::stats {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+  /// Convenience: first cell is a label, remaining cells are numbers
+  /// formatted with `precision` decimal places.
+  void add_row(const std::string& label, const std::vector<double>& values,
+               int precision = 2);
+
+  [[nodiscard]] std::string to_text() const;
+  [[nodiscard]] std::string to_csv() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats `v` with fixed precision (no locale surprises).
+[[nodiscard]] std::string fmt(double v, int precision = 2);
+
+}  // namespace cfir::stats

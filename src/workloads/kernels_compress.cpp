@@ -1,0 +1,201 @@
+// Compression/string kernels: bzip2 (RLE + histogram, the paper's Figure 1
+// shape), gzip (LZ window matching) and perlbmk (byte hashing).
+#include <random>
+
+#include "isa/assembler.hpp"
+#include "workloads/workloads.hpp"
+
+namespace cfir::workloads {
+
+using isa::Assembler;
+using isa::Program;
+
+namespace {
+/// Fills [addr, addr+n) with random bytes from `gen`.
+void init_random_bytes(Assembler& as, uint64_t addr, size_t n,
+                       std::mt19937_64& gen, int lo = 0, int hi = 255) {
+  std::uniform_int_distribution<int> dist(lo, hi);
+  std::vector<uint8_t> bytes(n);
+  for (auto& b : bytes) b = static_cast<uint8_t>(dist(gen));
+  as.init_bytes(addr, bytes);
+}
+
+void init_random_words(Assembler& as, uint64_t addr, size_t n,
+                       std::mt19937_64& gen, uint64_t modulo) {
+  for (size_t i = 0; i < n; ++i) {
+    as.init_word(addr + 8 * i, gen() % modulo);
+  }
+}
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// bzip2 — the paper's running example, scaled up: walk a byte array with a
+// strided load; a hard hammock counts zero/non-zero bytes; the instructions
+// after the re-convergent point (sum, histogram update, index bump) are
+// control independent and depend on the strided load.
+// ---------------------------------------------------------------------------
+Program build_bzip2(uint32_t scale) {
+  Assembler as;
+  std::mt19937_64 gen(0xB21B2ULL);
+  const size_t n = 2048;
+  const uint64_t data = as.reserve("data", n);
+  const uint64_t hist = as.reserve("hist", 256 * 8);
+  // ~45% zero bytes so the hammock branch is genuinely hard to predict.
+  std::bernoulli_distribution zero(0.45);
+  std::uniform_int_distribution<int> byte(1, 255);
+  std::vector<uint8_t> bytes(n);
+  for (auto& b : bytes) {
+    b = zero(gen) ? 0 : static_cast<uint8_t>(byte(gen));
+  }
+  as.init_bytes(data, bytes);
+
+  const int rIdx = 1, rZero = 2, rNonzero = 3, rSum = 4, rVal = 5, rEnd = 6;
+  const int rBase = 7, rHist = 8, rTmp = 9, rRun = 10, rPrev = 11, rOuter = 12;
+  as.movi(rBase, static_cast<int64_t>(data));
+  as.movi(rHist, static_cast<int64_t>(hist));
+  as.movi(rOuter, static_cast<int64_t>(4 * scale));
+  as.label("outer");
+  as.movi(rIdx, 0);
+  as.movi(rZero, 0);
+  as.movi(rNonzero, 0);
+  as.movi(rSum, 0);
+  as.movi(rRun, 0);
+  as.movi(rPrev, 0);
+  as.movi(rEnd, static_cast<int64_t>(n));
+  as.label("loop");
+  as.add(rTmp, rBase, rIdx);
+  as.ld(rVal, rTmp, 0, 1);            // strided unit load (selected base)
+  as.movi(rTmp, 0);
+  as.bne(rVal, rTmp, "else");         // hard hammock (Figure 1's I7)
+  as.addi(rZero, rZero, 1);           // then: count zeros
+  as.jmp("join");
+  as.label("else");
+  as.addi(rNonzero, rNonzero, 1);     // else: count non-zeros
+  as.label("join");                   // re-convergent point (I11)
+  as.add(rSum, rSum, rVal);           // CI: depends only on the strided load
+  as.shli(rTmp, rVal, 3);             // CI: histogram slot = val * 8
+  as.add(rTmp, rHist, rTmp);
+  as.ld(rRun, rTmp, 0, 8);
+  as.addi(rRun, rRun, 1);
+  as.st(rRun, rTmp, 0, 8);
+  as.addi(rIdx, rIdx, 1);             // CI but not strided-fed via rIdx
+  as.blt(rIdx, rEnd, "loop");
+  as.addi(rOuter, rOuter, -1);
+  as.movi(rTmp, 0);
+  as.bne(rOuter, rTmp, "outer");
+  as.halt();
+  return as.assemble();
+}
+
+// ---------------------------------------------------------------------------
+// gzip — LZ-style window matching: for each position, compare the lookahead
+// against a candidate match; the inner comparison loop exits on the first
+// mismatching byte (data-dependent trip count = hard branches), then a
+// hammock keeps the best length.
+// ---------------------------------------------------------------------------
+Program build_gzip(uint32_t scale) {
+  Assembler as;
+  std::mt19937_64 gen(0x6712EULL);
+  const size_t n = 1536;
+  const uint64_t text = as.reserve("text", n + 64);
+  // Small alphabet so matches of varying lengths actually occur.
+  init_random_bytes(as, text, n + 64, gen, 0, 3);
+
+  const int rPos = 1, rCand = 2, rLen = 3, rBest = 4, rA = 5, rB = 6;
+  const int rBase = 7, rT1 = 8, rT2 = 9, rEnd = 10, rMax = 11, rTotal = 12;
+  const int rOuter = 13;
+  as.movi(rBase, static_cast<int64_t>(text));
+  as.movi(rOuter, static_cast<int64_t>(2 * scale));
+  as.label("outer");
+  as.movi(rPos, 64);
+  as.movi(rEnd, static_cast<int64_t>(n));
+  as.movi(rTotal, 0);
+  as.label("pos_loop");
+  // Candidate = pos - 17 (fixed back-reference keeps addresses strided).
+  as.addi(rCand, rPos, -17);
+  as.movi(rLen, 0);
+  as.movi(rMax, 16);
+  as.movi(rBest, 0);
+  as.label("match_loop");
+  as.add(rT1, rBase, rPos);
+  as.add(rT1, rT1, rLen);
+  as.ld(rA, rT1, 0, 1);
+  as.add(rT2, rBase, rCand);
+  as.add(rT2, rT2, rLen);
+  as.ld(rB, rT2, 0, 1);
+  as.bne(rA, rB, "match_done");       // data-dependent exit: hard
+  as.addi(rLen, rLen, 1);
+  as.blt(rLen, rMax, "match_loop");
+  as.label("match_done");             // re-convergent point of the exit
+  as.blt(rLen, rBest, "no_improve");  // hammock on best length
+  as.mov(rBest, rLen);
+  as.jmp("improve_done");
+  as.label("no_improve");
+  as.addi(rTotal, rTotal, 1);
+  as.label("improve_done");
+  as.add(rTotal, rTotal, rBest);      // CI accumulation
+  as.addi(rPos, rPos, 1);             // strided outer walk
+  as.blt(rPos, rEnd, "pos_loop");
+  as.addi(rOuter, rOuter, -1);
+  as.movi(rT1, 0);
+  as.bne(rOuter, rT1, "outer");
+  as.halt();
+  return as.assemble();
+}
+
+// ---------------------------------------------------------------------------
+// perlbmk — byte hashing with character-class hammocks: classify each input
+// byte (alpha / digit / other — data dependent), then mix it into a running
+// hash and store into a table. The mixing is control independent.
+// ---------------------------------------------------------------------------
+Program build_perlbmk(uint32_t scale) {
+  Assembler as;
+  std::mt19937_64 gen(0x9E2713ULL);
+  const size_t n = 1536;
+  const uint64_t text = as.reserve("text", n);
+  const uint64_t table = as.reserve("table", 512 * 8);
+  init_random_bytes(as, text, n, gen, 0, 127);
+  init_random_words(as, table, 512, gen, 1 << 20);
+
+  const int rIdx = 1, rCh = 2, rHash = 3, rCls = 4, rT1 = 5, rT2 = 6;
+  const int rBase = 7, rTab = 8, rEnd = 9, rA = 10, rOuter = 11, rLo = 12;
+  as.movi(rBase, static_cast<int64_t>(text));
+  as.movi(rTab, static_cast<int64_t>(table));
+  as.movi(rOuter, static_cast<int64_t>(3 * scale));
+  as.label("outer");
+  as.movi(rIdx, 0);
+  as.movi(rHash, 5381);
+  as.movi(rEnd, static_cast<int64_t>(n));
+  as.label("loop");
+  as.add(rT1, rBase, rIdx);
+  as.ld(rCh, rT1, 0, 1);              // strided byte load
+  as.movi(rLo, 65);
+  as.blt(rCh, rLo, "not_alpha");      // hard: random bytes straddle 'A'
+  as.movi(rCls, 2);
+  as.jmp("classified");
+  as.label("not_alpha");
+  as.movi(rLo, 48);
+  as.blt(rCh, rLo, "other");          // nested hammock
+  as.movi(rCls, 1);
+  as.jmp("classified");
+  as.label("other");
+  as.movi(rCls, 0);
+  as.label("classified");             // re-convergent point
+  as.muli(rT2, rHash, 33);            // CI hash mix (djb2)
+  as.add(rHash, rT2, rCh);            // CI: depends on the strided load
+  as.andi(rT2, rHash, 511);
+  as.shli(rT2, rT2, 3);
+  as.add(rT2, rTab, rT2);
+  as.ld(rA, rT2, 0, 8);
+  as.add(rA, rA, rCls);
+  as.st(rA, rT2, 0, 8);
+  as.addi(rIdx, rIdx, 1);
+  as.blt(rIdx, rEnd, "loop");
+  as.addi(rOuter, rOuter, -1);
+  as.movi(rT1, 0);
+  as.bne(rOuter, rT1, "outer");
+  as.halt();
+  return as.assemble();
+}
+
+}  // namespace cfir::workloads

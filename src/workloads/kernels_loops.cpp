@@ -1,0 +1,218 @@
+// Loop/compute kernels: crafty (bitboard scans), eon (regular numeric
+// loops, the predictable end of the spectrum), gap (modular-arithmetic
+// hammocks) and gcc (multi-way dispatch chains).
+#include <random>
+
+#include "isa/assembler.hpp"
+#include "workloads/workloads.hpp"
+
+namespace cfir::workloads {
+
+using isa::Assembler;
+using isa::Program;
+
+// ---------------------------------------------------------------------------
+// crafty — bitboard evaluation: walk an array of 64-bit boards; for each,
+// test a couple of squares (random bits → hard branches) and accumulate
+// mobility scores; popcount-style reduction loop mixes in ALU pressure.
+// ---------------------------------------------------------------------------
+Program build_crafty(uint32_t scale) {
+  Assembler as;
+  std::mt19937_64 gen(0xC4AF7ULL);
+  const size_t n = 768;
+  const uint64_t boards = as.reserve("boards", n * 8);
+  for (size_t i = 0; i < n; ++i) as.init_word(boards + i * 8, gen());
+
+  const int rIdx = 1, rBoard = 2, rBit = 3, rScore = 4, rT = 5, rBase = 6;
+  const int rEnd = 7, rPop = 8, rK = 9, rZ = 10, rOuter = 11, rMob = 12;
+  as.movi(rBase, static_cast<int64_t>(boards));
+  as.movi(rOuter, static_cast<int64_t>(3 * scale));
+  as.label("outer");
+  as.movi(rIdx, 0);
+  as.movi(rScore, 0);
+  as.movi(rMob, 0);
+  as.movi(rEnd, static_cast<int64_t>(n));
+  as.movi(rZ, 0);
+  as.label("loop");
+  as.shli(rT, rIdx, 3);
+  as.add(rT, rBase, rT);
+  as.ld(rBoard, rT, 0, 8);            // strided board load
+  as.andi(rBit, rBoard, 1);           // random bit test
+  as.beq(rBit, rZ, "no_center");      // hard hammock
+  as.addi(rScore, rScore, 5);
+  as.jmp("center_done");
+  as.label("no_center");
+  as.addi(rScore, rScore, 1);
+  as.label("center_done");            // re-convergent point
+  as.shrli(rT, rBoard, 32);           // CI: mobility from the strided load
+  as.xor_(rMob, rMob, rT);
+  // Partial popcount: 8 fixed rounds (predictable inner loop).
+  as.mov(rT, rBoard);
+  as.movi(rPop, 0);
+  as.movi(rK, 8);
+  as.label("pop");
+  as.andi(rBit, rT, 1);
+  as.add(rPop, rPop, rBit);
+  as.shrli(rT, rT, 1);
+  as.addi(rK, rK, -1);
+  as.bne(rK, rZ, "pop");
+  as.add(rScore, rScore, rPop);
+  as.addi(rIdx, rIdx, 1);
+  as.blt(rIdx, rEnd, "loop");
+  as.addi(rOuter, rOuter, -1);
+  as.bne(rOuter, rZ, "outer");
+  as.halt();
+  return as.assemble();
+}
+
+// ---------------------------------------------------------------------------
+// eon — rendering flavour: fixed-trip inner loops of multiply-accumulate
+// over strided arrays, fully predictable branches. The MBS classifies
+// everything as easy, so the CI scheme stays idle (the white band of
+// Figure 5 and the "no gain" end of Figure 10).
+// ---------------------------------------------------------------------------
+Program build_eon(uint32_t scale) {
+  Assembler as;
+  std::mt19937_64 gen(0xE0217ULL);
+  const size_t n = 1024;
+  const uint64_t xs = as.reserve("xs", n * 8);
+  const uint64_t ys = as.reserve("ys", n * 8);
+  for (size_t i = 0; i < n; ++i) {
+    as.init_word(xs + i * 8, gen() % 4096);
+    as.init_word(ys + i * 8, gen() % 4096);
+  }
+
+  const int rIdx = 1, rX = 2, rY = 3, rDot = 4, rT = 5, rXB = 6, rYB = 7;
+  const int rEnd = 8, rNorm = 9, rOuter = 10, rZ = 11;
+  as.movi(rXB, static_cast<int64_t>(xs));
+  as.movi(rYB, static_cast<int64_t>(ys));
+  as.movi(rOuter, static_cast<int64_t>(6 * scale));
+  as.movi(rZ, 0);
+  as.label("outer");
+  as.movi(rIdx, 0);
+  as.movi(rDot, 0);
+  as.movi(rNorm, 0);
+  as.movi(rEnd, static_cast<int64_t>(n));
+  as.label("loop");
+  as.shli(rT, rIdx, 3);
+  as.add(rX, rXB, rT);
+  as.ld(rX, rX, 0, 8);
+  as.add(rY, rYB, rT);
+  as.ld(rY, rY, 0, 8);
+  as.mul(rT, rX, rY);
+  as.add(rDot, rDot, rT);
+  as.mul(rT, rX, rX);
+  as.add(rNorm, rNorm, rT);
+  as.addi(rIdx, rIdx, 1);
+  as.blt(rIdx, rEnd, "loop");         // predictable loop branch
+  as.addi(rOuter, rOuter, -1);
+  as.bne(rOuter, rZ, "outer");
+  as.halt();
+  return as.assemble();
+}
+
+// ---------------------------------------------------------------------------
+// gap — group-theory flavour: modular arithmetic over a strided array with
+// a divisibility hammock (x % 3) that random data makes hard; the modular
+// reduction after the join is control independent and strided-fed.
+// ---------------------------------------------------------------------------
+Program build_gap(uint32_t scale) {
+  Assembler as;
+  std::mt19937_64 gen(0x6A9ULL);
+  const size_t n = 1280;
+  const uint64_t arr = as.reserve("arr", n * 8);
+  for (size_t i = 0; i < n; ++i) as.init_word(arr + i * 8, gen() % 100000);
+
+  const int rIdx = 1, rV = 2, rMod = 3, rDiv3 = 4, rOther = 5, rT = 6;
+  const int rBase = 7, rEnd = 8, rAcc = 9, rThree = 10, rZ = 11, rOuter = 12;
+  as.movi(rBase, static_cast<int64_t>(arr));
+  as.movi(rOuter, static_cast<int64_t>(3 * scale));
+  as.movi(rZ, 0);
+  as.label("outer");
+  as.movi(rIdx, 0);
+  as.movi(rDiv3, 0);
+  as.movi(rOther, 0);
+  as.movi(rAcc, 0);
+  as.movi(rEnd, static_cast<int64_t>(n));
+  as.movi(rThree, 3);
+  as.label("loop");
+  as.shli(rT, rIdx, 3);
+  as.add(rT, rBase, rT);
+  as.ld(rV, rT, 0, 8);                // strided load
+  as.rem(rMod, rV, rThree);
+  as.bne(rMod, rZ, "not_div");        // hard hammock (1/3 vs 2/3 mix)
+  as.addi(rDiv3, rDiv3, 1);
+  as.jmp("join");
+  as.label("not_div");
+  as.addi(rOther, rOther, 1);
+  as.label("join");                   // re-convergent point
+  as.andi(rT, rV, 1023);              // CI: strided-fed reduction
+  as.add(rAcc, rAcc, rT);
+  as.addi(rIdx, rIdx, 1);
+  as.blt(rIdx, rEnd, "loop");
+  as.addi(rOuter, rOuter, -1);
+  as.bne(rOuter, rZ, "outer");
+  as.halt();
+  return as.assemble();
+}
+
+// ---------------------------------------------------------------------------
+// gcc — instruction-selection flavour: dispatch over a stream of pseudo
+// opcodes through an if/else chain (several branches per element, mixed
+// bias), updating per-class counters; re-convergence at the chain exit.
+// ---------------------------------------------------------------------------
+Program build_gcc(uint32_t scale) {
+  Assembler as;
+  std::mt19937_64 gen(0x6CCULL);
+  const size_t n = 1280;
+  const uint64_t ops = as.reserve("ops", n);
+  // Skewed class distribution: two common classes, two rare ones.
+  std::discrete_distribution<int> cls({45, 30, 15, 10});
+  std::vector<uint8_t> bytes(n);
+  for (auto& b : bytes) b = static_cast<uint8_t>(cls(gen));
+  as.init_bytes(ops, bytes);
+
+  const int rIdx = 1, rOp = 2, rC0 = 3, rC1 = 4, rC2 = 5, rC3 = 6, rT = 7;
+  const int rBase = 8, rEnd = 9, rSum = 10, rK = 11, rZ = 12, rOuter = 13;
+  as.movi(rBase, static_cast<int64_t>(ops));
+  as.movi(rOuter, static_cast<int64_t>(3 * scale));
+  as.movi(rZ, 0);
+  as.label("outer");
+  as.movi(rIdx, 0);
+  as.movi(rC0, 0);
+  as.movi(rC1, 0);
+  as.movi(rC2, 0);
+  as.movi(rC3, 0);
+  as.movi(rSum, 0);
+  as.movi(rEnd, static_cast<int64_t>(n));
+  as.label("loop");
+  as.add(rT, rBase, rIdx);
+  as.ld(rOp, rT, 0, 1);               // strided opcode load
+  as.movi(rK, 0);
+  as.bne(rOp, rK, "try1");            // chain of data-dependent branches
+  as.addi(rC0, rC0, 1);
+  as.jmp("dispatched");
+  as.label("try1");
+  as.movi(rK, 1);
+  as.bne(rOp, rK, "try2");
+  as.addi(rC1, rC1, 1);
+  as.jmp("dispatched");
+  as.label("try2");
+  as.movi(rK, 2);
+  as.bne(rOp, rK, "class3");
+  as.addi(rC2, rC2, 1);
+  as.jmp("dispatched");
+  as.label("class3");
+  as.addi(rC3, rC3, 1);
+  as.label("dispatched");             // common re-convergent point
+  as.shli(rT, rOp, 1);                // CI: fed by the strided load
+  as.add(rSum, rSum, rT);
+  as.addi(rIdx, rIdx, 1);
+  as.blt(rIdx, rEnd, "loop");
+  as.addi(rOuter, rOuter, -1);
+  as.bne(rOuter, rZ, "outer");
+  as.halt();
+  return as.assemble();
+}
+
+}  // namespace cfir::workloads

@@ -1,0 +1,117 @@
+// Placement/routing kernels: twolf (simulated-annealing accept/reject) and
+// vpr (grid routing cost with min/max reduction).
+#include <random>
+
+#include "isa/assembler.hpp"
+#include "workloads/workloads.hpp"
+
+namespace cfir::workloads {
+
+using isa::Assembler;
+using isa::Program;
+
+// ---------------------------------------------------------------------------
+// twolf — annealing accept/reject: compare a strided cost delta against a
+// strided threshold; the accept branch is essentially a coin flip, and the
+// post-join bookkeeping (best-cost update, counters) is control independent
+// and strided-fed.
+// ---------------------------------------------------------------------------
+Program build_twolf(uint32_t scale) {
+  Assembler as;
+  std::mt19937_64 gen(0x2201FULL);
+  const size_t n = 1280;
+  const uint64_t deltas = as.reserve("deltas", n * 8);
+  const uint64_t thresh = as.reserve("thresh", n * 8);
+  for (size_t i = 0; i < n; ++i) {
+    as.init_word(deltas + i * 8, gen() % 2000);
+    as.init_word(thresh + i * 8, gen() % 2000);
+  }
+
+  const int rIdx = 1, rD = 2, rTh = 3, rAcc = 4, rRej = 5, rT = 6;
+  const int rDB = 7, rTB = 8, rEnd = 9, rCost = 10, rZ = 11, rOuter = 12;
+  as.movi(rDB, static_cast<int64_t>(deltas));
+  as.movi(rTB, static_cast<int64_t>(thresh));
+  as.movi(rOuter, static_cast<int64_t>(3 * scale));
+  as.movi(rZ, 0);
+  as.label("outer");
+  as.movi(rIdx, 0);
+  as.movi(rAcc, 0);
+  as.movi(rRej, 0);
+  as.movi(rCost, 100000);
+  as.movi(rEnd, static_cast<int64_t>(n));
+  as.label("loop");
+  as.shli(rT, rIdx, 3);
+  as.add(rD, rDB, rT);
+  as.ld(rD, rD, 0, 8);                // strided delta
+  as.add(rTh, rTB, rT);
+  as.ld(rTh, rTh, 0, 8);              // strided threshold
+  as.blt(rD, rTh, "accept");          // coin-flip hammock
+  as.addi(rRej, rRej, 1);
+  as.jmp("joined");
+  as.label("accept");
+  as.addi(rAcc, rAcc, 1);
+  as.label("joined");                 // re-convergent point
+  as.sub(rT, rCost, rD);              // CI: strided-fed cost update
+  as.min(rCost, rCost, rT);
+  as.addi(rIdx, rIdx, 1);
+  as.blt(rIdx, rEnd, "loop");
+  as.addi(rOuter, rOuter, -1);
+  as.bne(rOuter, rZ, "outer");
+  as.halt();
+  return as.assemble();
+}
+
+// ---------------------------------------------------------------------------
+// vpr — routing cost: for each net, compare the costs of two strided
+// channel arrays (random data → hard pick), then accumulate min/max track
+// usage after the join.
+// ---------------------------------------------------------------------------
+Program build_vpr(uint32_t scale) {
+  Assembler as;
+  std::mt19937_64 gen(0x0BADCAFEULL);
+  const size_t n = 1280;
+  const uint64_t horiz = as.reserve("horiz", n * 8);
+  const uint64_t vert = as.reserve("vert", n * 8);
+  for (size_t i = 0; i < n; ++i) {
+    as.init_word(horiz + i * 8, gen() % 5000);
+    as.init_word(vert + i * 8, gen() % 5000);
+  }
+
+  const int rIdx = 1, rH = 2, rV = 3, rHC = 4, rVC = 5, rT = 6;
+  const int rHB = 7, rVB = 8, rEnd = 9, rMin = 10, rMax = 11, rZ = 12;
+  const int rOuter = 13;
+  as.movi(rHB, static_cast<int64_t>(horiz));
+  as.movi(rVB, static_cast<int64_t>(vert));
+  as.movi(rOuter, static_cast<int64_t>(3 * scale));
+  as.movi(rZ, 0);
+  as.label("outer");
+  as.movi(rIdx, 0);
+  as.movi(rHC, 0);
+  as.movi(rVC, 0);
+  as.movi(rMin, 1 << 20);
+  as.movi(rMax, 0);
+  as.movi(rEnd, static_cast<int64_t>(n));
+  as.label("loop");
+  as.shli(rT, rIdx, 3);
+  as.add(rH, rHB, rT);
+  as.ld(rH, rH, 0, 8);                // strided horizontal cost
+  as.add(rV, rVB, rT);
+  as.ld(rV, rV, 0, 8);                // strided vertical cost
+  as.blt(rH, rV, "pick_h");           // hard pick
+  as.addi(rVC, rVC, 1);
+  as.jmp("picked");
+  as.label("pick_h");
+  as.addi(rHC, rHC, 1);
+  as.label("picked");                 // re-convergent point
+  as.add(rT, rH, rV);                 // CI: total channel cost
+  as.min(rMin, rMin, rT);
+  as.max(rMax, rMax, rT);
+  as.addi(rIdx, rIdx, 1);
+  as.blt(rIdx, rEnd, "loop");
+  as.addi(rOuter, rOuter, -1);
+  as.bne(rOuter, rZ, "outer");
+  as.halt();
+  return as.assemble();
+}
+
+}  // namespace cfir::workloads

@@ -1,0 +1,182 @@
+// Pointer/structure kernels: mcf (linked-list chasing, the "CI found but
+// not strided" case), parser (call/ret token handling) and vortex
+// (store-heavy object updates).
+#include <numeric>
+#include <random>
+
+#include "isa/assembler.hpp"
+#include "workloads/workloads.hpp"
+
+namespace cfir::workloads {
+
+using isa::Assembler;
+using isa::Program;
+
+// ---------------------------------------------------------------------------
+// mcf — network-simplex flavour: traverse a shuffled singly-linked list of
+// arc nodes {next, cost}; a hard hammock on the cost sign updates either
+// the surplus or deficit accumulator; the post-hammock bookkeeping is
+// control independent but hangs off a *pointer-chased* (non-strided) load,
+// so the CI scheme selects instructions yet cannot vectorize them — this
+// is the gray band of Figure 5.
+// ---------------------------------------------------------------------------
+Program build_mcf(uint32_t scale) {
+  Assembler as;
+  std::mt19937_64 gen(0x3CFULL);
+  const size_t nodes = 1024;
+  const uint64_t heap = as.reserve("heap", nodes * 16);
+  // Random traversal permutation (single cycle through all nodes).
+  std::vector<uint32_t> perm(nodes);
+  std::iota(perm.begin(), perm.end(), 0);
+  for (size_t i = nodes - 1; i > 0; --i) {
+    std::uniform_int_distribution<size_t> d(0, i);
+    std::swap(perm[i], perm[d(gen)]);
+  }
+  std::uniform_int_distribution<int64_t> cost(-1000, 1000);
+  for (size_t i = 0; i < nodes; ++i) {
+    const size_t cur = perm[i];
+    const size_t nxt = perm[(i + 1) % nodes];
+    as.init_word(heap + cur * 16, heap + nxt * 16);  // next pointer
+    as.init_word(heap + cur * 16 + 8,
+                 static_cast<uint64_t>(cost(gen)));  // cost
+  }
+
+  const int rPtr = 1, rCost = 2, rPos = 3, rNeg = 4, rCnt = 5;
+  const int rLimit = 7, rZero = 8, rSum = 9;
+  as.movi(rPtr, static_cast<int64_t>(heap + perm[0] * 16));
+  as.movi(rPos, 0);
+  as.movi(rNeg, 0);
+  as.movi(rCnt, 0);
+  as.movi(rSum, 0);
+  as.movi(rZero, 0);
+  as.movi(rLimit, static_cast<int64_t>(6 * nodes * scale));
+  as.label("loop");
+  as.ld(rCost, rPtr, 8, 8);            // pointer-chased, NOT strided
+  as.blt(rCost, rZero, "deficit");     // hard hammock on random sign
+  as.add(rPos, rPos, rCost);
+  as.jmp("join");
+  as.label("deficit");
+  as.sub(rNeg, rNeg, rCost);
+  as.label("join");                    // re-convergent point
+  as.add(rSum, rSum, rCost);           // CI but fed by a non-strided load
+  as.addi(rCnt, rCnt, 1);
+  as.ld(rPtr, rPtr, 0, 8);             // chase
+  as.blt(rCnt, rLimit, "loop");
+  as.halt();
+  return as.assemble();
+}
+
+// ---------------------------------------------------------------------------
+// parser — token stream processed through a helper "function": CALL/RET per
+// token exercises the return-address stack; inside the callee a hammock
+// classifies the token and a small loop skips its payload.
+// ---------------------------------------------------------------------------
+Program build_parser(uint32_t scale) {
+  Assembler as;
+  std::mt19937_64 gen(0x9A25E2ULL);
+  const size_t n = 1024;
+  const uint64_t toks = as.reserve("toks", n);
+  std::uniform_int_distribution<int> tok(0, 7);
+  std::vector<uint8_t> bytes(n);
+  for (auto& b : bytes) b = static_cast<uint8_t>(tok(gen));
+  as.init_bytes(toks, bytes);
+
+  const int rIdx = 1, rTok = 2, rWords = 3, rPunct = 4, rT = 5, rBase = 6;
+  const int rEnd = 7, rFour = 8, rAcc = 9, rK = 10, rOuter = 11, rZ = 12;
+  as.movi(rBase, static_cast<int64_t>(toks));
+  as.movi(rOuter, static_cast<int64_t>(4 * scale));
+  as.jmp("main");
+
+  // int classify(tok): hammock + payload loop; result in rAcc.
+  as.label("classify");
+  as.movi(rFour, 4);
+  as.blt(rTok, rFour, "is_word");      // hard: tokens uniform 0..7
+  as.addi(rPunct, rPunct, 1);
+  as.mov(rK, rTok);
+  as.jmp("payload");
+  as.label("is_word");
+  as.addi(rWords, rWords, 1);
+  as.addi(rK, rTok, 2);
+  as.label("payload");                 // re-convergent point
+  as.add(rAcc, rAcc, rTok);            // CI: token value from strided load
+  as.label("skip");
+  as.addi(rK, rK, -1);
+  as.movi(rT, 0);
+  as.bne(rK, rT, "skip");              // short data-dependent loop
+  as.ret();
+
+  as.label("main");
+  as.movi(rIdx, 0);
+  as.movi(rWords, 0);
+  as.movi(rPunct, 0);
+  as.movi(rAcc, 0);
+  as.movi(rEnd, static_cast<int64_t>(n));
+  as.label("loop");
+  as.add(rT, rBase, rIdx);
+  as.ld(rTok, rT, 0, 1);               // strided token load
+  as.call("classify");
+  as.addi(rIdx, rIdx, 1);
+  as.blt(rIdx, rEnd, "loop");
+  as.addi(rOuter, rOuter, -1);
+  as.movi(rZ, 0);
+  as.bne(rOuter, rZ, "main");
+  as.halt();
+  return as.assemble();
+}
+
+// ---------------------------------------------------------------------------
+// vortex — object-store update: copy/update records between two regions
+// with mostly-predictable control; stores dominate, which exercises the
+// store-commit path and the memory-coherence range checks against
+// vectorized loads.
+// ---------------------------------------------------------------------------
+Program build_vortex(uint32_t scale) {
+  Assembler as;
+  std::mt19937_64 gen(0x40F3ULL);
+  const size_t recs = 512;
+  const uint64_t src = as.reserve("src", recs * 24);
+  const uint64_t dst = as.reserve("dst", recs * 24);
+  for (size_t i = 0; i < recs; ++i) {
+    as.init_word(src + i * 24, gen() % 1000);
+    as.init_word(src + i * 24 + 8, gen() % 1000);
+    as.init_word(src + i * 24 + 16, i);
+  }
+
+  const int rIdx = 1, rS = 2, rD = 3, rA = 4, rB = 5, rC = 6, rT = 7;
+  const int rEnd = 8, rSum = 9, rOuter = 10, rZ = 11, rTh = 12;
+  as.movi(rOuter, static_cast<int64_t>(6 * scale));
+  as.label("outer");
+  as.movi(rIdx, 0);
+  as.movi(rSum, 0);
+  as.movi(rEnd, static_cast<int64_t>(recs));
+  as.movi(rTh, 500);
+  as.label("loop");
+  as.muli(rT, rIdx, 24);
+  as.movi(rS, static_cast<int64_t>(src));
+  as.add(rS, rS, rT);
+  as.movi(rD, static_cast<int64_t>(dst));
+  as.add(rD, rD, rT);
+  as.ld(rA, rS, 0, 8);                 // strided record loads
+  as.ld(rB, rS, 8, 8);
+  as.ld(rC, rS, 16, 8);
+  as.add(rT, rA, rB);
+  as.st(rT, rD, 0, 8);                 // store-heavy update
+  as.st(rC, rD, 8, 8);
+  as.blt(rA, rTh, "small");            // semi-random hammock
+  as.addi(rT, rT, 7);
+  as.jmp("stored");
+  as.label("small");
+  as.addi(rT, rT, 3);
+  as.label("stored");                  // re-convergent point
+  as.add(rSum, rSum, rA);              // CI accumulation
+  as.st(rT, rD, 16, 8);
+  as.addi(rIdx, rIdx, 1);
+  as.blt(rIdx, rEnd, "loop");
+  as.addi(rOuter, rOuter, -1);
+  as.movi(rZ, 0);
+  as.bne(rOuter, rZ, "outer");
+  as.halt();
+  return as.assemble();
+}
+
+}  // namespace cfir::workloads

@@ -1,0 +1,75 @@
+#include "workloads/workloads.hpp"
+
+#include <stdexcept>
+#include <unordered_map>
+
+namespace cfir::workloads {
+
+namespace {
+struct Kernel {
+  isa::Program (*build)(uint32_t);
+  const char* description;
+};
+
+const std::unordered_map<std::string, Kernel>& registry() {
+  static const std::unordered_map<std::string, Kernel> kKernels = {
+      {"bzip2", {build_bzip2,
+                 "RLE/histogram over random bytes (the paper's Figure 1 "
+                 "hammock: hard branch + strided loads + CI accumulation)"}},
+      {"crafty", {build_crafty,
+                  "bitboard scans with random bit-test hammocks and "
+                  "popcount ALU pressure"}},
+      {"eon", {build_eon,
+               "regular multiply-accumulate loops, predictable branches "
+               "(CI mechanism stays idle)"}},
+      {"gap", {build_gap,
+               "modular-arithmetic divisibility hammocks over strided "
+               "arrays"}},
+      {"gcc", {build_gcc,
+               "multi-way if/else dispatch over a skewed opcode stream"}},
+      {"gzip", {build_gzip,
+                "LZ window matching with data-dependent inner-loop exits"}},
+      {"mcf", {build_mcf,
+               "pointer chasing: CI selected but not strided-fed (no "
+               "reuse, Figure 5 gray band)"}},
+      {"parser", {build_parser,
+                  "call/ret token classification (return-address stack "
+                  "pressure)"}},
+      {"perlbmk", {build_perlbmk,
+                   "byte hashing with character-class hammocks"}},
+      {"twolf", {build_twolf,
+                 "annealing accept/reject on strided cost arrays"}},
+      {"vortex", {build_vortex,
+                  "store-heavy object updates (coherence-check pressure)"}},
+      {"vpr", {build_vpr,
+               "grid routing cost comparison with min/max CI reduction"}},
+  };
+  return kKernels;
+}
+}  // namespace
+
+const std::vector<std::string>& names() {
+  static const std::vector<std::string> kNames = {
+      "bzip2", "crafty", "eon",     "gap",   "gcc",    "gzip",
+      "mcf",   "parser", "perlbmk", "twolf", "vortex", "vpr"};
+  return kNames;
+}
+
+isa::Program build(const std::string& name, uint32_t scale) {
+  const auto it = registry().find(name);
+  if (it == registry().end()) {
+    throw std::invalid_argument("unknown workload: " + name);
+  }
+  if (scale == 0) scale = 1;
+  return it->second.build(scale);
+}
+
+std::string describe(const std::string& name) {
+  const auto it = registry().find(name);
+  if (it == registry().end()) {
+    throw std::invalid_argument("unknown workload: " + name);
+  }
+  return it->second.description;
+}
+
+}  // namespace cfir::workloads

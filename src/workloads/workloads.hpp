@@ -1,0 +1,56 @@
+// Synthetic SpecInt2000 stand-ins (DESIGN.md section 2): twelve kernels,
+// one per benchmark the paper evaluates, each engineered to exhibit the
+// branch/memory character that drives the paper's results:
+//
+//   bzip2    RLE/histogram over random bytes — the paper's Figure 1 hammock
+//            (hard data-dependent branch + strided loads + CI accumulation)
+//   crafty   bitboard scans: shifts/masks, semi-random bit-test branches
+//   eon      regular numeric loops, highly predictable branches (CI idle)
+//   gap      modular-arithmetic hammocks over strided arrays
+//   gcc      multi-way if/else chains over an opcode stream, mixed bias
+//   gzip     LZ window matching: data-dependent inner-loop exits
+//   mcf      pointer chasing — CI instructions found but no strided base,
+//            so selection succeeds while vectorization cannot (Fig 5 gray)
+//   parser   call/ret token processing (return-address stack pressure)
+//   perlbmk  byte-hash loops with character-class hammocks
+//   twolf    simulated-annealing accept/reject on strided cost arrays
+//   vortex   object copy/update, store-heavy, mostly predictable
+//   vpr      grid cost comparison with min/max CI accumulation
+//
+// Every kernel is deterministic (fixed RNG seed), self-checking (it leaves
+// digest values in registers), and ends with HALT.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/program.hpp"
+
+namespace cfir::workloads {
+
+/// The twelve SpecInt2000 names, in the paper's order.
+[[nodiscard]] const std::vector<std::string>& names();
+
+/// Builds a workload; `scale` multiplies the iteration counts (scale 1 is
+/// roughly 20k-80k dynamic instructions depending on the kernel).
+[[nodiscard]] isa::Program build(const std::string& name, uint32_t scale = 1);
+
+/// One-line description of what the kernel models (used by examples).
+[[nodiscard]] std::string describe(const std::string& name);
+
+// Individual builders (exposed for focused tests).
+isa::Program build_bzip2(uint32_t scale);
+isa::Program build_crafty(uint32_t scale);
+isa::Program build_eon(uint32_t scale);
+isa::Program build_gap(uint32_t scale);
+isa::Program build_gcc(uint32_t scale);
+isa::Program build_gzip(uint32_t scale);
+isa::Program build_mcf(uint32_t scale);
+isa::Program build_parser(uint32_t scale);
+isa::Program build_perlbmk(uint32_t scale);
+isa::Program build_twolf(uint32_t scale);
+isa::Program build_vortex(uint32_t scale);
+isa::Program build_vpr(uint32_t scale);
+
+}  // namespace cfir::workloads

@@ -1,0 +1,142 @@
+#include "isa/assembler.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cfir::isa {
+namespace {
+
+TEST(Assembler, EmitsInstructionsInOrder) {
+  Assembler as;
+  as.movi(1, 42);
+  as.add(2, 1, 1);
+  as.halt();
+  const Program p = as.assemble();
+  ASSERT_EQ(p.size(), 3u);
+  EXPECT_EQ(p.code()[0].op, Opcode::kMovi);
+  EXPECT_EQ(p.code()[0].rd, 1);
+  EXPECT_EQ(p.code()[0].imm, 42);
+  EXPECT_EQ(p.code()[1].op, Opcode::kAdd);
+  EXPECT_EQ(p.code()[2].op, Opcode::kHalt);
+}
+
+TEST(Assembler, ForwardAndBackwardLabels) {
+  Assembler as;
+  as.label("start");
+  as.movi(1, 0);
+  as.beq(1, 1, "end");   // forward reference
+  as.jmp("start");       // backward reference
+  as.label("end");
+  as.halt();
+  const Program p = as.assemble();
+  EXPECT_EQ(static_cast<uint64_t>(p.code()[1].imm), p.pc_of(3));
+  EXPECT_EQ(static_cast<uint64_t>(p.code()[2].imm), p.pc_of(0));
+  EXPECT_EQ(p.label("start"), p.pc_of(0));
+  EXPECT_EQ(p.label("end"), p.pc_of(3));
+  EXPECT_FALSE(p.label("missing").has_value());
+}
+
+TEST(Assembler, UndefinedLabelThrows) {
+  Assembler as;
+  as.jmp("nowhere");
+  EXPECT_THROW(as.assemble(), AssemblerError);
+}
+
+TEST(Assembler, DuplicateLabelThrows) {
+  Assembler as;
+  as.label("x");
+  as.nop();
+  EXPECT_THROW(as.label("x"), AssemblerError);
+}
+
+TEST(Assembler, RegisterRangeChecked) {
+  Assembler as;
+  EXPECT_THROW(as.movi(64, 0), AssemblerError);
+  EXPECT_THROW(as.add(0, -1, 0), AssemblerError);
+}
+
+TEST(Assembler, DataReservationAndInit) {
+  Assembler as;
+  const uint64_t a = as.reserve("a", 64);
+  const uint64_t b = as.reserve("b", 8);
+  EXPECT_GE(b, a + 64);
+  EXPECT_EQ(b % 8, 0u);
+  EXPECT_EQ(as.data_addr("a"), a);
+  as.init_word(a, 0x1122334455667788ULL);
+  as.halt();
+  const Program p = as.assemble();
+  ASSERT_EQ(p.data().size(), 1u);
+  EXPECT_EQ(p.data()[0].addr, a);
+  EXPECT_EQ(p.data()[0].bytes.size(), 8u);
+  EXPECT_EQ(p.data()[0].bytes[0], 0x88);  // little endian
+  EXPECT_EQ(p.data()[0].bytes[7], 0x11);
+}
+
+TEST(Assembler, CallRetEncoding) {
+  Assembler as;
+  as.call("f");
+  as.halt();
+  as.label("f");
+  as.ret();
+  const Program p = as.assemble();
+  EXPECT_EQ(p.code()[0].op, Opcode::kCall);
+  EXPECT_EQ(p.code()[0].rd, kLinkReg);
+  EXPECT_EQ(p.code()[2].op, Opcode::kRet);
+  EXPECT_EQ(p.code()[2].rs1, kLinkReg);
+}
+
+TEST(TextAssembler, ParsesRepresentativeListing) {
+  const Program p = assemble_text(R"(
+    # counts down from 5
+    movi r1, 5
+    movi r2, 0
+  loop:
+    add r2, r2, r1
+    add r1, r1, -1     ; immediate form
+    bne r1, r3, loop
+    st8 r2, 0(r4)
+    halt
+  )");
+  ASSERT_EQ(p.size(), 7u);
+  EXPECT_EQ(p.code()[0].op, Opcode::kMovi);
+  EXPECT_EQ(p.code()[2].op, Opcode::kAdd);
+  EXPECT_EQ(p.code()[3].op, Opcode::kAddi);
+  EXPECT_EQ(p.code()[3].imm, -1);
+  EXPECT_EQ(p.code()[4].op, Opcode::kBne);
+  EXPECT_EQ(static_cast<uint64_t>(p.code()[4].imm), p.pc_of(2));
+  EXPECT_EQ(p.code()[5].op, Opcode::kSt8);
+}
+
+TEST(TextAssembler, RejectsUnknownMnemonic) {
+  EXPECT_THROW(assemble_text("frobnicate r1, r2, r3"), AssemblerError);
+}
+
+TEST(TextAssembler, RejectsMissingImmediateForm) {
+  EXPECT_THROW(assemble_text("div r1, r2, 3"), AssemblerError);
+}
+
+TEST(Program, ContainsAndTryAt) {
+  Assembler as;
+  as.nop();
+  as.halt();
+  const Program p = as.assemble();
+  EXPECT_TRUE(p.contains(p.base()));
+  EXPECT_FALSE(p.contains(p.base() + 1));  // misaligned
+  EXPECT_FALSE(p.contains(p.end_pc()));
+  EXPECT_NE(p.try_at(p.base()), nullptr);
+  EXPECT_EQ(p.try_at(p.end_pc()), nullptr);
+  EXPECT_EQ(p.try_at(0), nullptr);
+}
+
+TEST(Program, ListingIncludesLabels) {
+  Assembler as;
+  as.label("entry");
+  as.movi(1, 3);
+  as.halt();
+  const Program p = as.assemble();
+  const std::string listing = p.listing();
+  EXPECT_NE(listing.find("entry:"), std::string::npos);
+  EXPECT_NE(listing.find("movi r1, 3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cfir::isa

@@ -1,0 +1,185 @@
+// Integration tests of the full control-independence mechanism on the
+// paper's own example shape (Figure 1) and on targeted corner cases
+// (memory coherence, DAEC, spec-memory mode, vect policy).
+#include <gtest/gtest.h>
+
+#include "helpers.hpp"
+#include "isa/assembler.hpp"
+#include "sim/presets.hpp"
+#include "sim/simulator.hpp"
+
+namespace cfir::sim {
+namespace {
+
+TEST(CiMechanism, Figure1ReusesControlIndependentWork) {
+  const isa::Program p = cfir::testing::figure1_program(2048, 50, 21);
+  Simulator s(presets::ci(2, 512), p);
+  const auto st = s.run(2000000);
+  EXPECT_TRUE(st.halted);
+  // The hammock is hard; the mechanism must find and vectorize the strided
+  // load and its control-independent consumer.
+  EXPECT_GT(st.hard_mispredicts, 50u);
+  EXPECT_GT(st.srsmt_allocs, 0u);
+  EXPECT_GT(st.replicas_created, 0u);
+  EXPECT_GT(st.replicas_executed, 0u);
+  EXPECT_GT(st.reused_committed, 0u);
+  // Correctness: the architectural safety net must never fire.
+  EXPECT_EQ(st.safety_net_recoveries, 0u);
+}
+
+TEST(CiMechanism, Figure1MatchesInterpreter) {
+  const isa::Program p = cfir::testing::figure1_program(1024, 50, 22);
+  const DiffResult r = differential_run(presets::ci(2, 512), p, 1000000);
+  EXPECT_TRUE(r.match) << r.mismatch;
+}
+
+TEST(CiMechanism, EpisodesTracked) {
+  const isa::Program p = cfir::testing::figure1_program(2048, 50, 23);
+  Simulator s(presets::ci(2, 512), p);
+  const auto st = s.run(2000000);
+  EXPECT_GT(st.ep_total, 0u);
+  EXPECT_GE(st.ep_total, st.ep_ci_selected);
+  EXPECT_GE(st.ep_ci_selected, st.ep_ci_reused);
+  EXPECT_GT(st.ep_ci_selected, 0u);
+  EXPECT_GT(st.ep_ci_reused, 0u);
+}
+
+TEST(CiMechanism, PredictableBranchesLeaveMechanismIdle) {
+  // All-zero data: the hammock is perfectly biased; the MBS filters it and
+  // almost no CI episodes open.
+  const isa::Program p = cfir::testing::figure1_program(2048, 100, 24);
+  Simulator s(presets::ci(2, 512), p);
+  const auto st = s.run(2000000);
+  EXPECT_LT(st.hard_mispredicts, 20u);
+}
+
+TEST(CiMechanism, CoherenceSquashOnStoreIntoVectorizedRange) {
+  // A strided load stream vectorizes; a store then writes ahead of the
+  // reader into the replicated range -> range check must fire.
+  isa::Assembler as;
+  const uint64_t a = as.reserve("a", 4096 * 8);
+  std::mt19937_64 gen(5);
+  for (size_t i = 0; i < 4096; ++i) {
+    as.init_word(a + 8 * i, gen() % 2);
+  }
+  const int rIdx = 1, rV = 2, rSum = 3, rBase = 4, rEnd = 5, rZ = 6;
+  const int rSt = 7, rC = 8, rT = 9, rOnes = 10, rZeros = 11;
+  as.movi(rIdx, 0);
+  as.movi(rSum, 0);
+  as.movi(rBase, static_cast<int64_t>(a));
+  as.movi(rEnd, 4096 * 8);
+  as.movi(rZ, 0);
+  as.movi(rC, 12345);
+  as.label("loop");
+  as.add(rV, rBase, rIdx);
+  as.ld(rV, rV, 0, 8);          // strided load (will vectorize)
+  as.beq(rV, rZ, "skip");       // hard hammock keeps MBS interested
+  as.addi(rOnes, rOnes, 1);     // arms write registers the CI consumer
+  as.jmp("join");               // does not read (as in Figure 1)
+  as.label("skip");
+  as.addi(rZeros, rZeros, 1);
+  as.label("join");
+  as.add(rSum, rSum, rV);       // CI consumer, strided-fed
+  // Store an LCG-generated bit two elements ahead: lands inside the
+  // outstanding replica range (coherence check) yet keeps the hammock
+  // data-dependent and hard to predict.
+  as.muli(rC, rC, 6364136223846793005LL);
+  as.addi(rC, rC, 1442695040888963407LL);
+  as.shrli(rT, rC, 33);
+  as.andi(rT, rT, 1);
+  as.add(rSt, rBase, rIdx);
+  as.st(rT, rSt, 16, 8);
+  as.addi(rIdx, rIdx, 8);
+  as.blt(rIdx, rEnd, "loop");
+  as.halt();
+  const isa::Program p = as.assemble();
+  Simulator s(presets::ci(2, 512), p);
+  const auto st = s.run(2000000);
+  EXPECT_GT(st.store_range_checks, 0u);
+  EXPECT_GT(st.store_range_conflicts, 0u);
+  EXPECT_EQ(st.safety_net_recoveries, 0u);
+  // And the result must still be architecturally exact.
+  const DiffResult r = differential_run(presets::ci(2, 512), p, 2000000);
+  EXPECT_TRUE(r.match) << r.mismatch;
+}
+
+TEST(CiMechanism, SpecMemoryModeReuses) {
+  const isa::Program p = cfir::testing::figure1_program(2048, 50, 25);
+  Simulator s(presets::ci_specmem(2, 256, 768), p);
+  const auto st = s.run(2000000);
+  EXPECT_GT(st.reused_committed, 0u);
+  EXPECT_GT(st.specmem_writes, 0u);
+  EXPECT_GT(st.specmem_copies, 0u);
+  EXPECT_EQ(st.safety_net_recoveries, 0u);
+}
+
+TEST(CiMechanism, SpecMemoryModeMatchesInterpreter) {
+  const isa::Program p = cfir::testing::figure1_program(1024, 50, 26);
+  const DiffResult r =
+      differential_run(presets::ci_specmem(2, 256, 768), p, 1000000);
+  EXPECT_TRUE(r.match) << r.mismatch;
+}
+
+TEST(CiMechanism, VectPolicyVectorizesWithoutEpisodes) {
+  const isa::Program p = cfir::testing::figure1_program(2048, 50, 27);
+  Simulator s(presets::vect(2, presets::kInfRegs), p);
+  const auto st = s.run(2000000);
+  EXPECT_GT(st.replicas_executed, 0u);
+  EXPECT_GT(st.reused_committed, 0u);
+  EXPECT_EQ(st.ep_total, 0u);  // no CRP episodes under vect
+  EXPECT_EQ(st.safety_net_recoveries, 0u);
+}
+
+TEST(CiMechanism, VectPolicyMatchesInterpreter) {
+  const isa::Program p = cfir::testing::figure1_program(1024, 50, 28);
+  const DiffResult r =
+      differential_run(presets::vect(2, presets::kInfRegs), p, 1000000);
+  EXPECT_TRUE(r.match) << r.mismatch;
+}
+
+TEST(CiMechanism, ReplicaRegistersReleasedEventually) {
+  // After the run, entries may hold registers, but the in-use count must
+  // stay far below the total: DAEC and retire-reclaim keep it bounded.
+  const isa::Program p = cfir::testing::figure1_program(4096, 50, 29);
+  Simulator s(presets::ci(2, presets::kInfRegs), p);
+  const auto st = s.run(4000000);
+  EXPECT_GT(st.reused_committed, 0u);
+  EXPECT_LT(st.avg_regs_in_use(), 2048.0);
+}
+
+TEST(CiMechanism, StrideBreakTriggersRevalidationNotCorruption) {
+  // Alternate between two interleaved walks from the same load PC: the
+  // stride predictor oscillates, validations hard-fail, entries recycle —
+  // committed state must stay exact and the safety net silent.
+  isa::Assembler as;
+  const uint64_t a = as.reserve("a", 1024 * 8);
+  for (size_t i = 0; i < 1024; ++i) as.init_word(a + 8 * i, i % 3);
+  const int rI = 1, rJ = 2, rV = 3, rSum = 4, rB = 5, rN = 6, rZ = 7, rT = 8;
+  as.movi(rI, 0);
+  as.movi(rJ, 1024 * 8 - 8);
+  as.movi(rSum, 0);
+  as.movi(rB, static_cast<int64_t>(a));
+  as.movi(rN, 512);
+  as.movi(rZ, 0);
+  as.label("loop");
+  as.add(rT, rB, rI);
+  as.ld(rV, rT, 0, 8);        // ascending access
+  as.add(rSum, rSum, rV);
+  as.add(rT, rB, rJ);
+  as.ld(rV, rT, 0, 8);        // same data, descending access
+  as.beq(rV, rZ, "skip");
+  as.addi(rSum, rSum, 5);
+  as.label("skip");
+  as.add(rSum, rSum, rV);
+  as.addi(rI, rI, 8);
+  as.addi(rJ, rJ, -8);
+  as.addi(rN, rN, -1);
+  as.bne(rN, rZ, "loop");
+  as.halt();
+  const isa::Program p = as.assemble();
+  const DiffResult r = differential_run(presets::ci(2, 512), p, 1000000);
+  EXPECT_TRUE(r.match) << r.mismatch;
+}
+
+}  // namespace
+}  // namespace cfir::sim

@@ -1,0 +1,78 @@
+// Property-based differential testing of every speculation policy: random
+// structured programs must commit the interpreter's exact architectural
+// state under ci / vect / ci-iw / spec-memory configurations.
+#include <gtest/gtest.h>
+
+#include "helpers.hpp"
+#include "sim/presets.hpp"
+#include "sim/simulator.hpp"
+#include "workloads/workloads.hpp"
+
+namespace cfir::sim {
+namespace {
+
+class RandomProgramPolicies : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RandomProgramPolicies, CiMatchesInterpreter) {
+  const isa::Program p = cfir::testing::random_program(GetParam());
+  const DiffResult r = differential_run(presets::ci(2, 512), p, 300000);
+  EXPECT_TRUE(r.match) << "seed " << GetParam() << ": " << r.mismatch;
+}
+
+TEST_P(RandomProgramPolicies, CiSmallRegfileMatchesInterpreter) {
+  const isa::Program p = cfir::testing::random_program(GetParam());
+  const DiffResult r = differential_run(presets::ci(1, 128), p, 300000);
+  EXPECT_TRUE(r.match) << "seed " << GetParam() << ": " << r.mismatch;
+}
+
+TEST_P(RandomProgramPolicies, VectMatchesInterpreter) {
+  const isa::Program p = cfir::testing::random_program(GetParam());
+  const DiffResult r = differential_run(presets::vect(2, 512), p, 300000);
+  EXPECT_TRUE(r.match) << "seed " << GetParam() << ": " << r.mismatch;
+}
+
+TEST_P(RandomProgramPolicies, CiWindowMatchesInterpreter) {
+  const isa::Program p = cfir::testing::random_program(GetParam());
+  const DiffResult r = differential_run(presets::ci_window(1, 256), p, 300000);
+  EXPECT_TRUE(r.match) << "seed " << GetParam() << ": " << r.mismatch;
+}
+
+TEST_P(RandomProgramPolicies, CiSpecMemoryMatchesInterpreter) {
+  const isa::Program p = cfir::testing::random_program(GetParam());
+  const DiffResult r =
+      differential_run(presets::ci_specmem(2, 256, 256), p, 300000);
+  EXPECT_TRUE(r.match) << "seed " << GetParam() << ": " << r.mismatch;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomProgramPolicies,
+                         ::testing::Range<uint64_t>(100, 120));
+
+// The workloads themselves, under every policy (heavier, fewer cases).
+class WorkloadPolicies : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(WorkloadPolicies, CiMatchesInterpreter) {
+  const isa::Program p = workloads::build(GetParam(), 1);
+  const DiffResult r = differential_run(presets::ci(2, 512), p, 50000);
+  EXPECT_TRUE(r.match) << GetParam() << ": " << r.mismatch;
+}
+
+TEST_P(WorkloadPolicies, VectMatchesInterpreter) {
+  const isa::Program p = workloads::build(GetParam(), 1);
+  const DiffResult r = differential_run(presets::vect(2, 512), p, 50000);
+  EXPECT_TRUE(r.match) << GetParam() << ": " << r.mismatch;
+}
+
+TEST_P(WorkloadPolicies, CiWindowMatchesInterpreter) {
+  const isa::Program p = workloads::build(GetParam(), 1);
+  const DiffResult r = differential_run(presets::ci_window(1, 256), p, 50000);
+  EXPECT_TRUE(r.match) << GetParam() << ": " << r.mismatch;
+}
+
+INSTANTIATE_TEST_SUITE_P(All, WorkloadPolicies,
+                         ::testing::Values("bzip2", "crafty", "eon", "gap",
+                                           "gcc", "gzip", "mcf", "parser",
+                                           "perlbmk", "twolf", "vortex",
+                                           "vpr"));
+
+}  // namespace
+}  // namespace cfir::sim

@@ -1,0 +1,123 @@
+// Differential tests: the out-of-order core must commit exactly the
+// interpreter's architectural state, for every configuration dimension of
+// the baseline (ports, wide bus, register counts).
+#include <gtest/gtest.h>
+
+#include "helpers.hpp"
+#include "isa/assembler.hpp"
+#include "sim/presets.hpp"
+#include "sim/simulator.hpp"
+#include "workloads/workloads.hpp"
+
+namespace cfir::sim {
+namespace {
+
+void expect_match(const core::CoreConfig& cfg, const isa::Program& p,
+                  uint64_t cap = 400000) {
+  const DiffResult r = differential_run(cfg, p, cap);
+  EXPECT_TRUE(r.match) << r.mismatch;
+}
+
+TEST(CoreDifferential, Figure1Hammock) {
+  expect_match(presets::scal(1, 256), cfir::testing::figure1_program(512, 50, 3));
+}
+
+TEST(CoreDifferential, Figure1AllZero) {
+  expect_match(presets::scal(1, 256), cfir::testing::figure1_program(512, 100, 3));
+}
+
+TEST(CoreDifferential, WideBus) {
+  expect_match(presets::wb(1, 256), cfir::testing::figure1_program(512, 50, 9));
+}
+
+TEST(CoreDifferential, TwoPorts) {
+  expect_match(presets::scal(2, 256), cfir::testing::figure1_program(512, 50, 9));
+}
+
+TEST(CoreDifferential, TinyRegisterFile) {
+  expect_match(presets::scal(1, 128), cfir::testing::figure1_program(512, 50, 11));
+}
+
+TEST(CoreDifferential, HugeRegisterFile) {
+  expect_match(presets::scal(1, presets::kInfRegs),
+               cfir::testing::figure1_program(512, 50, 11));
+}
+
+TEST(CoreDifferential, StoreLoadForwardingPattern) {
+  const isa::Program p = isa::assemble_text(R"(
+    movi r1, 1048576
+    movi r2, 0
+    movi r9, 64
+  loop:
+    add r3, r2, r2
+    add r4, r1, r2
+    st8 r3, 0(r4)
+    ld8 r5, 0(r4)      # forwarded from the in-flight store
+    add r6, r6, r5
+    add r2, r2, 8
+    bne r2, r9, loop
+    halt
+  )");
+  expect_match(presets::scal(1, 256), p);
+}
+
+TEST(CoreDifferential, PartialOverlapStoreLoad) {
+  const isa::Program p = isa::assemble_text(R"(
+    movi r1, 1048576
+    movi r2, 0x11223344
+    st8 r2, 0(r1)
+    st1 r3, 2(r1)      # narrow store into the middle
+    ld8 r4, 0(r1)      # overlaps both stores: must wait, not forward
+    ld2 r5, 2(r1)
+    halt
+  )");
+  expect_match(presets::scal(1, 256), p);
+}
+
+TEST(CoreDifferential, DivChain) {
+  const isa::Program p = isa::assemble_text(R"(
+    movi r1, 1000000
+    movi r2, 7
+    div r3, r1, r2
+    div r4, r3, r2
+    rem r5, r1, r2
+    movi r6, 0
+    div r7, r1, r6     # division by zero path
+    halt
+  )");
+  expect_match(presets::scal(1, 256), p);
+}
+
+TEST(CoreDifferential, CallRetNesting) {
+  const isa::Program p = isa::assemble_text(R"(
+    movi r1, 20
+    movi r2, 0
+  loop:
+    call outer
+    add r1, r1, -1
+    movi r9, 0
+    bne r1, r9, loop
+    halt
+  outer:
+    mov r60, r63        # save link
+    call inner
+    mov r63, r60
+    add r2, r2, 1
+    ret
+  inner:
+    add r2, r2, 2
+    ret
+  )");
+  expect_match(presets::scal(1, 256), p);
+}
+
+TEST(CoreDifferential, WorkloadsUnderBaseline) {
+  for (const char* name : {"bzip2", "mcf", "eon"}) {
+    const isa::Program p = workloads::build(name, 1);
+    const DiffResult r = differential_run(presets::scal(1, 256), p, 60000);
+    EXPECT_TRUE(r.match) << name << ": " << r.mismatch;
+  }
+}
+
+}  // namespace
+}  // namespace cfir::sim

@@ -1,0 +1,135 @@
+#include "isa/isa.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+namespace cfir::isa {
+namespace {
+
+TEST(IsaProperties, OpcodeClassification) {
+  EXPECT_TRUE(is_load(Opcode::kLd8));
+  EXPECT_TRUE(is_load(Opcode::kLd1));
+  EXPECT_FALSE(is_load(Opcode::kSt8));
+  EXPECT_TRUE(is_store(Opcode::kSt4));
+  EXPECT_TRUE(is_mem(Opcode::kLd2));
+  EXPECT_TRUE(is_mem(Opcode::kSt2));
+  EXPECT_FALSE(is_mem(Opcode::kAdd));
+  EXPECT_TRUE(is_cond_branch(Opcode::kBeq));
+  EXPECT_TRUE(is_cond_branch(Opcode::kBgeu));
+  EXPECT_FALSE(is_cond_branch(Opcode::kJmp));
+  EXPECT_TRUE(is_uncond_branch(Opcode::kJmp));
+  EXPECT_TRUE(is_uncond_branch(Opcode::kCall));
+  EXPECT_TRUE(is_uncond_branch(Opcode::kRet));
+  EXPECT_TRUE(is_branch(Opcode::kBne));
+  EXPECT_TRUE(is_indirect(Opcode::kRet));
+  EXPECT_FALSE(is_indirect(Opcode::kJmp));
+}
+
+TEST(IsaProperties, DestAndSources) {
+  EXPECT_TRUE(has_dest(Opcode::kAdd));
+  EXPECT_TRUE(has_dest(Opcode::kLd8));
+  EXPECT_TRUE(has_dest(Opcode::kCall));  // link register
+  EXPECT_FALSE(has_dest(Opcode::kSt8));
+  EXPECT_FALSE(has_dest(Opcode::kBeq));
+  EXPECT_FALSE(has_dest(Opcode::kJmp));
+  EXPECT_EQ(num_sources(Opcode::kAdd), 2);
+  EXPECT_EQ(num_sources(Opcode::kAddi), 1);
+  EXPECT_EQ(num_sources(Opcode::kMovi), 0);
+  EXPECT_EQ(num_sources(Opcode::kSt8), 2);  // base + data
+  EXPECT_EQ(num_sources(Opcode::kLd8), 1);
+  EXPECT_EQ(num_sources(Opcode::kRet), 1);
+}
+
+TEST(IsaProperties, FuClasses) {
+  EXPECT_EQ(fu_class(Opcode::kAdd), FuClass::kIntAlu);
+  EXPECT_EQ(fu_class(Opcode::kMul), FuClass::kIntMul);
+  EXPECT_EQ(fu_class(Opcode::kDiv), FuClass::kIntDiv);
+  EXPECT_EQ(fu_class(Opcode::kRem), FuClass::kIntDiv);
+  EXPECT_EQ(fu_class(Opcode::kLd8), FuClass::kMem);
+  EXPECT_EQ(fu_class(Opcode::kBeq), FuClass::kBranch);
+  EXPECT_EQ(fu_class(Opcode::kJmp), FuClass::kNone);
+}
+
+TEST(IsaProperties, MemBytes) {
+  EXPECT_EQ(mem_bytes(Opcode::kLd8), 8);
+  EXPECT_EQ(mem_bytes(Opcode::kLd4), 4);
+  EXPECT_EQ(mem_bytes(Opcode::kLd2), 2);
+  EXPECT_EQ(mem_bytes(Opcode::kLd1), 1);
+  EXPECT_EQ(mem_bytes(Opcode::kSt8), 8);
+  EXPECT_EQ(mem_bytes(Opcode::kAdd), 0);
+}
+
+TEST(EvalAlu, BasicArithmetic) {
+  EXPECT_EQ(eval_alu(Opcode::kAdd, 2, 3, 0), 5u);
+  EXPECT_EQ(eval_alu(Opcode::kSub, 2, 3, 0), static_cast<uint64_t>(-1));
+  EXPECT_EQ(eval_alu(Opcode::kMul, 7, 6, 0), 42u);
+  EXPECT_EQ(eval_alu(Opcode::kAnd, 0xF0, 0x3C, 0), 0x30u);
+  EXPECT_EQ(eval_alu(Opcode::kOr, 0xF0, 0x0F, 0), 0xFFu);
+  EXPECT_EQ(eval_alu(Opcode::kXor, 0xFF, 0x0F, 0), 0xF0u);
+}
+
+TEST(EvalAlu, DivisionEdgeCases) {
+  // Division by zero is defined as 0 (REM returns the dividend).
+  EXPECT_EQ(eval_alu(Opcode::kDiv, 42, 0, 0), 0u);
+  EXPECT_EQ(eval_alu(Opcode::kRem, 42, 0, 0), 42u);
+  // INT64_MIN / -1 must not trap: defined as unsigned negation.
+  const uint64_t min = static_cast<uint64_t>(std::numeric_limits<int64_t>::min());
+  EXPECT_EQ(eval_alu(Opcode::kDiv, min, static_cast<uint64_t>(-1), 0), min);
+  EXPECT_EQ(eval_alu(Opcode::kRem, min, static_cast<uint64_t>(-1), 0), 0u);
+  // Signed semantics.
+  EXPECT_EQ(eval_alu(Opcode::kDiv, static_cast<uint64_t>(-7), 2, 0),
+            static_cast<uint64_t>(-3));
+}
+
+TEST(EvalAlu, Shifts) {
+  EXPECT_EQ(eval_alu(Opcode::kShl, 1, 4, 0), 16u);
+  EXPECT_EQ(eval_alu(Opcode::kShr, 16, 4, 0), 1u);
+  // Shift amounts wrap at 64.
+  EXPECT_EQ(eval_alu(Opcode::kShl, 1, 64, 0), 1u);
+  EXPECT_EQ(eval_alu(Opcode::kSar, static_cast<uint64_t>(-8), 1, 0),
+            static_cast<uint64_t>(-4));
+  EXPECT_EQ(eval_alu(Opcode::kShli, 3, 0, 2), 12u);
+  EXPECT_EQ(eval_alu(Opcode::kShrli, 12, 0, 2), 3u);
+}
+
+TEST(EvalAlu, ComparesAndMinMax) {
+  EXPECT_EQ(eval_alu(Opcode::kSlt, static_cast<uint64_t>(-1), 0, 0), 1u);
+  EXPECT_EQ(eval_alu(Opcode::kSltu, static_cast<uint64_t>(-1), 0, 0), 0u);
+  EXPECT_EQ(eval_alu(Opcode::kSeq, 5, 5, 0), 1u);
+  EXPECT_EQ(eval_alu(Opcode::kMin, static_cast<uint64_t>(-5), 3, 0),
+            static_cast<uint64_t>(-5));
+  EXPECT_EQ(eval_alu(Opcode::kMax, static_cast<uint64_t>(-5), 3, 0), 3u);
+}
+
+TEST(EvalAlu, Immediates) {
+  EXPECT_EQ(eval_alu(Opcode::kAddi, 10, 0, -3), 7u);
+  EXPECT_EQ(eval_alu(Opcode::kMovi, 0, 0, 1234), 1234u);
+  EXPECT_EQ(eval_alu(Opcode::kMov, 99, 0, 0), 99u);
+  EXPECT_EQ(eval_alu(Opcode::kAndi, 0xFF, 0, 0x0F), 0x0Fu);
+}
+
+TEST(EvalBranch, AllPredicates) {
+  EXPECT_TRUE(eval_branch(Opcode::kBeq, 4, 4));
+  EXPECT_FALSE(eval_branch(Opcode::kBeq, 4, 5));
+  EXPECT_TRUE(eval_branch(Opcode::kBne, 4, 5));
+  EXPECT_TRUE(eval_branch(Opcode::kBlt, static_cast<uint64_t>(-1), 0));
+  EXPECT_FALSE(eval_branch(Opcode::kBltu, static_cast<uint64_t>(-1), 0));
+  EXPECT_TRUE(eval_branch(Opcode::kBge, 0, 0));
+  EXPECT_TRUE(eval_branch(Opcode::kBgeu, static_cast<uint64_t>(-1), 5));
+}
+
+TEST(Disassemble, Formats) {
+  EXPECT_EQ(disassemble({Opcode::kAdd, 1, 2, 3, 0}, 0x1000),
+            "0x1000: add r1, r2, r3");
+  EXPECT_EQ(disassemble({Opcode::kLd8, 4, 5, 0, 16}, 0x1004),
+            "0x1004: ld8 r4, 16(r5)");
+  EXPECT_EQ(disassemble({Opcode::kSt8, 0, 5, 6, -8}, 0x1008),
+            "0x1008: st8 r6, -8(r5)");
+  EXPECT_EQ(disassemble({Opcode::kMovi, 2, 0, 0, 7}, 0x100c),
+            "0x100c: movi r2, 7");
+  EXPECT_EQ(disassemble({Opcode::kNop, 0, 0, 0, 0}, 0x1010), "0x1010: nop");
+}
+
+}  // namespace
+}  // namespace cfir::isa

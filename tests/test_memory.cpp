@@ -1,0 +1,79 @@
+#include "mem/main_memory.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cfir::mem {
+namespace {
+
+TEST(MainMemory, ZeroInitialized) {
+  MainMemory m;
+  EXPECT_EQ(m.read(0x1234, 8), 0u);
+  EXPECT_EQ(m.read8(0xFFFFFFFFFFFFFFFF), 0u);
+  EXPECT_EQ(m.resident_pages(), 0u);  // reads allocate nothing
+}
+
+TEST(MainMemory, LittleEndianWidths) {
+  MainMemory m;
+  m.write(0x100, 0x0102030405060708ULL, 8);
+  EXPECT_EQ(m.read8(0x100), 0x08u);
+  EXPECT_EQ(m.read8(0x107), 0x01u);
+  EXPECT_EQ(m.read(0x100, 4), 0x05060708u);
+  EXPECT_EQ(m.read(0x104, 4), 0x01020304u);
+  EXPECT_EQ(m.read(0x100, 2), 0x0708u);
+  EXPECT_EQ(m.read(0x100, 1), 0x08u);
+}
+
+TEST(MainMemory, CrossPageAccess) {
+  MainMemory m;
+  const uint64_t addr = MainMemory::kPageSize - 4;
+  m.write(addr, 0x1122334455667788ULL, 8);
+  EXPECT_EQ(m.read(addr, 8), 0x1122334455667788ULL);
+  EXPECT_EQ(m.resident_pages(), 2u);
+}
+
+TEST(MainMemory, WriteBlock) {
+  MainMemory m;
+  const uint8_t data[5] = {1, 2, 3, 4, 5};
+  m.write_block(0x2000, data, 5);
+  EXPECT_EQ(m.read(0x2000, 4), 0x04030201u);
+  EXPECT_EQ(m.read8(0x2004), 5u);
+}
+
+TEST(MainMemory, DigestIgnoresZeroWrites) {
+  MainMemory a, b;
+  a.write(0x100, 42, 8);
+  b.write(0x100, 42, 8);
+  b.write(0x9000, 0, 8);  // writing zeros must not change the digest
+  EXPECT_EQ(a.digest(), b.digest());
+}
+
+TEST(MainMemory, DigestOrderIndependent) {
+  MainMemory a, b;
+  a.write(0x100, 1, 8);
+  a.write(0x5000, 2, 8);
+  b.write(0x5000, 2, 8);
+  b.write(0x100, 1, 8);
+  EXPECT_EQ(a.digest(), b.digest());
+}
+
+TEST(MainMemory, DigestSensitiveToContent) {
+  MainMemory a, b;
+  a.write(0x100, 1, 8);
+  b.write(0x100, 2, 8);
+  EXPECT_NE(a.digest(), b.digest());
+  MainMemory c;
+  c.write(0x108, 1, 8);  // same value, different address
+  EXPECT_NE(a.digest(), c.digest());
+}
+
+TEST(MainMemory, CloneIsDeep) {
+  MainMemory a;
+  a.write(0x100, 7, 8);
+  MainMemory b = a.clone();
+  b.write(0x100, 9, 8);
+  EXPECT_EQ(a.read(0x100, 8), 7u);
+  EXPECT_EQ(b.read(0x100, 8), 9u);
+}
+
+}  // namespace
+}  // namespace cfir::mem

@@ -1,0 +1,81 @@
+#include "sim/presets.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cfir::sim::presets {
+namespace {
+
+TEST(Presets, Table1Defaults) {
+  const core::CoreConfig cfg = table1();
+  EXPECT_EQ(cfg.fetch_width, 8u);
+  EXPECT_EQ(cfg.rob_size, 256u);
+  EXPECT_EQ(cfg.issue_width, 8u);
+  EXPECT_EQ(cfg.commit_width, 8u);
+  EXPECT_EQ(cfg.lsq_size, 64u);
+  EXPECT_EQ(cfg.simple_int_units, 6u);
+  EXPECT_EQ(cfg.muldiv_units, 3u);
+  EXPECT_EQ(cfg.mul_latency, 2u);
+  EXPECT_EQ(cfg.div_latency, 12u);
+  EXPECT_EQ(cfg.gshare_entries, 64u * 1024);
+  // Table 1 memory hierarchy.
+  EXPECT_EQ(cfg.memory.l1i.size_bytes, 64u * 1024);
+  EXPECT_EQ(cfg.memory.l1i.line_bytes, 64u);
+  EXPECT_EQ(cfg.memory.l1d.size_bytes, 64u * 1024);
+  EXPECT_EQ(cfg.memory.l1d.assoc, 2u);
+  EXPECT_EQ(cfg.memory.l1d.line_bytes, 32u);
+  EXPECT_EQ(cfg.memory.l2.size_bytes, 256u * 1024);
+  EXPECT_EQ(cfg.memory.l2.hit_latency, 6u);
+  EXPECT_EQ(cfg.memory.l3.size_bytes, 2u * 1024 * 1024);
+  EXPECT_EQ(cfg.memory.l3.hit_latency, 18u);
+  EXPECT_EQ(cfg.memory.memory_latency, 100u);
+  // Mechanism structures (Table 1).
+  EXPECT_EQ(cfg.stride_sets, 256u);
+  EXPECT_EQ(cfg.stride_ways, 4u);
+  EXPECT_EQ(cfg.srsmt_sets, 64u);
+  EXPECT_EQ(cfg.srsmt_ways, 4u);
+  EXPECT_EQ(cfg.mbs_sets, 64u);
+  EXPECT_EQ(cfg.nrbq_entries, 16u);
+}
+
+TEST(Presets, PolicyAndPortsWiring) {
+  EXPECT_EQ(scal(1, 256).policy, core::Policy::kNone);
+  EXPECT_FALSE(scal(1, 256).wide_bus);
+  EXPECT_TRUE(wb(2, 256).wide_bus);
+  EXPECT_EQ(wb(2, 256).cache_ports, 2u);
+  EXPECT_EQ(ci(2, 512).policy, core::Policy::kCi);
+  EXPECT_TRUE(ci(2, 512).wide_bus);
+  EXPECT_EQ(ci(2, 512, 8).replicas, 8u);
+  EXPECT_EQ(ci_window(1, 256).policy, core::Policy::kCiWindow);
+  EXPECT_EQ(vect(2, 512).policy, core::Policy::kVect);
+  EXPECT_TRUE(ci_specmem(1, 256, 768).use_spec_memory);
+  EXPECT_EQ(ci_specmem(1, 256, 768).spec_memory_slots, 768u);
+}
+
+TEST(Presets, WindowScalesWithRegistersAbove256) {
+  EXPECT_EQ(scal(1, 128).rob_size, 256u);
+  EXPECT_EQ(scal(1, 256).rob_size, 256u);
+  EXPECT_EQ(scal(1, 512).rob_size, 512u);
+  EXPECT_EQ(scal(1, 768).rob_size, 768u);
+  EXPECT_EQ(scal(1, kInfRegs).rob_size, kInfRegs);
+}
+
+TEST(Presets, RegisterSweepMatchesPaper) {
+  const auto sweep = register_sweep();
+  ASSERT_EQ(sweep.size(), 5u);
+  EXPECT_EQ(sweep[0], 128u);
+  EXPECT_EQ(sweep[3], 768u);
+  EXPECT_EQ(reg_label(sweep[4]), "inf");
+  EXPECT_EQ(reg_label(128), "128");
+}
+
+TEST(Presets, Labels) {
+  EXPECT_EQ(scal(1, 256).label(), "scal1p/256r");
+  EXPECT_EQ(wb(2, 512).label(), "wb2p/512r");
+  EXPECT_EQ(ci(2, 512).label(), "ci2p/512r/4rep");
+  EXPECT_EQ(ci_window(1, 256).label(), "ci-iw1p/256r");
+  EXPECT_EQ(vect(2, 512).label(), "vect2p/512r/4rep");
+  EXPECT_EQ(ci_specmem(1, 256, 768).label(), "ci-h1p/256r/4rep/768slots");
+}
+
+}  // namespace
+}  // namespace cfir::sim::presets

@@ -1,0 +1,52 @@
+#include "ci/spec_memory.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cfir::ci {
+namespace {
+
+TEST(SpecMemory, AllocFreeRoundTrip) {
+  SpecDataMemory m(4, 2, 2, 2);
+  int a = m.alloc(), b = m.alloc(), c = m.alloc(), d = m.alloc();
+  EXPECT_GE(a, 0);
+  EXPECT_GE(d, 0);
+  EXPECT_EQ(m.alloc(), -1);  // full
+  EXPECT_EQ(m.in_use(), 4u);
+  m.free_slot(b);
+  EXPECT_EQ(m.free_count(), 1u);
+  const int e = m.alloc();
+  EXPECT_EQ(e, b);
+  (void)a; (void)c;
+}
+
+TEST(SpecMemory, ValuesStick) {
+  SpecDataMemory m(8, 2, 2, 2);
+  const int s = m.alloc();
+  m.write(s, 0xFEEDull);
+  EXPECT_EQ(m.read(s), 0xFEEDull);
+}
+
+TEST(SpecMemory, WritePortsLimitPerCycle) {
+  SpecDataMemory m(8, 2, 2, 2);
+  EXPECT_EQ(m.book_write(10), 10u);
+  EXPECT_EQ(m.book_write(10), 10u);
+  EXPECT_EQ(m.book_write(10), 11u);  // third write slips a cycle
+  EXPECT_EQ(m.book_write(10), 11u);
+  EXPECT_EQ(m.book_write(10), 12u);
+}
+
+TEST(SpecMemory, ReadPortsLimitPerCycle) {
+  SpecDataMemory m(8, 2, 2, 2);
+  EXPECT_TRUE(m.try_book_read(5));
+  EXPECT_TRUE(m.try_book_read(5));
+  EXPECT_FALSE(m.try_book_read(5));  // both read ports busy
+  EXPECT_TRUE(m.try_book_read(6));
+}
+
+TEST(SpecMemory, LatencyIsConfigured) {
+  SpecDataMemory m(8, 5, 2, 2);
+  EXPECT_EQ(m.latency(), 5u);
+}
+
+}  // namespace
+}  // namespace cfir::ci

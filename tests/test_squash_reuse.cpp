@@ -1,0 +1,49 @@
+#include "ci/squash_reuse.hpp"
+
+#include <gtest/gtest.h>
+
+#include "helpers.hpp"
+#include "sim/presets.hpp"
+#include "sim/simulator.hpp"
+
+namespace cfir::sim {
+namespace {
+
+TEST(SquashReuse, HitsOnHardHammock) {
+  const isa::Program p = cfir::testing::figure1_program(2048, 50, 31);
+  Simulator s(presets::ci_window(1, 256), p);
+  const auto st = s.run(2000000);
+  ASSERT_NE(s.squash_reuse_mechanism(), nullptr);
+  // The control-independent sum past the join point was executed on the
+  // wrong path and must be reused after the squash.
+  EXPECT_GT(s.squash_reuse_mechanism()->buffer_hits(), 0u);
+  EXPECT_GT(st.reused_committed, 0u);
+  EXPECT_EQ(st.safety_net_recoveries, 0u);
+}
+
+TEST(SquashReuse, NoHitsOnPredictableCode) {
+  const isa::Program p = cfir::testing::figure1_program(2048, 100, 32);
+  Simulator s(presets::ci_window(1, 256), p);
+  s.run(2000000);
+  EXPECT_LT(s.squash_reuse_mechanism()->buffer_hits(), 10u);
+}
+
+TEST(SquashReuse, MatchesInterpreter) {
+  const isa::Program p = cfir::testing::figure1_program(1024, 50, 33);
+  const DiffResult r = differential_run(presets::ci_window(1, 256), p, 500000);
+  EXPECT_TRUE(r.match) << r.mismatch;
+}
+
+TEST(SquashReuse, BeatsPlainWideBusOnHardHammocks) {
+  // ci-iw exists to shave misprediction penalty: same machine, strictly
+  // less re-execution. Allow a small tolerance for second-order effects.
+  const isa::Program p = cfir::testing::figure1_program(4096, 50, 34);
+  Simulator a(presets::wb(1, 256), p);
+  Simulator b(presets::ci_window(1, 256), p);
+  const auto sa = a.run(4000000);
+  const auto sb = b.run(4000000);
+  EXPECT_GE(sb.ipc() * 1.02, sa.ipc());
+}
+
+}  // namespace
+}  // namespace cfir::sim

@@ -1,0 +1,80 @@
+#include "stats/stats.hpp"
+#include "stats/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cfir::stats {
+namespace {
+
+TEST(Stats, DerivedQuantities) {
+  SimStats s;
+  s.cycles = 100;
+  s.committed = 250;
+  EXPECT_DOUBLE_EQ(s.ipc(), 2.5);
+  s.cond_branches = 50;
+  s.mispredicts = 5;
+  EXPECT_DOUBLE_EQ(s.mispredict_rate(), 0.1);
+  s.reused_committed = 25;
+  EXPECT_DOUBLE_EQ(s.reuse_fraction(), 0.1);
+  s.regs_in_use_accum = 600;
+  s.reg_samples = 3;
+  EXPECT_DOUBLE_EQ(s.avg_regs_in_use(), 200.0);
+  s.stridedpc_propagations = 4;
+  s.stridedpc_width_accum = 7;
+  EXPECT_DOUBLE_EQ(s.avg_stridedpc_width(), 1.75);
+}
+
+TEST(Stats, ZeroSafeDerived) {
+  const SimStats s;
+  EXPECT_DOUBLE_EQ(s.ipc(), 0.0);
+  EXPECT_DOUBLE_EQ(s.mispredict_rate(), 0.0);
+  EXPECT_DOUBLE_EQ(s.avg_regs_in_use(), 0.0);
+  EXPECT_DOUBLE_EQ(s.reuse_fraction(), 0.0);
+}
+
+TEST(Stats, ToStringMentionsKeyCounters) {
+  SimStats s;
+  s.cycles = 10;
+  s.committed = 20;
+  const std::string str = s.to_string();
+  EXPECT_NE(str.find("IPC"), std::string::npos);
+  EXPECT_NE(str.find("committed=20"), std::string::npos);
+}
+
+TEST(HarmonicMean, MatchesHandComputation) {
+  EXPECT_DOUBLE_EQ(harmonic_mean({2.0, 2.0}), 2.0);
+  EXPECT_NEAR(harmonic_mean({1.0, 2.0}), 4.0 / 3.0, 1e-12);
+  EXPECT_NEAR(harmonic_mean({1.0, 2.0, 4.0}), 3.0 / 1.75, 1e-12);
+}
+
+TEST(HarmonicMean, DegenerateInputs) {
+  EXPECT_DOUBLE_EQ(harmonic_mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(harmonic_mean({0.0, 1.0}), 0.0);
+}
+
+TEST(Table, AlignedTextOutput) {
+  Table t({"bench", "scal", "ci"});
+  t.add_row("bzip2", {1.5, 2.25});
+  t.add_row("longname", {10.0, 0.5});
+  const std::string text = t.to_text();
+  EXPECT_NE(text.find("bench"), std::string::npos);
+  EXPECT_NE(text.find("bzip2"), std::string::npos);
+  EXPECT_NE(text.find("2.25"), std::string::npos);
+  EXPECT_NE(text.find("10.00"), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(text.find("---"), std::string::npos);
+}
+
+TEST(Table, CsvOutput) {
+  Table t({"a", "b"});
+  t.add_row({"x", "1"});
+  EXPECT_EQ(t.to_csv(), "a,b\nx,1\n");
+}
+
+TEST(Table, FmtPrecision) {
+  EXPECT_EQ(fmt(1.23456, 2), "1.23");
+  EXPECT_EQ(fmt(1.0, 3), "1.000");
+}
+
+}  // namespace
+}  // namespace cfir::stats

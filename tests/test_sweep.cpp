@@ -1,0 +1,63 @@
+#include "sim/sweep.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/presets.hpp"
+
+namespace cfir::sim {
+namespace {
+
+TEST(Sweep, RunsGridInOrder) {
+  std::vector<RunSpec> specs;
+  for (const char* wl : {"bzip2", "eon"}) {
+    for (uint32_t ports : {1u, 2u}) {
+      RunSpec s;
+      s.workload = wl;
+      s.config_name = "scal" + std::to_string(ports) + "p";
+      s.config = presets::scal(ports, 256);
+      s.max_insts = 20000;
+      specs.push_back(s);
+    }
+  }
+  const auto out = run_all(specs, 2);
+  ASSERT_EQ(out.size(), 4u);
+  for (size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i].spec.workload, specs[i].workload);
+    EXPECT_EQ(out[i].spec.config_name, specs[i].config_name);
+    EXPECT_GT(out[i].stats.committed, 0u);
+    EXPECT_GT(out[i].stats.ipc(), 0.0);
+  }
+}
+
+TEST(Sweep, ParallelEqualsSerial) {
+  std::vector<RunSpec> specs;
+  for (const char* wl : {"gap", "vpr", "twolf"}) {
+    RunSpec s;
+    s.workload = wl;
+    s.config_name = "ci";
+    s.config = presets::ci(2, 512);
+    s.max_insts = 20000;
+    specs.push_back(s);
+  }
+  const auto serial = run_all(specs, 1);
+  const auto parallel = run_all(specs, 3);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].stats.cycles, parallel[i].stats.cycles) << i;
+    EXPECT_EQ(serial[i].stats.committed, parallel[i].stats.committed) << i;
+    EXPECT_EQ(serial[i].stats.reused_committed,
+              parallel[i].stats.reused_committed)
+        << i;
+  }
+}
+
+TEST(Sweep, UnknownWorkloadReportsError) {
+  std::vector<RunSpec> specs(1);
+  specs[0].workload = "doom";
+  specs[0].config = presets::scal(1, 256);
+  specs[0].max_insts = 10;
+  EXPECT_THROW(run_all(specs, 1), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace cfir::sim

@@ -1,0 +1,97 @@
+#include "workloads/workloads.hpp"
+
+#include <gtest/gtest.h>
+
+#include "isa/interpreter.hpp"
+#include "sim/presets.hpp"
+#include "sim/simulator.hpp"
+
+namespace cfir::workloads {
+namespace {
+
+TEST(Workloads, RegistryHasTwelveSpecIntNames) {
+  EXPECT_EQ(names().size(), 12u);
+  EXPECT_EQ(names().front(), "bzip2");
+  EXPECT_EQ(names().back(), "vpr");
+  EXPECT_THROW(build("notabenchmark", 1), std::invalid_argument);
+  EXPECT_THROW(describe("notabenchmark"), std::invalid_argument);
+}
+
+class EveryWorkload : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(EveryWorkload, TerminatesUnderInterpreter) {
+  const isa::Program p = build(GetParam(), 1);
+  const isa::InterpResult r = isa::run_program(p, 3000000);
+  EXPECT_TRUE(r.halted) << GetParam() << " did not halt";
+  // Scale 1 sits in a band that keeps full sweeps fast but meaningful.
+  EXPECT_GT(r.executed, 10000u) << GetParam();
+  EXPECT_LT(r.executed, 2000000u) << GetParam();
+}
+
+TEST_P(EveryWorkload, DeterministicAcrossBuilds) {
+  const isa::InterpResult a = isa::run_program(build(GetParam(), 1), 3000000);
+  const isa::InterpResult b = isa::run_program(build(GetParam(), 1), 3000000);
+  EXPECT_EQ(a.executed, b.executed);
+  EXPECT_EQ(a.regs, b.regs);
+  EXPECT_EQ(a.mem_digest, b.mem_digest);
+}
+
+TEST_P(EveryWorkload, ScaleGrowsWork) {
+  const isa::InterpResult s1 = isa::run_program(build(GetParam(), 1), 30000000);
+  const isa::InterpResult s2 = isa::run_program(build(GetParam(), 2), 30000000);
+  EXPECT_GT(s2.executed, s1.executed) << GetParam();
+}
+
+TEST_P(EveryWorkload, HasDescription) {
+  EXPECT_FALSE(describe(GetParam()).empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(All, EveryWorkload,
+                         ::testing::ValuesIn(names()),
+                         [](const auto& info) { return info.param; });
+
+TEST(WorkloadCharacter, EonIsPredictableBzip2IsNot) {
+  sim::Simulator eon(sim::presets::scal(1, 256), build("eon", 1));
+  sim::Simulator bzip2(sim::presets::scal(1, 256), build("bzip2", 1));
+  const auto se = eon.run(1000000);
+  const auto sb = bzip2.run(1000000);
+  EXPECT_LT(se.mispredict_rate(), 0.03);
+  EXPECT_GT(sb.mispredict_rate(), 0.10);
+}
+
+TEST(WorkloadCharacter, McfSelectsButCannotReuse) {
+  // Pointer chasing: CI instructions are found, but their backward slices
+  // do not start at strided loads, so reuse stays (nearly) absent — the
+  // gray band of Figure 5.
+  sim::Simulator s(sim::presets::ci(2, 512), build("mcf", 1));
+  const auto st = s.run(1000000);
+  EXPECT_GT(st.ep_total, 0u);
+  EXPECT_GT(st.ep_ci_selected, 0u);
+  EXPECT_LT(static_cast<double>(st.ep_ci_reused),
+            0.3 * static_cast<double>(st.ep_ci_selected));
+}
+
+TEST(WorkloadCharacter, Bzip2ReusesThroughCi) {
+  sim::Simulator s(sim::presets::ci(2, 512), build("bzip2", 1));
+  const auto st = s.run(1000000);
+  EXPECT_GT(st.ep_ci_reused, 0u);
+  EXPECT_GT(st.reused_committed, 0u);
+}
+
+TEST(WorkloadCharacter, VortexExercisesCoherenceChecks) {
+  sim::Simulator s(sim::presets::ci(2, 512), build("vortex", 1));
+  const auto st = s.run(1000000);
+  EXPECT_GT(st.store_range_checks, 0u);
+  // Paper section 2.4.3: conflicts are rare (<3% of stores).
+  EXPECT_LT(static_cast<double>(st.store_range_conflicts),
+            0.25 * static_cast<double>(st.committed_stores) + 10);
+}
+
+TEST(WorkloadCharacter, ParserStressesReturnStack) {
+  sim::Simulator s(sim::presets::scal(1, 256), build("parser", 1));
+  const auto st = s.run(1000000);
+  EXPECT_GT(st.committed_branches, st.cond_branches);  // calls/rets present
+}
+
+}  // namespace
+}  // namespace cfir::workloads
