@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <functional>
 #include <string>
 #include <vector>
@@ -28,6 +29,24 @@ inline uint64_t default_max_insts() {
   return env != 0 ? env : 30000;
 }
 
+/// CFIR_JSON=1 makes every bench also emit one machine-readable line per
+/// grid point (workload, config, full stats::to_json blob) after the table.
+inline bool json_requested() {
+  const char* v = std::getenv("CFIR_JSON");
+  return v != nullptr && *v != '\0' && *v != '0';
+}
+
+inline void dump_json(const std::vector<sim::RunOutcome>& outcomes) {
+  if (!json_requested()) return;
+  for (const sim::RunOutcome& o : outcomes) {
+    std::printf("{\"workload\":\"%s\",\"config\":\"%s\",\"scale\":%u,"
+                "\"intervals\":%u,\"stats\":%s}\n",
+                o.spec.workload.c_str(), o.spec.config_name.c_str(),
+                o.spec.scale, o.spec.intervals,
+                stats::to_json(o.stats).c_str());
+  }
+}
+
 /// Runs all workloads under all configs and prints one row per workload and
 /// one column per config. When `harmonic_summary` is set, appends the INT
 /// row (harmonic mean — only meaningful for IPC-like metrics; use
@@ -40,6 +59,7 @@ inline void run_figure(const std::string& title,
                            workloads::names()) {
   const uint32_t scale = sim::env_scale();
   const uint64_t max_insts = default_max_insts();
+  const uint32_t intervals = sim::env_intervals();
 
   std::vector<sim::RunSpec> specs;
   for (const std::string& wl : workload_names) {
@@ -50,6 +70,7 @@ inline void run_figure(const std::string& title,
       s.config = nc.config;
       s.max_insts = max_insts;
       s.scale = scale;
+      s.intervals = intervals;
       specs.push_back(std::move(s));
     }
   }
@@ -84,10 +105,12 @@ inline void run_figure(const std::string& title,
     table.add_row("TOTAL", sums, precision);
   }
   std::printf("%s\n", title.c_str());
-  std::printf("(max %llu committed insts/run, scale %u; set CFIR_MAX_INSTS / "
-              "CFIR_SCALE / CFIR_THREADS to change)\n\n",
-              static_cast<unsigned long long>(max_insts), scale);
+  std::printf("(max %llu committed insts/run, scale %u, intervals %u; set "
+              "CFIR_MAX_INSTS / CFIR_SCALE / CFIR_THREADS / CFIR_INTERVALS "
+              "to change)\n\n",
+              static_cast<unsigned long long>(max_insts), scale, intervals);
   std::printf("%s\n", table.to_text().c_str());
+  dump_json(outcomes);
 }
 
 /// Variant keyed by register count instead of workload: one row per sweep
@@ -117,6 +140,7 @@ inline void run_register_sweep(
         s.config = nc.config;
         s.max_insts = max_insts;
         s.scale = scale;
+        s.intervals = sim::env_intervals();
         specs.push_back(std::move(s));
       }
     }
@@ -139,6 +163,7 @@ inline void run_register_sweep(
   std::printf("(harmonic-mean IPC over %zu workloads; max %llu insts/run)\n\n",
               wls.size(), static_cast<unsigned long long>(max_insts));
   std::printf("%s\n", table.to_text().c_str());
+  dump_json(outcomes);
 }
 
 }  // namespace cfir::bench

@@ -28,6 +28,7 @@ int main() {
     s.config.stridedpc_per_entry = 4;
     s.max_insts = default_max_insts();
     s.scale = sim::env_scale();
+    s.intervals = sim::env_intervals();
     specs.push_back(std::move(s));
   }
   const auto out = sim::run_all(specs, sim::env_threads());

@@ -30,6 +30,7 @@ int main() {
                      : sim::presets::vect(2, sim::presets::kInfRegs);
       s.max_insts = max_insts;
       s.scale = sim::env_scale();
+      s.intervals = sim::env_intervals();
       specs.push_back(std::move(s));
     }
   }

@@ -47,6 +47,7 @@ int main() {
       if (!daec) s.config.daec_threshold = UINT32_MAX;
       s.max_insts = max_insts;
       s.scale = scale;
+      s.intervals = sim::env_intervals();
       specs.push_back(std::move(s));
     }
   }

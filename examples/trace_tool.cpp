@@ -1,0 +1,159 @@
+// Trace tooling CLI: record, inspect, replay and sample workload traces.
+//
+//   trace_tool record <workload> [scale] [max_insts]   write <wl>.s<scale>.cfirtrace
+//   trace_tool info   <file>                           print header + stream summary
+//   trace_tool replay <file>                           verify trace against live run
+//   trace_tool sample <workload> <k> [scale] [max]     interval-sampled detailed run
+//
+// Files land in CFIR_TRACE_DIR (default "."). `record` captures from the
+// reference interpreter; `replay` re-executes under verification and cross
+// checks the final architectural registers and memory digest stored in the
+// header, exiting non-zero on any divergence. `sample` runs the detailed
+// core over K checkpointed intervals in parallel (CFIR_THREADS) and prints
+// both per-interval and merged stats as JSON.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "sim/presets.hpp"
+#include "sim/simulator.hpp"
+#include "stats/stats.hpp"
+#include "trace/sampling.hpp"
+#include "trace/trace.hpp"
+#include "workloads/workloads.hpp"
+
+namespace {
+
+using namespace cfir;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: trace_tool record <workload> [scale] [max_insts]\n"
+               "       trace_tool info   <trace-file>\n"
+               "       trace_tool replay <trace-file>\n"
+               "       trace_tool sample <workload> <k> [scale] [max_insts]\n"
+               "env: CFIR_TRACE_DIR (output dir), CFIR_THREADS (sample)\n");
+  return 2;
+}
+
+std::string default_path(const std::string& workload, uint32_t scale) {
+  return trace::env_trace_dir() + "/" + workload + ".s" +
+         std::to_string(scale) + ".cfirtrace";
+}
+
+int cmd_record(int argc, char** argv) {
+  if (argc < 1) return usage();
+  const std::string workload = argv[0];
+  const uint32_t scale =
+      argc > 1 ? static_cast<uint32_t>(std::strtoul(argv[1], nullptr, 10)) : 1;
+  const uint64_t max_insts =
+      argc > 2 ? std::strtoull(argv[2], nullptr, 10) : UINT64_MAX;
+
+  const isa::Program program = workloads::build(workload, scale);
+  trace::TraceMeta meta;
+  meta.workload = workload;
+  meta.scale = scale;
+  const std::string path = default_path(workload, scale);
+  const isa::InterpResult r =
+      trace::record_interpreter(program, path, meta, max_insts);
+  std::printf("recorded %llu instructions of %s (scale %u) to %s\n",
+              static_cast<unsigned long long>(r.executed), workload.c_str(),
+              scale, path.c_str());
+  std::printf("final digest 0x%016llx halted=%d\n",
+              static_cast<unsigned long long>(r.mem_digest), r.halted);
+  return 0;
+}
+
+int cmd_info(int argc, char** argv) {
+  if (argc < 1) return usage();
+  trace::TraceReader reader(argv[0]);
+  std::printf("workload: %s  scale: %u  base_pc: 0x%llx\n",
+              reader.meta().workload.c_str(), reader.meta().scale,
+              static_cast<unsigned long long>(reader.meta().base_pc));
+  std::printf("records: %llu  final digest: 0x%016llx\n",
+              static_cast<unsigned long long>(reader.record_count()),
+              static_cast<unsigned long long>(reader.final_digest()));
+
+  uint64_t branches = 0, taken = 0, loads = 0, stores = 0;
+  trace::TraceRecord rec;
+  while (reader.next(rec)) {
+    switch (rec.kind) {
+      case trace::RecordKind::kBranch:
+        ++branches;
+        if (rec.taken) ++taken;
+        break;
+      case trace::RecordKind::kLoad: ++loads; break;
+      case trace::RecordKind::kStore: ++stores; break;
+      case trace::RecordKind::kPlain: break;
+    }
+  }
+  std::printf("branches: %llu (%llu taken)  loads: %llu  stores: %llu\n",
+              static_cast<unsigned long long>(branches),
+              static_cast<unsigned long long>(taken),
+              static_cast<unsigned long long>(loads),
+              static_cast<unsigned long long>(stores));
+  return 0;
+}
+
+int cmd_replay(int argc, char** argv) {
+  if (argc < 1) return usage();
+  trace::TraceReader reader(argv[0]);
+  const isa::Program program =
+      workloads::build(reader.meta().workload, reader.meta().scale);
+  const trace::ReplayResult r = trace::replay_trace(program, reader);
+  if (!r.match) {
+    std::fprintf(stderr, "replay FAILED after %llu records: %s\n",
+                 static_cast<unsigned long long>(r.replayed),
+                 r.mismatch.c_str());
+    return 1;
+  }
+  std::printf("replay OK: %llu records, final digest 0x%016llx\n",
+              static_cast<unsigned long long>(r.replayed),
+              static_cast<unsigned long long>(r.final_state.mem_digest));
+  return 0;
+}
+
+int cmd_sample(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string workload = argv[0];
+  const uint32_t k =
+      static_cast<uint32_t>(std::strtoul(argv[1], nullptr, 10));
+  const uint32_t scale =
+      argc > 2 ? static_cast<uint32_t>(std::strtoul(argv[2], nullptr, 10)) : 1;
+  const uint64_t max_insts =
+      argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 0;
+
+  const isa::Program program = workloads::build(workload, scale);
+  const trace::SampledRun run = trace::sampled_run(
+      sim::presets::ci(2, 512), program, k, max_insts);
+  for (size_t i = 0; i < run.intervals.size(); ++i) {
+    const auto& interval = run.intervals[i];
+    std::printf("{\"interval\":%zu,\"start\":%llu,\"length\":%llu,"
+                "\"stats\":%s}\n",
+                i, static_cast<unsigned long long>(interval.start_inst),
+                static_cast<unsigned long long>(interval.length),
+                stats::to_json(interval.stats).c_str());
+  }
+  std::printf("{\"aggregate\":true,\"total_insts\":%llu,\"stats\":%s}\n",
+              static_cast<unsigned long long>(run.total_insts),
+              stats::to_json(run.aggregate).c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  try {
+    if (cmd == "record") return cmd_record(argc - 2, argv + 2);
+    if (cmd == "info") return cmd_info(argc - 2, argv + 2);
+    if (cmd == "replay") return cmd_replay(argc - 2, argv + 2);
+    if (cmd == "sample") return cmd_sample(argc - 2, argv + 2);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "trace_tool %s: %s\n", cmd.c_str(), e.what());
+    return 1;
+  }
+  return usage();
+}

@@ -35,6 +35,18 @@ Core::Core(const CoreConfig& config, const isa::Program& program,
   if (mech_ != nullptr) mech_->attach(*this);
 }
 
+void Core::set_arch_state(
+    const std::array<uint64_t, isa::kNumLogicalRegs>& regs, uint64_t pc) {
+  if (cycle_ != 0 || rob_count_ != 0) {
+    throw std::runtime_error("set_arch_state: core already running");
+  }
+  for (int l = 0; l < isa::kNumLogicalRegs; ++l) {
+    arch_regs_[static_cast<size_t>(l)] = regs[static_cast<size_t>(l)];
+    regfile_.write(rename_.lookup(l), regs[static_cast<size_t>(l)]);
+  }
+  fetch_pc_ = pc;
+}
+
 bool Core::slot_live(uint32_t slot, uint64_t seq) const {
   if (rob_count_ == 0) return false;
   const uint32_t size = static_cast<uint32_t>(rob_.size());
@@ -612,6 +624,7 @@ void Core::apply_commit(DynInst& di) {
   if (di.mech.reused) ++stats_.reused_committed;
   if (mech_ != nullptr) mech_->on_commit(di);
   if (di.has_dest && di.old_pd >= 0) regfile_.free_reg(di.old_pd);
+  if (on_commit) on_commit(di);
   last_commit_cycle_ = cycle_;
   if (op == Opcode::kHalt) {
     // HALT retires the machine but is not an architectural instruction;

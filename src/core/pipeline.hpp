@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <queue>
 #include <unordered_map>
@@ -53,6 +54,18 @@ class Core {
   [[nodiscard]] uint64_t arch_reg(int logical) const {
     return arch_regs_[static_cast<size_t>(logical)];
   }
+
+  /// Seeds the architectural state before the first cycle: logical register
+  /// values (mirrored into the current physical mapping) and the fetch PC.
+  /// Used to resume simulation from a checkpoint (src/trace/); `memory` must
+  /// already hold the checkpointed image.
+  void set_arch_state(const std::array<uint64_t, isa::kNumLogicalRegs>& regs,
+                      uint64_t pc);
+
+  /// Observer fired for every architecturally committed instruction (HALT
+  /// included), in commit order. Used by the trace recorder; leave empty for
+  /// zero overhead beyond one branch per commit.
+  std::function<void(const DynInst&)> on_commit;
 
   // --- services used by the attached mechanism -----------------------------
   [[nodiscard]] const CoreConfig& config() const { return cfg_; }

@@ -53,6 +53,7 @@ bool Interpreter::step() {
       break;
     }
   }
+  if (on_step) on_step(pc_, next_pc);
   pc_ = next_pc;
   ++executed_;
   return true;

@@ -28,6 +28,11 @@ class Interpreter {
 
   [[nodiscard]] bool halted() const { return halted_; }
   [[nodiscard]] uint64_t pc() const { return pc_; }
+  /// Redirects execution (checkpoint restore); clears the halted flag.
+  void set_pc(uint64_t pc) {
+    pc_ = pc;
+    halted_ = false;
+  }
   [[nodiscard]] uint64_t executed() const { return executed_; }
   [[nodiscard]] uint64_t reg(int r) const { return regs_[static_cast<size_t>(r)]; }
   void set_reg(int r, uint64_t v) { regs_[static_cast<size_t>(r)] = v; }
@@ -35,10 +40,13 @@ class Interpreter {
     return regs_;
   }
 
-  /// Optional observers (used by tests and by workload characterization).
+  /// Optional observers (used by tests, workload characterization and the
+  /// trace recorder). `on_step` fires after every retired instruction with
+  /// its pc and the pc that follows it.
   std::function<void(uint64_t pc, bool taken, uint64_t target)> on_branch;
   std::function<void(uint64_t pc, uint64_t addr, int bytes, bool is_store)>
       on_mem;
+  std::function<void(uint64_t pc, uint64_t next_pc)> on_step;
 
  private:
   const Program& program_;

@@ -1,5 +1,6 @@
 #include "mem/main_memory.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <cstring>
 
@@ -71,6 +72,18 @@ uint64_t MainMemory::digest() const {
     }
   }
   return acc;
+}
+
+void MainMemory::for_each_page(
+    const std::function<void(uint64_t base_addr, const uint8_t* data)>& fn)
+    const {
+  std::vector<uint64_t> page_nos;
+  page_nos.reserve(pages_.size());
+  for (const auto& [page_no, page] : pages_) page_nos.push_back(page_no);
+  std::sort(page_nos.begin(), page_nos.end());
+  for (const uint64_t page_no : page_nos) {
+    fn(page_no << kPageBits, pages_.at(page_no)->data());
+  }
 }
 
 MainMemory MainMemory::clone() const {

@@ -5,6 +5,7 @@
 
 #include <array>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <unordered_map>
 #include <vector>
@@ -32,6 +33,13 @@ class MainMemory {
 
   /// Deep copy (the interpreter runs on a private copy of the image).
   [[nodiscard]] MainMemory clone() const;
+
+  /// Visits every resident page as (base_addr, data, kPageSize), in
+  /// ascending address order so serialized output is deterministic. Used by
+  /// checkpoint serialization (src/trace/).
+  void for_each_page(
+      const std::function<void(uint64_t base_addr, const uint8_t* data)>& fn)
+      const;
 
  private:
   using Page = std::array<uint8_t, kPageSize>;

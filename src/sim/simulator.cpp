@@ -2,29 +2,71 @@
 
 #include <sstream>
 
+#include "trace/checkpoint.hpp"
+#include "trace/trace.hpp"
+
 namespace cfir::sim {
+
+namespace {
+
+std::unique_ptr<core::Mechanism> make_mechanism(
+    const core::CoreConfig& config, ci::CiMechanism** ci_out,
+    ci::SquashReuseMechanism** sr_out) {
+  switch (config.policy) {
+    case core::Policy::kNone:
+      return nullptr;
+    case core::Policy::kCi:
+    case core::Policy::kVect: {
+      auto m = std::make_unique<ci::CiMechanism>(config);
+      *ci_out = m.get();
+      return m;
+    }
+    case core::Policy::kCiWindow: {
+      auto m = std::make_unique<ci::SquashReuseMechanism>(config);
+      *sr_out = m.get();
+      return m;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace
 
 Simulator::Simulator(const core::CoreConfig& config, isa::Program program)
     : program_(std::move(program)) {
   isa::load_data_image(program_, memory_);
-  switch (config.policy) {
-    case core::Policy::kNone:
-      break;
-    case core::Policy::kCi:
-    case core::Policy::kVect: {
-      auto m = std::make_unique<ci::CiMechanism>(config);
-      ci_ = m.get();
-      mech_ = std::move(m);
-      break;
-    }
-    case core::Policy::kCiWindow: {
-      auto m = std::make_unique<ci::SquashReuseMechanism>(config);
-      sr_ = m.get();
-      mech_ = std::move(m);
-      break;
-    }
-  }
+  mech_ = make_mechanism(config, &ci_, &sr_);
   core_ = std::make_unique<core::Core>(config, program_, memory_, mech_.get());
+}
+
+Simulator::Simulator(const core::CoreConfig& config, isa::Program program,
+                     const trace::Checkpoint& start)
+    : program_(std::move(program)), memory_(start.memory.clone()) {
+  mech_ = make_mechanism(config, &ci_, &sr_);
+  core_ = std::make_unique<core::Core>(config, program_, memory_, mech_.get());
+  core_->set_arch_state(start.regs, start.pc);
+}
+
+void Simulator::attach_trace(trace::TraceWriter& writer) {
+  core_->on_commit = [&writer](const core::DynInst& di) {
+    if (di.inst.op == isa::Opcode::kHalt) return;
+    trace::TraceRecord rec;
+    rec.pc = di.pc;
+    if (di.is_cond_branch) {
+      rec.kind = trace::RecordKind::kBranch;
+      rec.taken = di.actual_taken;
+      rec.next_pc = di.actual_target;
+    } else if (di.is_load) {
+      rec.kind = trace::RecordKind::kLoad;
+      rec.addr = di.mem_addr;
+      rec.size = static_cast<uint8_t>(di.mem_size);
+    } else if (di.is_store) {
+      rec.kind = trace::RecordKind::kStore;
+      rec.addr = di.mem_addr;
+      rec.size = static_cast<uint8_t>(di.mem_size);
+    }
+    writer.append(rec);
+  };
 }
 
 stats::SimStats Simulator::run(uint64_t max_insts) {

@@ -14,6 +14,11 @@
 #include "isa/interpreter.hpp"
 #include "isa/program.hpp"
 
+namespace cfir::trace {
+struct Checkpoint;
+class TraceWriter;
+}  // namespace cfir::trace
+
 namespace cfir::sim {
 
 class Simulator {
@@ -21,8 +26,19 @@ class Simulator {
   /// Copies the program; applies its data image to a fresh memory.
   Simulator(const core::CoreConfig& config, isa::Program program);
 
+  /// Resumes from an architectural checkpoint: the memory image, register
+  /// file and PC come from `start` instead of the program's initial state.
+  /// Used by interval sampling (trace::sampled_run) and `trace_tool`.
+  Simulator(const core::CoreConfig& config, isa::Program program,
+            const trace::Checkpoint& start);
+
   /// Runs until `max_insts` commits (or HALT); returns the final stats.
   stats::SimStats run(uint64_t max_insts);
+
+  /// Streams every committed instruction into `writer` (trace capture from
+  /// the detailed core; HALT is not recorded, matching the interpreter's
+  /// retirement count). Call before run(); `writer` must outlive the run.
+  void attach_trace(trace::TraceWriter& writer);
 
   [[nodiscard]] core::Core& core() { return *core_; }
   [[nodiscard]] const isa::Program& program() const { return program_; }

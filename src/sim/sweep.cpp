@@ -1,12 +1,16 @@
 #include "sim/sweep.hpp"
 
 #include <atomic>
-#include <mutex>
 #include <cstdlib>
+#include <exception>
+#include <map>
+#include <mutex>
 #include <stdexcept>
 #include <thread>
+#include <tuple>
 
 #include "sim/simulator.hpp"
+#include "trace/sampling.hpp"
 #include "workloads/workloads.hpp"
 
 namespace cfir::sim {
@@ -24,45 +28,39 @@ uint32_t env_scale() {
 }
 int env_threads() { return static_cast<int>(env_u64("CFIR_THREADS", 0)); }
 uint64_t env_max_insts() { return env_u64("CFIR_MAX_INSTS", 0); }
+uint32_t env_intervals() {
+  return static_cast<uint32_t>(env_u64("CFIR_INTERVALS", 1));
+}
 
-std::vector<RunOutcome> run_all(const std::vector<RunSpec>& specs,
-                                int threads) {
+void parallel_for(size_t n, const std::function<void(size_t)>& fn,
+                  int threads) {
   if (threads <= 0) threads = env_threads();
   if (threads <= 0) {
     threads = static_cast<int>(std::thread::hardware_concurrency());
   }
   if (threads <= 0) threads = 1;
-  threads = std::min<int>(threads, static_cast<int>(specs.size()));
+  threads = std::min<int>(threads, static_cast<int>(n));
 
-  std::vector<RunOutcome> out(specs.size());
   std::atomic<size_t> next{0};
   std::atomic<bool> failed{false};
-  std::string error;
+  std::exception_ptr first_error;
   std::mutex error_mu;
 
   auto worker = [&] {
     for (;;) {
       const size_t i = next.fetch_add(1);
-      if (i >= specs.size() || failed.load()) break;
-      const RunSpec& spec = specs[i];
+      if (i >= n || failed.load()) break;
       try {
-        isa::Program program =
-            workloads::build(spec.workload, spec.scale);
-        Simulator sim(spec.config, std::move(program));
-        const uint64_t cap =
-            spec.max_insts == 0 ? UINT64_MAX : spec.max_insts;
-        out[i].spec = spec;
-        out[i].stats = sim.run(cap);
-      } catch (const std::exception& e) {
+        fn(i);
+      } catch (...) {
         std::lock_guard<std::mutex> lk(error_mu);
-        error = std::string("run '") + spec.workload + "/" +
-                spec.config_name + "' failed: " + e.what();
+        if (!first_error) first_error = std::current_exception();
         failed.store(true);
       }
     }
   };
 
-  if (threads == 1) {
+  if (threads <= 1) {
     worker();
   } else {
     std::vector<std::thread> pool;
@@ -70,7 +68,75 @@ std::vector<RunOutcome> run_all(const std::vector<RunSpec>& specs,
     for (int t = 0; t < threads; ++t) pool.emplace_back(worker);
     for (auto& th : pool) th.join();
   }
-  if (failed.load()) throw std::runtime_error(error);
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+std::vector<RunOutcome> run_all(const std::vector<RunSpec>& specs,
+                                int threads) {
+  // Interval plans depend only on (workload, scale, cap, k), never on the
+  // core config, so capture each unique plan once up front (interpreter
+  // passes are ~50x cheaper than detailed simulation) and share it across
+  // the config columns of the grid. Unique plans are independent, so they
+  // build on the pool too.
+  using PlanKey = std::tuple<std::string, uint32_t, uint64_t, uint32_t>;
+  std::map<PlanKey, trace::IntervalPlan> plans;
+  for (const RunSpec& spec : specs) {
+    if (spec.intervals <= 1) continue;
+    plans.try_emplace({spec.workload, spec.scale, spec.max_insts,
+                       spec.intervals});
+  }
+  {
+    std::vector<std::pair<const PlanKey, trace::IntervalPlan>*> slots;
+    slots.reserve(plans.size());
+    for (auto& entry : plans) slots.push_back(&entry);
+    parallel_for(
+        slots.size(),
+        [&](size_t i) {
+          const auto& [workload, scale, max_insts, intervals] =
+              slots[i]->first;
+          try {
+            const isa::Program program = workloads::build(workload, scale);
+            slots[i]->second =
+                trace::plan_intervals(program, intervals, max_insts);
+          } catch (const std::exception& e) {
+            throw std::runtime_error("interval planning for '" + workload +
+                                     "' (scale " + std::to_string(scale) +
+                                     ") failed: " + e.what());
+          }
+        },
+        threads);
+  }
+
+  std::vector<RunOutcome> out(specs.size());
+  parallel_for(
+      specs.size(),
+      [&](size_t i) {
+        const RunSpec& spec = specs[i];
+        try {
+          isa::Program program = workloads::build(spec.workload, spec.scale);
+          const uint64_t cap =
+              spec.max_insts == 0 ? UINT64_MAX : spec.max_insts;
+          out[i].spec = spec;
+          if (spec.intervals > 1) {
+            // Intervals of one grid point run sequentially inside this
+            // worker; the grid itself is already spread across the pool.
+            const trace::IntervalPlan& plan =
+                plans.at({spec.workload, spec.scale, spec.max_insts,
+                          spec.intervals});
+            out[i].stats =
+                trace::sampled_run(spec.config, program, plan, /*threads=*/1)
+                    .aggregate;
+          } else {
+            Simulator sim(spec.config, std::move(program));
+            out[i].stats = sim.run(cap);
+          }
+        } catch (const std::exception& e) {
+          throw std::runtime_error(std::string("run '") + spec.workload +
+                                   "/" + spec.config_name +
+                                   "' failed: " + e.what());
+        }
+      },
+      threads);
   return out;
 }
 

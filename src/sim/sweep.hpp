@@ -21,6 +21,7 @@ struct RunSpec {
   core::CoreConfig config;
   uint64_t max_insts = 0;   ///< 0 = run to completion
   uint32_t scale = 1;       ///< workload size multiplier
+  uint32_t intervals = 1;   ///< >1: checkpointed interval sampling (trace::)
 };
 
 struct RunOutcome {
@@ -29,13 +30,23 @@ struct RunOutcome {
 };
 
 /// Runs every spec (order preserved in the result). `threads` <= 0 picks
-/// CFIR_THREADS or the hardware concurrency.
+/// CFIR_THREADS or the hardware concurrency. Specs with `intervals > 1`
+/// run through the checkpointed interval sampler (trace::sampled_run) and
+/// report the merged aggregate stats.
 [[nodiscard]] std::vector<RunOutcome> run_all(const std::vector<RunSpec>& specs,
                                               int threads = 0);
+
+/// The shared work-stealing-free job pool behind run_all and
+/// trace::SampledRun: invokes `fn(0..n)` across `threads` workers
+/// (`threads` <= 0 picks CFIR_THREADS or the hardware concurrency) and
+/// rethrows the first exception after all workers join.
+void parallel_for(size_t n, const std::function<void(size_t)>& fn,
+                  int threads = 0);
 
 /// Environment knobs shared by the bench binaries.
 [[nodiscard]] uint32_t env_scale();      ///< CFIR_SCALE, default 1
 [[nodiscard]] int env_threads();         ///< CFIR_THREADS, default 0 (auto)
 [[nodiscard]] uint64_t env_max_insts();  ///< CFIR_MAX_INSTS, default 0
+[[nodiscard]] uint32_t env_intervals();  ///< CFIR_INTERVALS, default 1
 
 }  // namespace cfir::sim

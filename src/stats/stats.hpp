@@ -104,9 +104,23 @@ struct SimStats {
 
   /// Human-readable multi-line dump (examples, debugging).
   [[nodiscard]] std::string to_string() const;
+
+  /// Accumulates `other` into this. Counters add; `regs_in_use_max` takes
+  /// the max; `halted` becomes true once any contributor reached HALT (in
+  /// an interval-sampled run only the final interval can). Used by the
+  /// interval-sampling driver to aggregate per-interval stats, so the
+  /// derived ratios (ipc(), reuse_fraction(), ...) remain meaningful on the
+  /// merged result.
+  SimStats& merge(const SimStats& other);
 };
 
 /// Harmonic mean, the average the paper uses for IPC across benchmarks.
 [[nodiscard]] double harmonic_mean(const std::vector<double>& xs);
+
+/// Machine-readable single-line JSON object holding every counter plus the
+/// derived metrics (keys match the member names). Benches and the trace
+/// tool emit this so results can be diffed / plotted without screen-scraping
+/// the ASCII tables.
+[[nodiscard]] std::string to_json(const SimStats& s);
 
 }  // namespace cfir::stats

@@ -1,0 +1,126 @@
+#include "trace/checkpoint.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+#include "isa/interpreter.hpp"
+#include "trace/io.hpp"
+
+namespace cfir::trace {
+
+namespace {
+
+using io::get_raw;
+using io::put_raw;
+
+bool all_zero(const uint8_t* data, size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    if (data[i] != 0) return false;
+  }
+  return true;
+}
+
+Checkpoint snapshot(const isa::Interpreter& interp,
+                    const mem::MainMemory& memory) {
+  Checkpoint ck;
+  ck.pc = interp.pc();
+  ck.executed = interp.executed();
+  ck.regs = interp.regs();
+  ck.memory = memory.clone();
+  return ck;
+}
+
+}  // namespace
+
+void Checkpoint::save(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("Checkpoint: cannot open " + path);
+  out.write(kCheckpointMagic, sizeof(kCheckpointMagic));
+  put_raw(out, kCheckpointVersion);
+  put_raw(out, uint32_t{0});  // reserved
+  put_raw(out, pc);
+  put_raw(out, executed);
+  for (const uint64_t r : regs) put_raw(out, r);
+
+  std::vector<std::pair<uint64_t, const uint8_t*>> pages;
+  memory.for_each_page([&](uint64_t base_addr, const uint8_t* data) {
+    if (!all_zero(data, mem::MainMemory::kPageSize)) {
+      pages.emplace_back(base_addr, data);
+    }
+  });
+  put_raw(out, static_cast<uint64_t>(pages.size()));
+  for (const auto& [base_addr, data] : pages) {
+    put_raw(out, base_addr);
+    out.write(reinterpret_cast<const char*>(data),
+              mem::MainMemory::kPageSize);
+  }
+  out.close();
+  if (!out) throw std::runtime_error("Checkpoint: write failed for " + path);
+}
+
+Checkpoint Checkpoint::load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("Checkpoint: cannot open " + path);
+  char magic[sizeof(kCheckpointMagic)];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kCheckpointMagic, sizeof(magic)) != 0) {
+    throw std::runtime_error("Checkpoint: bad magic in " + path);
+  }
+  const uint32_t version = get_raw<uint32_t>(in);
+  if (version != kCheckpointVersion) {
+    throw std::runtime_error("Checkpoint: unsupported version " +
+                             std::to_string(version));
+  }
+  (void)get_raw<uint32_t>(in);  // reserved
+
+  Checkpoint ck;
+  ck.pc = get_raw<uint64_t>(in);
+  ck.executed = get_raw<uint64_t>(in);
+  for (auto& r : ck.regs) r = get_raw<uint64_t>(in);
+  const uint64_t page_count = get_raw<uint64_t>(in);
+  std::vector<uint8_t> buf(mem::MainMemory::kPageSize);
+  for (uint64_t p = 0; p < page_count; ++p) {
+    const uint64_t base_addr = get_raw<uint64_t>(in);
+    in.read(reinterpret_cast<char*>(buf.data()),
+            static_cast<std::streamsize>(buf.size()));
+    // Fail fast inside the loop: a corrupt page_count would otherwise spin
+    // for up to 2^64 iterations replaying stale bytes.
+    if (!in) {
+      throw std::runtime_error("Checkpoint: truncated file " + path);
+    }
+    ck.memory.write_block(base_addr, buf.data(), buf.size());
+  }
+  if (!in) throw std::runtime_error("Checkpoint: truncated file " + path);
+  return ck;
+}
+
+Checkpoint fast_forward(const isa::Program& program, uint64_t n_insts) {
+  mem::MainMemory memory;
+  isa::load_data_image(program, memory);
+  isa::Interpreter interp(program, memory);
+  interp.run(n_insts);
+  return snapshot(interp, memory);
+}
+
+std::vector<Checkpoint> interval_checkpoints(
+    const isa::Program& program, const std::vector<uint64_t>& boundaries) {
+  if (!std::is_sorted(boundaries.begin(), boundaries.end())) {
+    throw std::runtime_error("interval_checkpoints: boundaries not sorted");
+  }
+  mem::MainMemory memory;
+  isa::load_data_image(program, memory);
+  isa::Interpreter interp(program, memory);
+
+  std::vector<Checkpoint> out;
+  out.reserve(boundaries.size());
+  for (const uint64_t boundary : boundaries) {
+    while (interp.executed() < boundary && interp.step()) {
+    }
+    out.push_back(snapshot(interp, memory));
+  }
+  return out;
+}
+
+}  // namespace cfir::trace

@@ -1,0 +1,85 @@
+#include "trace/sampling.hpp"
+
+#include <algorithm>
+
+#include "isa/interpreter.hpp"
+#include "sim/simulator.hpp"
+#include "sim/sweep.hpp"
+
+namespace cfir::trace {
+
+IntervalPlan plan_intervals(const isa::Program& program, uint32_t k,
+                            uint64_t max_insts) {
+  const uint64_t cap = max_insts == 0 ? UINT64_MAX : max_insts;
+
+  // Pass 1: measure the run length with the reference interpreter.
+  IntervalPlan plan;
+  {
+    mem::MainMemory memory;
+    isa::load_data_image(program, memory);
+    isa::Interpreter interp(program, memory);
+    interp.run(cap);
+    plan.total_insts = interp.executed();
+  }
+  plan.ran_to_halt = plan.total_insts < cap;
+  if (k == 0) k = 1;
+  k = static_cast<uint32_t>(
+      std::max<uint64_t>(1, std::min<uint64_t>(k, plan.total_insts)));
+
+  // Pass 2: capture a checkpoint at each interval boundary.
+  plan.boundaries.reserve(k);
+  for (uint32_t i = 0; i < k; ++i) {
+    plan.boundaries.push_back(plan.total_insts * i / k);
+  }
+  plan.checkpoints = interval_checkpoints(program, plan.boundaries);
+  return plan;
+}
+
+SampledRun sampled_run(const core::CoreConfig& config,
+                       const isa::Program& program, const IntervalPlan& plan,
+                       int threads) {
+  const size_t k = plan.boundaries.size();
+  SampledRun result;
+  result.total_insts = plan.total_insts;
+  result.intervals.resize(k);
+  for (size_t i = 0; i < k; ++i) {
+    const uint64_t end = i + 1 < k ? plan.boundaries[i + 1]
+                                   : plan.total_insts;
+    result.intervals[i].start_inst = plan.boundaries[i];
+    result.intervals[i].length = end - plan.boundaries[i];
+  }
+
+  // Detailed-simulate every interval in parallel. When the run ended at
+  // HALT (not at the cap), the final interval runs unbounded so the core
+  // retires HALT and reports `halted` like a monolithic run.
+  sim::parallel_for(
+      k,
+      [&](size_t i) {
+        SampledRun::Interval& interval = result.intervals[i];
+        const bool last = i + 1 == k;
+        // The final interval of a halting run always executes — even when
+        // empty (a program that halts at instruction 0) — so the core
+        // retires HALT and the aggregate reports `halted` like a
+        // monolithic run would.
+        const bool run_to_halt = last && plan.ran_to_halt;
+        if (interval.length == 0 && !run_to_halt) return;
+        sim::Simulator sim(config, program, plan.checkpoints[i]);
+        interval.stats =
+            sim.run(run_to_halt ? UINT64_MAX : interval.length);
+      },
+      threads);
+
+  for (const SampledRun::Interval& interval : result.intervals) {
+    result.aggregate.merge(interval.stats);
+  }
+  return result;
+}
+
+SampledRun sampled_run(const core::CoreConfig& config,
+                       const isa::Program& program, uint32_t k,
+                       uint64_t max_insts, int threads) {
+  return sampled_run(config, program, plan_intervals(program, k, max_insts),
+                     threads);
+}
+
+}  // namespace cfir::trace

@@ -1,0 +1,64 @@
+// Checkpointed interval sampling: split one long workload run into K
+// architectural intervals, simulate each interval independently on the
+// detailed core (resumed from its checkpoint), and merge the per-interval
+// SimStats into one aggregate.
+//
+// Because checkpoints are exact architectural state, the union of the
+// intervals commits exactly the same instruction stream as a monolithic
+// run — committed/load/store/branch counts match exactly. Timing-facing
+// counters (cycles, mispredicts, cache misses) differ slightly from a
+// monolithic run because each interval starts with cold predictors and
+// caches; this is the classic simulation-sampling trade-off, and the win is
+// wall-clock: the K detailed simulations run in parallel on the
+// sim::run_all thread pool while the fast-forward uses only the reference
+// interpreter (orders of magnitude faster per instruction).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/config.hpp"
+#include "isa/program.hpp"
+#include "stats/stats.hpp"
+#include "trace/checkpoint.hpp"
+
+namespace cfir::trace {
+
+struct SampledRun {
+  struct Interval {
+    uint64_t start_inst = 0;   ///< first instruction index of the interval
+    uint64_t length = 0;       ///< instructions detailed-simulated
+    stats::SimStats stats;
+  };
+  std::vector<Interval> intervals;
+  uint64_t total_insts = 0;    ///< instructions covered by all intervals
+  stats::SimStats aggregate;   ///< merge of every interval's stats
+};
+
+/// The checkpoint schedule for a (program, k, max_insts) triple. Planning
+/// costs two interpreter passes (count, then snapshot) and depends only on
+/// the workload — never the core config — so one plan can be shared by
+/// every configuration simulating the same workload (sim::run_all does).
+struct IntervalPlan {
+  uint64_t total_insts = 0;
+  bool ran_to_halt = false;          ///< run ended at HALT, not at the cap
+  std::vector<uint64_t> boundaries;  ///< interval start instruction counts
+  std::vector<Checkpoint> checkpoints;
+};
+[[nodiscard]] IntervalPlan plan_intervals(const isa::Program& program,
+                                          uint32_t k, uint64_t max_insts = 0);
+
+/// Simulates every interval of `plan` in parallel under `config` and merges
+/// the stats (`threads` <= 0 picks CFIR_THREADS / hardware concurrency).
+[[nodiscard]] SampledRun sampled_run(const core::CoreConfig& config,
+                                     const isa::Program& program,
+                                     const IntervalPlan& plan,
+                                     int threads = 0);
+
+/// Convenience: plan_intervals + sampled_run in one call. `max_insts` == 0
+/// covers the full run; `k` is clamped to the run length.
+[[nodiscard]] SampledRun sampled_run(const core::CoreConfig& config,
+                                     const isa::Program& program, uint32_t k,
+                                     uint64_t max_insts = 0, int threads = 0);
+
+}  // namespace cfir::trace

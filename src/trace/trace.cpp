@@ -1,0 +1,350 @@
+#include "trace/trace.hpp"
+
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+#include <stdexcept>
+
+#include "mem/main_memory.hpp"
+#include "trace/io.hpp"
+
+namespace cfir::trace {
+
+namespace {
+
+// Header field offsets (see the format comment in trace.hpp).
+constexpr std::streamoff kOffRecordCount = 16;
+constexpr std::streamoff kOffFinalDigest = 32;
+constexpr std::streamoff kOffFinalRegs = 40;
+
+constexpr uint64_t zigzag(int64_t v) {
+  return (static_cast<uint64_t>(v) << 1) ^
+         static_cast<uint64_t>(v >> 63);
+}
+constexpr int64_t unzigzag(uint64_t v) {
+  return static_cast<int64_t>((v >> 1) ^ (~(v & 1) + 1));
+}
+
+constexpr uint8_t kKindMask = 0x3;
+constexpr uint8_t kTakenBit = 0x4;
+constexpr int kSizeShift = 3;
+
+uint8_t log2_size(uint8_t bytes) {
+  switch (bytes) {
+    case 1: return 0;
+    case 2: return 1;
+    case 4: return 2;
+    default: return 3;
+  }
+}
+
+using io::get_raw;
+using io::put_raw;
+
+}  // namespace
+
+std::string env_trace_dir() {
+  const char* v = std::getenv("CFIR_TRACE_DIR");
+  return (v == nullptr || *v == '\0') ? std::string(".") : std::string(v);
+}
+
+// ---------------------------------------------------------------------------
+// TraceWriter
+// ---------------------------------------------------------------------------
+
+TraceWriter::TraceWriter(const std::string& path, const TraceMeta& meta)
+    : out_(path, std::ios::binary | std::ios::trunc),
+      prev_pc_(meta.base_pc),
+      base_pc_(meta.base_pc) {
+  if (!out_) {
+    throw std::runtime_error("TraceWriter: cannot open " + path);
+  }
+  out_.write(kTraceMagic, sizeof(kTraceMagic));
+  put_raw(out_, kTraceVersion);
+  put_raw(out_, uint32_t{0});  // reserved
+  put_raw(out_, kUnfinishedRecordCount);  // patched by finish()
+  put_raw(out_, meta.base_pc);
+  put_raw(out_, uint64_t{0});  // final_digest, patched by finish()
+  for (int i = 0; i < isa::kNumLogicalRegs; ++i) put_raw(out_, uint64_t{0});
+  put_raw(out_, meta.scale);
+  put_raw(out_, static_cast<uint32_t>(meta.workload.size()));
+  out_.write(meta.workload.data(),
+             static_cast<std::streamsize>(meta.workload.size()));
+}
+
+TraceWriter::~TraceWriter() {
+  if (!finished_ && out_.is_open()) {
+    // Unfinished traces keep the sentinel record count written at open, so
+    // TraceReader rejects them instead of reading a truncated stream.
+    out_.close();
+  }
+}
+
+void TraceWriter::put_varint(uint64_t v) {
+  while (v >= 0x80) {
+    out_.put(static_cast<char>((v & 0x7f) | 0x80));
+    v >>= 7;
+  }
+  out_.put(static_cast<char>(v));
+}
+
+void TraceWriter::append(const TraceRecord& rec) {
+  uint8_t tag = static_cast<uint8_t>(rec.kind) & kKindMask;
+  if (rec.kind == RecordKind::kBranch && rec.taken) tag |= kTakenBit;
+  if (rec.kind == RecordKind::kLoad || rec.kind == RecordKind::kStore) {
+    tag |= static_cast<uint8_t>(log2_size(rec.size) << kSizeShift);
+  }
+  out_.put(static_cast<char>(tag));
+
+  const uint64_t pred = have_prev_ ? prev_pc_ + isa::kInstBytes : base_pc_;
+  put_varint(zigzag(static_cast<int64_t>(rec.pc - pred)));
+  prev_pc_ = rec.pc;
+  have_prev_ = true;
+
+  if (rec.kind == RecordKind::kBranch) {
+    put_varint(zigzag(
+        static_cast<int64_t>(rec.next_pc - (rec.pc + isa::kInstBytes))));
+  } else if (rec.kind == RecordKind::kLoad ||
+             rec.kind == RecordKind::kStore) {
+    put_varint(zigzag(static_cast<int64_t>(rec.addr - last_addr_)));
+    last_addr_ = rec.addr;
+  }
+  ++records_;
+}
+
+void TraceWriter::finish(
+    const std::array<uint64_t, isa::kNumLogicalRegs>& final_regs,
+    uint64_t final_digest) {
+  if (finished_) return;
+  out_.seekp(kOffRecordCount);
+  put_raw(out_, records_);
+  out_.seekp(kOffFinalDigest);
+  put_raw(out_, final_digest);
+  out_.seekp(kOffFinalRegs);
+  for (const uint64_t r : final_regs) put_raw(out_, r);
+  out_.close();
+  if (!out_) throw std::runtime_error("TraceWriter: write failed");
+  finished_ = true;
+}
+
+// ---------------------------------------------------------------------------
+// TraceReader
+// ---------------------------------------------------------------------------
+
+TraceReader::TraceReader(const std::string& path)
+    : in_(path, std::ios::binary) {
+  if (!in_) throw std::runtime_error("TraceReader: cannot open " + path);
+  char magic[sizeof(kTraceMagic)];
+  in_.read(magic, sizeof(magic));
+  if (!in_ || std::memcmp(magic, kTraceMagic, sizeof(magic)) != 0) {
+    throw std::runtime_error("TraceReader: bad magic in " + path);
+  }
+  const uint32_t version = get_raw<uint32_t>(in_);
+  if (version != kTraceVersion) {
+    throw std::runtime_error("TraceReader: unsupported version " +
+                             std::to_string(version));
+  }
+  (void)get_raw<uint32_t>(in_);  // reserved
+  record_count_ = get_raw<uint64_t>(in_);
+  if (record_count_ == kUnfinishedRecordCount) {
+    throw std::runtime_error(
+        "TraceReader: unfinished trace (recording was interrupted before "
+        "finish()) in " + path);
+  }
+  meta_.base_pc = get_raw<uint64_t>(in_);
+  final_digest_ = get_raw<uint64_t>(in_);
+  for (auto& r : final_regs_) r = get_raw<uint64_t>(in_);
+  meta_.scale = get_raw<uint32_t>(in_);
+  const uint32_t name_len = get_raw<uint32_t>(in_);
+  // Workload names are short identifiers; a large length means the header
+  // bytes are garbage — fail cleanly instead of attempting the allocation.
+  if (name_len > 4096) {
+    throw std::runtime_error("TraceReader: corrupt header (name length " +
+                             std::to_string(name_len) + ") in " + path);
+  }
+  meta_.workload.resize(name_len);
+  in_.read(meta_.workload.data(), name_len);
+  if (!in_) throw std::runtime_error("TraceReader: truncated header");
+  prev_pc_ = meta_.base_pc;
+}
+
+uint64_t TraceReader::get_varint() {
+  uint64_t v = 0;
+  int shift = 0;
+  for (;;) {
+    const int c = in_.get();
+    if (c == std::char_traits<char>::eof()) {
+      throw std::runtime_error("TraceReader: truncated varint");
+    }
+    v |= static_cast<uint64_t>(c & 0x7f) << shift;
+    if ((c & 0x80) == 0) break;
+    shift += 7;
+    if (shift > 63) throw std::runtime_error("TraceReader: varint overflow");
+  }
+  return v;
+}
+
+bool TraceReader::next(TraceRecord& out) {
+  if (read_ >= record_count_) return false;
+  const int tag_c = in_.get();
+  if (tag_c == std::char_traits<char>::eof()) {
+    throw std::runtime_error("TraceReader: truncated record stream");
+  }
+  const uint8_t tag = static_cast<uint8_t>(tag_c);
+  out = TraceRecord{};
+  out.kind = static_cast<RecordKind>(tag & kKindMask);
+
+  const uint64_t pred = have_prev_ ? prev_pc_ + isa::kInstBytes
+                                   : meta_.base_pc;
+  out.pc = pred + static_cast<uint64_t>(unzigzag(get_varint()));
+  prev_pc_ = out.pc;
+  have_prev_ = true;
+
+  if (out.kind == RecordKind::kBranch) {
+    out.taken = (tag & kTakenBit) != 0;
+    out.next_pc = out.pc + isa::kInstBytes +
+                  static_cast<uint64_t>(unzigzag(get_varint()));
+  } else if (out.kind == RecordKind::kLoad ||
+             out.kind == RecordKind::kStore) {
+    out.size = static_cast<uint8_t>(1u << ((tag >> kSizeShift) & 0x3));
+    out.addr =
+        last_addr_ + static_cast<uint64_t>(unzigzag(get_varint()));
+    last_addr_ = out.addr;
+  }
+  ++read_;
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Capture / replay drivers
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Wires one interpreter step into one TraceRecord. The interpreter fires
+/// on_branch / on_mem inside the step and on_step at the end, so the
+/// observers stash details and on_step emits.
+class StepRecorder {
+ public:
+  explicit StepRecorder(isa::Interpreter& interp) : interp_(interp) {
+    interp_.on_branch = [this](uint64_t pc, bool taken, uint64_t target) {
+      pending_.kind = RecordKind::kBranch;
+      pending_.taken = taken;
+      pending_.next_pc = target;
+      (void)pc;
+    };
+    interp_.on_mem = [this](uint64_t pc, uint64_t addr, int bytes,
+                            bool is_store) {
+      pending_.kind = is_store ? RecordKind::kStore : RecordKind::kLoad;
+      pending_.addr = addr;
+      pending_.size = static_cast<uint8_t>(bytes);
+      (void)pc;
+    };
+    interp_.on_step = [this](uint64_t pc, uint64_t next_pc) {
+      pending_.pc = pc;
+      if (pending_.kind == RecordKind::kBranch) pending_.next_pc = next_pc;
+      if (sink) sink(pending_);
+      pending_ = TraceRecord{};
+    };
+  }
+
+  std::function<void(const TraceRecord&)> sink;
+
+ private:
+  isa::Interpreter& interp_;
+  TraceRecord pending_;
+};
+
+}  // namespace
+
+isa::InterpResult record_interpreter(const isa::Program& program,
+                                     const std::string& path,
+                                     const TraceMeta& meta,
+                                     uint64_t max_insts) {
+  TraceMeta m = meta;
+  m.base_pc = program.base();
+  TraceWriter writer(path, m);
+
+  mem::MainMemory memory;
+  isa::load_data_image(program, memory);
+  isa::Interpreter interp(program, memory);
+  StepRecorder recorder(interp);
+  recorder.sink = [&](const TraceRecord& rec) { writer.append(rec); };
+  interp.run(max_insts);
+
+  isa::InterpResult r;
+  r.executed = interp.executed();
+  r.halted = interp.halted();
+  r.regs = interp.regs();
+  r.mem_digest = memory.digest();
+  writer.finish(r.regs, r.mem_digest);
+  return r;
+}
+
+ReplayResult replay_trace(const isa::Program& program,
+                          const std::string& path) {
+  TraceReader reader(path);
+  return replay_trace(program, reader);
+}
+
+ReplayResult replay_trace(const isa::Program& program, TraceReader& reader) {
+  ReplayResult result;
+  std::ostringstream why;
+
+  mem::MainMemory memory;
+  isa::load_data_image(program, memory);
+  isa::Interpreter interp(program, memory);
+  StepRecorder recorder(interp);
+
+  bool diverged = false;
+  recorder.sink = [&](const TraceRecord& live) {
+    if (diverged) return;
+    TraceRecord stored;
+    if (!reader.next(stored)) {
+      why << "trace ended early at live instruction " << result.replayed
+          << "; ";
+      diverged = true;
+      return;
+    }
+    if (!(stored == live)) {
+      why << "record " << result.replayed << " mismatch: stored pc=0x"
+          << std::hex << stored.pc << " live pc=0x" << live.pc << std::dec
+          << " stored kind=" << static_cast<int>(stored.kind)
+          << " live kind=" << static_cast<int>(live.kind) << "; ";
+      diverged = true;
+      return;
+    }
+    ++result.replayed;
+  };
+
+  // A trace may have been capped at CFIR_MAX_INSTS, so replay exactly the
+  // recorded prefix rather than running the program to completion.
+  while (!diverged && result.replayed < reader.record_count() &&
+         interp.step()) {
+  }
+  if (!diverged && result.replayed != reader.record_count()) {
+    why << "trace has " << reader.record_count()
+        << " records but live run retired only " << result.replayed << "; ";
+  }
+
+  result.final_state.executed = interp.executed();
+  result.final_state.halted = interp.halted();
+  result.final_state.regs = interp.regs();
+  result.final_state.mem_digest = memory.digest();
+
+  if (result.final_state.mem_digest != reader.final_digest()) {
+    why << "final memory digest differs; ";
+  }
+  for (int i = 0; i < isa::kNumLogicalRegs; ++i) {
+    if (result.final_state.regs[static_cast<size_t>(i)] !=
+        reader.final_regs()[static_cast<size_t>(i)]) {
+      why << "final r" << i << " differs; ";
+      break;
+    }
+  }
+  result.mismatch = why.str();
+  result.match = result.mismatch.empty();
+  return result;
+}
+
+}  // namespace cfir::trace

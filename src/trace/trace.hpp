@@ -1,0 +1,163 @@
+// Trace capture / replay: a compact, versioned binary format for the
+// committed instruction stream (PCs, branch outcomes, load/store
+// addresses) of one workload run.
+//
+// Motivation (see README "Trace subsystem"): every figure bench used to
+// re-execute each workload from instruction zero. Recording the committed
+// stream once makes runs persistable, shareable and replayable — replay
+// re-executes the reference interpreter under trace verification, so a
+// stored trace doubles as an architectural regression artifact.
+//
+// Format, version 1 (all integers little-endian):
+//
+//   header:  magic "CFIRTRC1" | u32 version | u32 reserved
+//            | u64 record_count | u64 base_pc | u64 final_digest
+//            | 64 x u64 final architectural registers
+//            | u32 scale | u32 name_len | name bytes
+//   records: one per retired instruction —
+//            tag byte: bits 0-1 kind (0 plain, 1 branch, 2 load, 3 store)
+//                      bit  2   branch taken
+//                      bits 3-4 log2(access bytes) for loads/stores
+//            zigzag-varint pc delta from the *predicted* pc
+//              (previous pc + 4; sequential code costs 1 byte)
+//            branch: zigzag-varint delta of actual next pc from pc + 4
+//            load/store: zigzag-varint address delta from the previous
+//              memory access address
+//
+// `record_count`, `final_digest` and the final registers are patched into
+// the header by TraceWriter::finish, so a trace file is self-validating:
+// replay can check the reconstructed architectural state without re-running
+// the original simulation.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <fstream>
+#include <string>
+
+#include "isa/interpreter.hpp"
+#include "isa/program.hpp"
+
+namespace cfir::trace {
+
+inline constexpr char kTraceMagic[8] = {'C', 'F', 'I', 'R',
+                                        'T', 'R', 'C', '1'};
+inline constexpr uint32_t kTraceVersion = 1;
+/// record_count value written at open and replaced by finish(); a file
+/// still carrying it was interrupted mid-recording and is rejected.
+inline constexpr uint64_t kUnfinishedRecordCount = UINT64_MAX;
+
+/// Directory trace files default into: CFIR_TRACE_DIR, or "." when unset.
+[[nodiscard]] std::string env_trace_dir();
+
+enum class RecordKind : uint8_t {
+  kPlain = 0,   ///< ALU / jumps / calls / rets
+  kBranch = 1,  ///< conditional branch (taken + target recorded)
+  kLoad = 2,
+  kStore = 3,
+};
+
+/// One retired instruction.
+struct TraceRecord {
+  uint64_t pc = 0;
+  RecordKind kind = RecordKind::kPlain;
+  bool taken = false;     ///< kBranch only
+  uint64_t next_pc = 0;   ///< kBranch only: actual successor pc
+  uint64_t addr = 0;      ///< kLoad/kStore only
+  uint8_t size = 0;       ///< kLoad/kStore only: access bytes (1/2/4/8)
+
+  bool operator==(const TraceRecord&) const = default;
+};
+
+/// Workload identity stored in the header so `replay` / `info` can rebuild
+/// the program without out-of-band knowledge.
+struct TraceMeta {
+  std::string workload;
+  uint32_t scale = 1;
+  uint64_t base_pc = 0;
+};
+
+class TraceWriter {
+ public:
+  /// Creates/truncates `path` and writes the header (counts zeroed).
+  TraceWriter(const std::string& path, const TraceMeta& meta);
+  ~TraceWriter();
+  TraceWriter(const TraceWriter&) = delete;
+  TraceWriter& operator=(const TraceWriter&) = delete;
+
+  void append(const TraceRecord& rec);
+
+  /// Patches record count, final registers and memory digest into the
+  /// header and closes the file. Idempotent.
+  void finish(const std::array<uint64_t, isa::kNumLogicalRegs>& final_regs,
+              uint64_t final_digest);
+
+  [[nodiscard]] uint64_t records() const { return records_; }
+
+ private:
+  void put_varint(uint64_t v);
+
+  std::ofstream out_;
+  uint64_t records_ = 0;
+  uint64_t prev_pc_;     ///< pc of the previous record
+  bool have_prev_ = false;
+  uint64_t base_pc_;
+  uint64_t last_addr_ = 0;
+  bool finished_ = false;
+};
+
+class TraceReader {
+ public:
+  /// Opens and validates the header; throws std::runtime_error on a bad
+  /// magic / version / truncated file.
+  explicit TraceReader(const std::string& path);
+
+  [[nodiscard]] const TraceMeta& meta() const { return meta_; }
+  [[nodiscard]] uint64_t record_count() const { return record_count_; }
+  [[nodiscard]] uint64_t final_digest() const { return final_digest_; }
+  [[nodiscard]] const std::array<uint64_t, isa::kNumLogicalRegs>&
+  final_regs() const {
+    return final_regs_;
+  }
+
+  /// Reads the next record; returns false at end of stream.
+  bool next(TraceRecord& out);
+
+ private:
+  [[nodiscard]] uint64_t get_varint();
+
+  std::ifstream in_;
+  TraceMeta meta_;
+  uint64_t record_count_ = 0;
+  uint64_t final_digest_ = 0;
+  std::array<uint64_t, isa::kNumLogicalRegs> final_regs_{};
+  uint64_t read_ = 0;
+  uint64_t prev_pc_ = 0;
+  bool have_prev_ = false;
+  uint64_t last_addr_ = 0;
+};
+
+/// Runs the reference interpreter over `program` (fresh memory, data image
+/// applied), recording every retired instruction to `path`. Stops at HALT
+/// or after `max_insts`. Returns the final architectural state.
+isa::InterpResult record_interpreter(const isa::Program& program,
+                                     const std::string& path,
+                                     const TraceMeta& meta,
+                                     uint64_t max_insts = UINT64_MAX);
+
+/// Trace-driven re-execution: replays `program` on the interpreter while
+/// verifying every retired instruction against the stored records, then
+/// checks the final registers and memory digest against the header.
+struct ReplayResult {
+  bool match = false;
+  uint64_t replayed = 0;        ///< records consumed
+  std::string mismatch;         ///< empty when match
+  isa::InterpResult final_state;
+};
+ReplayResult replay_trace(const isa::Program& program,
+                          const std::string& path);
+/// Same, driving an already-opened reader (no record consumed yet) —
+/// callers that inspected meta() first avoid re-parsing the header.
+ReplayResult replay_trace(const isa::Program& program, TraceReader& reader);
+
+}  // namespace cfir::trace

@@ -32,6 +32,67 @@ TEST(Stats, ZeroSafeDerived) {
   EXPECT_DOUBLE_EQ(s.reuse_fraction(), 0.0);
 }
 
+TEST(Stats, MergeSumsCountersAndKeepsMaxima) {
+  SimStats a;
+  a.cycles = 100;
+  a.committed = 250;
+  a.committed_loads = 40;
+  a.mispredicts = 3;
+  a.regs_in_use_max = 70;
+  a.l1d_accesses = 500;
+  SimStats b;
+  b.cycles = 50;
+  b.committed = 100;
+  b.committed_loads = 10;
+  b.mispredicts = 2;
+  b.regs_in_use_max = 90;
+  b.l1d_accesses = 100;
+  b.halted = true;
+
+  a.merge(b);
+  EXPECT_EQ(a.cycles, 150u);
+  EXPECT_EQ(a.committed, 350u);
+  EXPECT_EQ(a.committed_loads, 50u);
+  EXPECT_EQ(a.mispredicts, 5u);
+  EXPECT_EQ(a.regs_in_use_max, 90u);
+  EXPECT_EQ(a.l1d_accesses, 600u);
+  EXPECT_TRUE(a.halted);
+  // Derived ratios stay consistent with the summed counters.
+  EXPECT_DOUBLE_EQ(a.ipc(), 350.0 / 150.0);
+}
+
+TEST(Stats, MergeWithDefaultIsIdentity) {
+  SimStats a;
+  a.cycles = 7;
+  a.committed = 9;
+  a.halted = true;
+  SimStats copy = a;
+  a.merge(SimStats{});
+  EXPECT_EQ(a.cycles, copy.cycles);
+  EXPECT_EQ(a.committed, copy.committed);
+  EXPECT_TRUE(a.halted);
+}
+
+TEST(Stats, ToJsonIsParseableAndComplete) {
+  SimStats s;
+  s.cycles = 12;
+  s.committed = 34;
+  s.halted = true;
+  s.l2_misses = 56;
+  const std::string json = to_json(s);
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"cycles\":12"), std::string::npos);
+  EXPECT_NE(json.find("\"committed\":34"), std::string::npos);
+  EXPECT_NE(json.find("\"halted\":true"), std::string::npos);
+  EXPECT_NE(json.find("\"l2_misses\":56"), std::string::npos);
+  EXPECT_NE(json.find("\"ipc\":"), std::string::npos);
+  EXPECT_NE(json.find("\"reuse_fraction\":"), std::string::npos);
+  // No trailing comma, single-line.
+  EXPECT_EQ(json.find(",}"), std::string::npos);
+  EXPECT_EQ(json.find('\n'), std::string::npos);
+}
+
 TEST(Stats, ToStringMentionsKeyCounters) {
   SimStats s;
   s.cycles = 10;

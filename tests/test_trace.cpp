@@ -1,0 +1,337 @@
+// Trace capture/replay and checkpointed interval sampling (src/trace/):
+//  - write -> read roundtrip reproduces the live record stream exactly
+//  - core-captured traces equal interpreter-captured traces
+//  - checkpoint save/load and resume are bit-identical to an uninterrupted
+//    run (register file + memory_digest)
+//  - sampled-run aggregates match a monolithic run exactly on the
+//    architectural counters and within tolerance on timing counters
+#include "trace/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "helpers.hpp"
+#include "sim/presets.hpp"
+#include "sim/simulator.hpp"
+#include "sim/sweep.hpp"
+#include "trace/checkpoint.hpp"
+#include "trace/sampling.hpp"
+#include "workloads/workloads.hpp"
+
+namespace cfir::trace {
+namespace {
+
+/// Unique temp path per test; removed on destruction.
+class TempFile {
+ public:
+  explicit TempFile(const std::string& tag)
+      : path_(std::string(::testing::TempDir()) + "cfir_" + tag + "_" +
+              std::to_string(reinterpret_cast<uintptr_t>(this))) {}
+  ~TempFile() { std::remove(path_.c_str()); }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+std::vector<TraceRecord> capture_live(const isa::Program& program,
+                                      uint64_t max_insts = UINT64_MAX) {
+  // Reference stream straight from the interpreter observers, bypassing
+  // the file format.
+  std::vector<TraceRecord> live;
+  mem::MainMemory memory;
+  isa::load_data_image(program, memory);
+  isa::Interpreter interp(program, memory);
+  TraceRecord pending;
+  interp.on_branch = [&](uint64_t, bool taken, uint64_t target) {
+    pending.kind = RecordKind::kBranch;
+    pending.taken = taken;
+    pending.next_pc = target;
+  };
+  interp.on_mem = [&](uint64_t, uint64_t addr, int bytes, bool is_store) {
+    pending.kind = is_store ? RecordKind::kStore : RecordKind::kLoad;
+    pending.addr = addr;
+    pending.size = static_cast<uint8_t>(bytes);
+  };
+  interp.on_step = [&](uint64_t pc, uint64_t) {
+    pending.pc = pc;
+    live.push_back(pending);
+    pending = TraceRecord{};
+  };
+  interp.run(max_insts);
+  return live;
+}
+
+TEST(TraceFormat, RoundTripEqualsLiveStream) {
+  const isa::Program program = cfir::testing::figure1_program(256, 50, 11);
+  const std::vector<TraceRecord> live = capture_live(program);
+  ASSERT_FALSE(live.empty());
+
+  TempFile file("roundtrip");
+  TraceMeta meta;
+  meta.workload = "figure1";
+  meta.scale = 1;
+  const isa::InterpResult r =
+      record_interpreter(program, file.path(), meta);
+  EXPECT_EQ(r.executed, live.size());
+
+  TraceReader reader(file.path());
+  EXPECT_EQ(reader.meta().workload, "figure1");
+  EXPECT_EQ(reader.meta().scale, 1u);
+  EXPECT_EQ(reader.meta().base_pc, program.base());
+  EXPECT_EQ(reader.record_count(), live.size());
+  EXPECT_EQ(reader.final_digest(), r.mem_digest);
+  EXPECT_EQ(reader.final_regs(), r.regs);
+
+  TraceRecord rec;
+  for (size_t i = 0; i < live.size(); ++i) {
+    ASSERT_TRUE(reader.next(rec)) << "stream ended early at " << i;
+    ASSERT_EQ(rec, live[i]) << "record " << i << " differs";
+  }
+  EXPECT_FALSE(reader.next(rec));
+}
+
+TEST(TraceFormat, RandomProgramsRoundTrip) {
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    const isa::Program program = cfir::testing::random_program(seed);
+    const std::vector<TraceRecord> live = capture_live(program);
+    TempFile file("rand" + std::to_string(seed));
+    TraceMeta meta;
+    meta.workload = "random";
+    record_interpreter(program, file.path(), meta);
+
+    TraceReader reader(file.path());
+    ASSERT_EQ(reader.record_count(), live.size()) << "seed " << seed;
+    TraceRecord rec;
+    for (size_t i = 0; i < live.size(); ++i) {
+      ASSERT_TRUE(reader.next(rec));
+      ASSERT_EQ(rec, live[i]) << "seed " << seed << " record " << i;
+    }
+  }
+}
+
+TEST(TraceFormat, CoreCaptureMatchesInterpreterCapture) {
+  // The detailed core commits the same architectural stream the
+  // interpreter retires, so both capture paths must produce identical
+  // traces.
+  const isa::Program program = workloads::build("bzip2", 1);
+  constexpr uint64_t kCap = 15000;
+
+  TempFile interp_file("interp");
+  TraceMeta meta;
+  meta.workload = "bzip2";
+  record_interpreter(program, interp_file.path(), meta, kCap);
+
+  TempFile core_file("core");
+  meta.base_pc = program.base();
+  TraceWriter writer(core_file.path(), meta);
+  sim::Simulator sim(sim::presets::ci(2, 512), program);
+  sim.attach_trace(writer);
+  const stats::SimStats st = sim.run(kCap);
+  std::array<uint64_t, isa::kNumLogicalRegs> regs{};
+  for (int i = 0; i < isa::kNumLogicalRegs; ++i) {
+    regs[static_cast<size_t>(i)] = sim.arch_reg(i);
+  }
+  writer.finish(regs, sim.memory_digest());
+  ASSERT_EQ(writer.records(), st.committed);
+
+  TraceReader a(interp_file.path());
+  TraceReader b(core_file.path());
+  ASSERT_EQ(a.record_count(), b.record_count());
+  EXPECT_EQ(a.final_digest(), b.final_digest());
+  EXPECT_EQ(a.final_regs(), b.final_regs());
+  TraceRecord ra, rb;
+  for (uint64_t i = 0; i < a.record_count(); ++i) {
+    ASSERT_TRUE(a.next(ra));
+    ASSERT_TRUE(b.next(rb));
+    ASSERT_EQ(ra, rb) << "record " << i << " differs";
+  }
+}
+
+TEST(TraceReplay, AllWorkloadsMatchDirectSimulatorRun) {
+  // Acceptance check: record + replay reproduces the same final digest and
+  // architectural registers as a direct Simulator::run, for all twelve
+  // workloads.
+  constexpr uint64_t kCap = 12000;
+  for (const std::string& wl : workloads::names()) {
+    const isa::Program program = workloads::build(wl, 1);
+    TempFile file("replay_" + wl);
+    TraceMeta meta;
+    meta.workload = wl;
+    record_interpreter(program, file.path(), meta, kCap);
+
+    const ReplayResult r = replay_trace(program, file.path());
+    ASSERT_TRUE(r.match) << wl << ": " << r.mismatch;
+
+    sim::Simulator sim(sim::presets::ci(2, 512), program);
+    const stats::SimStats st = sim.run(kCap);
+    EXPECT_EQ(st.committed, r.replayed) << wl;
+    EXPECT_EQ(sim.memory_digest(), r.final_state.mem_digest) << wl;
+    for (int i = 0; i < isa::kNumLogicalRegs; ++i) {
+      ASSERT_EQ(sim.arch_reg(i), r.final_state.regs[static_cast<size_t>(i)])
+          << wl << " r" << i;
+    }
+  }
+}
+
+TEST(TraceReplay, DetectsDivergence) {
+  const isa::Program p1 = cfir::testing::figure1_program(128, 50, 3);
+  const isa::Program p2 = cfir::testing::figure1_program(128, 50, 4);
+  TempFile file("diverge");
+  TraceMeta meta;
+  meta.workload = "figure1";
+  record_interpreter(p1, file.path(), meta);
+  // Replaying a different program against p1's trace must not match.
+  const ReplayResult r = replay_trace(p2, file.path());
+  EXPECT_FALSE(r.match);
+  EXPECT_FALSE(r.mismatch.empty());
+}
+
+TEST(Checkpoint, SaveLoadRoundTrip) {
+  const isa::Program program = workloads::build("gzip", 1);
+  const Checkpoint ck = fast_forward(program, 5000);
+  ASSERT_EQ(ck.executed, 5000u);
+
+  TempFile file("ckpt");
+  ck.save(file.path());
+  const Checkpoint loaded = Checkpoint::load(file.path());
+  EXPECT_EQ(loaded.pc, ck.pc);
+  EXPECT_EQ(loaded.executed, ck.executed);
+  EXPECT_EQ(loaded.regs, ck.regs);
+  EXPECT_EQ(loaded.memory.digest(), ck.memory.digest());
+}
+
+TEST(Checkpoint, InterpreterResumeBitIdentical) {
+  for (const char* wl : {"bzip2", "mcf", "parser"}) {
+    const isa::Program program = workloads::build(wl, 1);
+    const isa::InterpResult whole = isa::run_program(program);
+
+    const Checkpoint ck = fast_forward(program, whole.executed / 2);
+    mem::MainMemory memory = ck.memory.clone();
+    isa::Interpreter interp(program, memory);
+    interp.set_pc(ck.pc);
+    for (int i = 0; i < isa::kNumLogicalRegs; ++i) {
+      interp.set_reg(i, ck.regs[static_cast<size_t>(i)]);
+    }
+    interp.run();
+    EXPECT_EQ(ck.executed + interp.executed(), whole.executed) << wl;
+    EXPECT_EQ(interp.regs(), whole.regs) << wl;
+    EXPECT_EQ(memory.digest(), whole.mem_digest) << wl;
+  }
+}
+
+TEST(Checkpoint, CoreResumeBitIdentical) {
+  // Detailed core resumed from a mid-run checkpoint must land on exactly
+  // the architectural state of an uninterrupted run.
+  for (const char* wl : {"bzip2", "twolf", "vpr"}) {
+    const isa::Program program = workloads::build(wl, 1);
+    const isa::InterpResult whole = isa::run_program(program);
+    const core::CoreConfig config = sim::presets::ci(2, 512);
+
+    const Checkpoint ck = fast_forward(program, whole.executed / 3);
+    sim::Simulator resumed(config, program, ck);
+    const stats::SimStats st = resumed.run(UINT64_MAX);
+    EXPECT_EQ(ck.executed + st.committed, whole.executed) << wl;
+    for (int i = 0; i < isa::kNumLogicalRegs; ++i) {
+      ASSERT_EQ(resumed.arch_reg(i), whole.regs[static_cast<size_t>(i)])
+          << wl << " r" << i;
+    }
+    EXPECT_EQ(resumed.memory_digest(), whole.mem_digest) << wl;
+  }
+}
+
+TEST(Checkpoint, IntervalCheckpointsOnePassMatchesFastForward) {
+  const isa::Program program = workloads::build("gap", 1);
+  const std::vector<uint64_t> boundaries{0, 1000, 4000, 9000};
+  const std::vector<Checkpoint> cks =
+      interval_checkpoints(program, boundaries);
+  ASSERT_EQ(cks.size(), boundaries.size());
+  for (size_t i = 0; i < boundaries.size(); ++i) {
+    const Checkpoint direct = fast_forward(program, boundaries[i]);
+    EXPECT_EQ(cks[i].pc, direct.pc) << "boundary " << boundaries[i];
+    EXPECT_EQ(cks[i].executed, direct.executed);
+    EXPECT_EQ(cks[i].regs, direct.regs);
+    EXPECT_EQ(cks[i].memory.digest(), direct.memory.digest());
+  }
+}
+
+TEST(SampledRun, AggregateMatchesMonolithic) {
+  // Architectural counters must match a monolithic run exactly (the
+  // intervals partition the same committed stream); timing counters carry
+  // per-interval cold-start effects, so IPC gets a tolerance.
+  // Scale 4 keeps intervals long enough that per-interval cold-start cost
+  // (empty predictors and caches) stays a bounded fraction of the interval.
+  // Workloads whose monolithic run is dominated by a one-time training
+  // phase (vortex) exceed any honest tolerance until detailed warm-up
+  // windows exist (ROADMAP open item) and are excluded here.
+  const core::CoreConfig config = sim::presets::ci(2, 512);
+  for (const char* wl : {"bzip2", "eon", "gcc", "twolf"}) {
+    const isa::Program program = workloads::build(wl, 4);
+    sim::Simulator mono(config, program);
+    const stats::SimStats whole = mono.run(UINT64_MAX);
+
+    const SampledRun sampled =
+        sampled_run(config, program, /*k=*/5, /*max_insts=*/0, /*threads=*/2);
+    EXPECT_EQ(sampled.intervals.size(), 5u) << wl;
+    EXPECT_EQ(sampled.total_insts, whole.committed) << wl;
+    EXPECT_EQ(sampled.aggregate.committed, whole.committed) << wl;
+    EXPECT_EQ(sampled.aggregate.committed_loads, whole.committed_loads) << wl;
+    EXPECT_EQ(sampled.aggregate.committed_stores, whole.committed_stores)
+        << wl;
+    EXPECT_EQ(sampled.aggregate.committed_branches, whole.committed_branches)
+        << wl;
+    EXPECT_EQ(sampled.aggregate.cond_branches, whole.cond_branches) << wl;
+    EXPECT_TRUE(sampled.aggregate.halted) << wl;
+    ASSERT_GT(sampled.aggregate.ipc(), 0.0) << wl;
+    const double rel =
+        std::abs(sampled.aggregate.ipc() - whole.ipc()) / whole.ipc();
+    EXPECT_LT(rel, 0.30) << wl << ": sampled IPC " << sampled.aggregate.ipc()
+                         << " vs monolithic " << whole.ipc();
+  }
+}
+
+TEST(SampledRun, CappedRunCoversExactlyTheCap) {
+  const isa::Program program = workloads::build("crafty", 1);
+  const core::CoreConfig config = sim::presets::scal(2, 256);
+  const SampledRun sampled =
+      sampled_run(config, program, /*k=*/4, /*max_insts=*/8000);
+  EXPECT_EQ(sampled.total_insts, 8000u);
+  EXPECT_EQ(sampled.aggregate.committed, 8000u);
+  uint64_t covered = 0;
+  for (const auto& interval : sampled.intervals) covered += interval.length;
+  EXPECT_EQ(covered, 8000u);
+}
+
+TEST(SampledRun, ImmediateHaltProgramReportsHalted) {
+  // A program that halts at instruction 0 has one empty interval; the
+  // sampler must still retire HALT and report halted like a monolithic run.
+  const isa::Program program = isa::assemble_text("halt");
+  const core::CoreConfig config = sim::presets::scal(2, 256);
+  const SampledRun sampled = sampled_run(config, program, /*k=*/4);
+  EXPECT_EQ(sampled.total_insts, 0u);
+  EXPECT_EQ(sampled.aggregate.committed, 0u);
+  EXPECT_TRUE(sampled.aggregate.halted);
+}
+
+TEST(SampledRun, RunAllIntervalsFieldAggregates) {
+  // RunSpec::intervals routes a sweep grid point through the sampler.
+  sim::RunSpec mono;
+  mono.workload = "twolf";
+  mono.config_name = "mono";
+  mono.config = sim::presets::ci(2, 512);
+  mono.max_insts = 10000;
+  sim::RunSpec sampled = mono;
+  sampled.config_name = "sampled";
+  sampled.intervals = 4;
+  const auto out = sim::run_all({mono, sampled}, 2);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].stats.committed, out[1].stats.committed);
+  EXPECT_EQ(out[0].stats.committed_stores, out[1].stats.committed_stores);
+}
+
+}  // namespace
+}  // namespace cfir::trace
