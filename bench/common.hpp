@@ -71,6 +71,8 @@ inline void run_figure(const std::string& title,
       s.max_insts = max_insts;
       s.scale = scale;
       s.intervals = intervals;
+      s.sample_mode = sim::env_sample_mode();
+      s.warmup = sim::env_warmup();
       specs.push_back(std::move(s));
     }
   }
@@ -106,8 +108,9 @@ inline void run_figure(const std::string& title,
   }
   std::printf("%s\n", title.c_str());
   std::printf("(max %llu committed insts/run, scale %u, intervals %u; set "
-              "CFIR_MAX_INSTS / CFIR_SCALE / CFIR_THREADS / CFIR_INTERVALS "
-              "to change)\n\n",
+              "CFIR_MAX_INSTS / CFIR_SCALE / CFIR_THREADS / CFIR_INTERVALS / "
+              "CFIR_SAMPLE_MODE / CFIR_WARMUP to change — see README "
+              "\"Environment knobs\")\n\n",
               static_cast<unsigned long long>(max_insts), scale, intervals);
   std::printf("%s\n", table.to_text().c_str());
   dump_json(outcomes);
@@ -141,6 +144,8 @@ inline void run_register_sweep(
         s.max_insts = max_insts;
         s.scale = scale;
         s.intervals = sim::env_intervals();
+        s.sample_mode = sim::env_sample_mode();
+        s.warmup = sim::env_warmup();
         specs.push_back(std::move(s));
       }
     }

@@ -29,6 +29,8 @@ int main() {
     s.max_insts = default_max_insts();
     s.scale = sim::env_scale();
     s.intervals = sim::env_intervals();
+    s.sample_mode = sim::env_sample_mode();
+    s.warmup = sim::env_warmup();
     specs.push_back(std::move(s));
   }
   const auto out = sim::run_all(specs, sim::env_threads());

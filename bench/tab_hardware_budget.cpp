@@ -48,6 +48,8 @@ int main() {
       s.max_insts = max_insts;
       s.scale = scale;
       s.intervals = sim::env_intervals();
+      s.sample_mode = sim::env_sample_mode();
+      s.warmup = sim::env_warmup();
       specs.push_back(std::move(s));
     }
   }

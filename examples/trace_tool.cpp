@@ -1,24 +1,34 @@
-// Trace tooling CLI: record, inspect, replay and sample workload traces.
+// Trace tooling CLI: record, inspect, replay, phase-analyze and sample
+// workload traces.
 //
 //   trace_tool record <workload> [scale] [max_insts]   write <wl>.s<scale>.cfirtrace
 //   trace_tool info   <file>                           print header + stream summary
 //   trace_tool replay <file>                           verify trace against live run
-//   trace_tool sample <workload> <k> [scale] [max]     interval-sampled detailed run
+//   trace_tool phases <file> [n_intervals]             BBV + phase clustering, JSON
+//   trace_tool sample <workload> <k> [scale] [max]     sampled detailed run
+//          [--mode=uniform|cluster] [--warmup=W] [--max-k=K]
 //
 // Files land in CFIR_TRACE_DIR (default "."). `record` captures from the
 // reference interpreter; `replay` re-executes under verification and cross
 // checks the final architectural registers and memory digest stored in the
-// header, exiting non-zero on any divergence. `sample` runs the detailed
-// core over K checkpointed intervals in parallel (CFIR_THREADS) and prints
-// both per-interval and merged stats as JSON.
+// header, exiting non-zero on any divergence. `phases` chops a stored
+// trace into n fixed-length intervals, builds per-interval basic-block
+// vectors and clusters them (docs/sampling.md). `sample` runs the
+// detailed core over the planned intervals in parallel (CFIR_THREADS) and
+// prints per-interval and merged stats as JSON; in cluster mode <k> is
+// the number of BBV windows and only one weighted representative per
+// phase is simulated.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "sim/presets.hpp"
 #include "sim/simulator.hpp"
 #include "stats/stats.hpp"
+#include "trace/bbv.hpp"
+#include "trace/cluster.hpp"
 #include "trace/sampling.hpp"
 #include "trace/trace.hpp"
 #include "workloads/workloads.hpp"
@@ -28,12 +38,16 @@ namespace {
 using namespace cfir;
 
 int usage() {
-  std::fprintf(stderr,
-               "usage: trace_tool record <workload> [scale] [max_insts]\n"
-               "       trace_tool info   <trace-file>\n"
-               "       trace_tool replay <trace-file>\n"
-               "       trace_tool sample <workload> <k> [scale] [max_insts]\n"
-               "env: CFIR_TRACE_DIR (output dir), CFIR_THREADS (sample)\n");
+  std::fprintf(
+      stderr,
+      "usage: trace_tool record <workload> [scale] [max_insts]\n"
+      "       trace_tool info   <trace-file>\n"
+      "       trace_tool replay <trace-file>\n"
+      "       trace_tool phases <trace-file> [n_intervals]\n"
+      "       trace_tool sample <workload> <k> [scale] [max_insts]\n"
+      "                         [--mode=uniform|cluster] [--warmup=W]\n"
+      "                         [--max-k=K]\n"
+      "env: CFIR_TRACE_DIR (output dir), CFIR_THREADS (sample)\n");
   return 2;
 }
 
@@ -114,30 +128,120 @@ int cmd_replay(int argc, char** argv) {
   return 0;
 }
 
+int cmd_phases(int argc, char** argv) {
+  if (argc < 1) return usage();
+  trace::TraceReader reader(argv[0]);
+  const uint32_t n_intervals =
+      argc > 1 ? static_cast<uint32_t>(std::strtoul(argv[1], nullptr, 10))
+               : 32;
+  if (n_intervals == 0) return usage();
+
+  // Interval length from the header's record count, so `phases` needs no
+  // workload rebuild — it only walks the stored stream.
+  const uint64_t records = reader.record_count();
+  const uint64_t interval_len =
+      records == 0 ? 1 : (records + n_intervals - 1) / n_intervals;
+  const trace::BbvSet bbvs = trace::bbv_from_trace(reader, interval_len);
+  const trace::Clustering clusters = trace::cluster_bbvs(bbvs);
+
+  std::printf("{\"workload\":\"%s\",\"scale\":%u,\"records\":%llu,"
+              "\"interval_len\":%llu,\"intervals\":%zu,\"blocks\":%zu,"
+              "\"k\":%u}\n",
+              reader.meta().workload.c_str(), reader.meta().scale,
+              static_cast<unsigned long long>(records),
+              static_cast<unsigned long long>(interval_len),
+              bbvs.num_intervals(), bbvs.leaders.size(), clusters.k);
+  for (size_t i = 0; i < bbvs.num_intervals(); ++i) {
+    uint64_t insts = 0;
+    for (const uint32_t c : bbvs.vectors[i]) insts += c;
+    std::printf("{\"interval\":%zu,\"start\":%llu,\"insts\":%llu,"
+                "\"cluster\":%u}\n",
+                i, static_cast<unsigned long long>(i * interval_len),
+                static_cast<unsigned long long>(insts),
+                clusters.assignment[i]);
+  }
+  for (uint32_t c = 0; c < clusters.k; ++c) {
+    std::printf("{\"cluster\":%u,\"representative\":%u,\"weight\":%llu}\n",
+                c, clusters.representative[c],
+                static_cast<unsigned long long>(clusters.sizes[c]));
+  }
+  return 0;
+}
+
 int cmd_sample(int argc, char** argv) {
-  if (argc < 2) return usage();
-  const std::string workload = argv[0];
+  // Positional args first, then --flags (any order among themselves).
+  std::vector<std::string> pos;
+  trace::SampleMode mode = trace::SampleMode::kUniform;
+  uint64_t warmup = 0;
+  uint32_t max_k = 0;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--mode=", 0) == 0) {
+      const std::string v = arg.substr(7);
+      if (v == "uniform") {
+        mode = trace::SampleMode::kUniform;
+      } else if (v == "cluster") {
+        mode = trace::SampleMode::kCluster;
+      } else {
+        return usage();
+      }
+    } else if (arg.rfind("--warmup=", 0) == 0) {
+      warmup = std::strtoull(arg.c_str() + 9, nullptr, 10);
+    } else if (arg.rfind("--max-k=", 0) == 0) {
+      max_k = static_cast<uint32_t>(
+          std::strtoul(arg.c_str() + 8, nullptr, 10));
+    } else if (arg.rfind("--", 0) == 0) {
+      return usage();
+    } else {
+      pos.push_back(arg);
+    }
+  }
+  if (pos.size() < 2) return usage();
+  const std::string workload = pos[0];
   const uint32_t k =
-      static_cast<uint32_t>(std::strtoul(argv[1], nullptr, 10));
+      static_cast<uint32_t>(std::strtoul(pos[1].c_str(), nullptr, 10));
   const uint32_t scale =
-      argc > 2 ? static_cast<uint32_t>(std::strtoul(argv[2], nullptr, 10)) : 1;
+      pos.size() > 2
+          ? static_cast<uint32_t>(std::strtoul(pos[2].c_str(), nullptr, 10))
+          : 1;
   const uint64_t max_insts =
-      argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 0;
+      pos.size() > 3 ? std::strtoull(pos[3].c_str(), nullptr, 10) : 0;
 
   const isa::Program program = workloads::build(workload, scale);
-  const trace::SampledRun run = trace::sampled_run(
-      sim::presets::ci(2, 512), program, k, max_insts);
+  trace::IntervalPlan plan;
+  if (mode == trace::SampleMode::kCluster) {
+    trace::ClusterPlanOptions opts;
+    opts.n_intervals = k;
+    opts.max_k = max_k;
+    opts.warmup = warmup;
+    opts.max_insts = max_insts;
+    plan = trace::plan_cluster_intervals(program, opts);
+  } else {
+    plan = trace::plan_intervals(program, k, max_insts, warmup);
+  }
+  const trace::SampledRun run =
+      trace::sampled_run(sim::presets::ci(2, 512), program, plan);
   for (size_t i = 0; i < run.intervals.size(); ++i) {
     const auto& interval = run.intervals[i];
     std::printf("{\"interval\":%zu,\"start\":%llu,\"length\":%llu,"
-                "\"stats\":%s}\n",
+                "\"warmup\":%llu,\"weight\":%g,\"stats\":%s}\n",
                 i, static_cast<unsigned long long>(interval.start_inst),
                 static_cast<unsigned long long>(interval.length),
-                stats::to_json(interval.stats).c_str());
+                static_cast<unsigned long long>(interval.warmup),
+                interval.weight, stats::to_json(interval.stats).c_str());
   }
-  std::printf("{\"aggregate\":true,\"total_insts\":%llu,\"stats\":%s}\n",
+  const double coverage =
+      run.total_insts == 0
+          ? 0.0
+          : static_cast<double>(run.detailed_insts) /
+                static_cast<double>(run.total_insts);
+  std::printf("{\"aggregate\":true,\"mode\":\"%s\",\"total_insts\":%llu,"
+              "\"detailed_insts\":%llu,\"detailed_fraction\":%g,"
+              "\"stats\":%s}\n",
+              mode == trace::SampleMode::kCluster ? "cluster" : "uniform",
               static_cast<unsigned long long>(run.total_insts),
-              stats::to_json(run.aggregate).c_str());
+              static_cast<unsigned long long>(run.detailed_insts),
+              coverage, stats::to_json(run.aggregate).c_str());
   return 0;
 }
 
@@ -150,6 +254,7 @@ int main(int argc, char** argv) {
     if (cmd == "record") return cmd_record(argc - 2, argv + 2);
     if (cmd == "info") return cmd_info(argc - 2, argv + 2);
     if (cmd == "replay") return cmd_replay(argc - 2, argv + 2);
+    if (cmd == "phases") return cmd_phases(argc - 2, argv + 2);
     if (cmd == "sample") return cmd_sample(argc - 2, argv + 2);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "trace_tool %s: %s\n", cmd.c_str(), e.what());

@@ -598,21 +598,37 @@ void CiMechanism::mark_reused(uint64_t branch_pc) {
   if (branch_pc == 0) return;  // vect policy: no episode attribution
   const auto it = episodes_.find(branch_pc);
   if (it == episodes_.end()) return;
-  if (!it->second.cur_reused) {
-    it->second.cur_reused = true;
-    ++it->second.reused;
+  EpisodeStats& ep = it->second;
+  if (ep.cur_reused) return;  // current episode already credited
+  if (ep.cur_selected) {
+    ep.cur_reused = true;
+    ++ep.reused;
+    return;
   }
+  // The reuse outlived its selecting episode: a replica ring seeded by an
+  // earlier episode of this branch keeps feeding reuse after a newer
+  // episode reset the per-episode flags. Credit the earlier selecting
+  // episode instead of the current one — capped at the number of selecting
+  // episodes, which is what keeps ep_ci_reused <= ep_ci_selected as an
+  // invariant rather than a display-side clamp.
+  if (ep.reused < ep.selected) ++ep.reused;
 }
 
 void CiMechanism::finalize() {
-  if (finalized_ || core_ == nullptr) return;
-  finalized_ = true;
-  auto& stats = core_->stats();
+  if (core_ == nullptr) return;
+  uint64_t episodes = 0, selected = 0, reused = 0;
   for (const auto& [pc, ep] : episodes_) {
-    stats.ep_total += ep.episodes;
-    stats.ep_ci_selected += ep.selected;
-    stats.ep_ci_reused += ep.reused;
+    episodes += ep.episodes;
+    selected += ep.selected;
+    reused += ep.reused;
   }
+  auto& stats = core_->stats();
+  stats.ep_total += episodes - folded_episodes_;
+  stats.ep_ci_selected += selected - folded_selected_;
+  stats.ep_ci_reused += reused - folded_reused_;
+  folded_episodes_ = episodes;
+  folded_selected_ = selected;
+  folded_reused_ = reused;
 }
 
 uint64_t CiMechanism::storage_bytes() const {

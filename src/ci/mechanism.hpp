@@ -63,7 +63,9 @@ class CiMechanism : public core::Mechanism {
   }
 
   /// Folds episode statistics (Figure 5) into the core's stat block; called
-  /// by the simulator after the run.
+  /// by the simulator after the run. Incremental: only the delta since the
+  /// previous call is added, so the warm-up machinery can snapshot stats
+  /// mid-run (Simulator::run is re-entrant) without double counting.
   void finalize() override;
 
   /// Extra hardware budget of the scheme, section 3.1 (bytes).
@@ -111,7 +113,10 @@ class CiMechanism : public core::Mechanism {
   Crp crp_;
   std::array<RenameExt, isa::kNumLogicalRegs> ext_{};
   std::unordered_map<uint64_t, EpisodeStats> episodes_;
-  bool finalized_ = false;
+  /// Episode totals already folded into the core stats by finalize().
+  uint64_t folded_episodes_ = 0;
+  uint64_t folded_selected_ = 0;
+  uint64_t folded_reused_ = 0;
 };
 
 }  // namespace cfir::ci

@@ -6,6 +6,8 @@
 #include <map>
 #include <mutex>
 #include <stdexcept>
+#include <string>
+#include <string_view>
 #include <thread>
 #include <tuple>
 
@@ -31,6 +33,19 @@ uint64_t env_max_insts() { return env_u64("CFIR_MAX_INSTS", 0); }
 uint32_t env_intervals() {
   return static_cast<uint32_t>(env_u64("CFIR_INTERVALS", 1));
 }
+
+trace::SampleMode env_sample_mode() {
+  const char* v = std::getenv("CFIR_SAMPLE_MODE");
+  if (v == nullptr || *v == '\0' || std::string_view(v) == "uniform") {
+    return trace::SampleMode::kUniform;
+  }
+  if (std::string_view(v) == "cluster") return trace::SampleMode::kCluster;
+  throw std::runtime_error(
+      std::string("CFIR_SAMPLE_MODE must be 'uniform' or 'cluster', got '") +
+      v + "'");
+}
+
+uint64_t env_warmup() { return env_u64("CFIR_WARMUP", 0); }
 
 void parallel_for(size_t n, const std::function<void(size_t)>& fn,
                   int threads) {
@@ -78,12 +93,17 @@ std::vector<RunOutcome> run_all(const std::vector<RunSpec>& specs,
   // passes are ~50x cheaper than detailed simulation) and share it across
   // the config columns of the grid. Unique plans are independent, so they
   // build on the pool too.
-  using PlanKey = std::tuple<std::string, uint32_t, uint64_t, uint32_t>;
+  using PlanKey = std::tuple<std::string, uint32_t, uint64_t, uint32_t,
+                             uint8_t, uint64_t>;
+  const auto plan_key = [](const RunSpec& spec) {
+    return PlanKey{spec.workload,  spec.scale,
+                   spec.max_insts, spec.intervals,
+                   static_cast<uint8_t>(spec.sample_mode), spec.warmup};
+  };
   std::map<PlanKey, trace::IntervalPlan> plans;
   for (const RunSpec& spec : specs) {
     if (spec.intervals <= 1) continue;
-    plans.try_emplace({spec.workload, spec.scale, spec.max_insts,
-                       spec.intervals});
+    plans.try_emplace(plan_key(spec));
   }
   {
     std::vector<std::pair<const PlanKey, trace::IntervalPlan>*> slots;
@@ -92,12 +112,21 @@ std::vector<RunOutcome> run_all(const std::vector<RunSpec>& specs,
     parallel_for(
         slots.size(),
         [&](size_t i) {
-          const auto& [workload, scale, max_insts, intervals] =
+          const auto& [workload, scale, max_insts, intervals, mode, warmup] =
               slots[i]->first;
           try {
             const isa::Program program = workloads::build(workload, scale);
-            slots[i]->second =
-                trace::plan_intervals(program, intervals, max_insts);
+            if (static_cast<trace::SampleMode>(mode) ==
+                trace::SampleMode::kCluster) {
+              trace::ClusterPlanOptions opts;
+              opts.n_intervals = intervals;
+              opts.warmup = warmup;
+              opts.max_insts = max_insts;
+              slots[i]->second = trace::plan_cluster_intervals(program, opts);
+            } else {
+              slots[i]->second =
+                  trace::plan_intervals(program, intervals, max_insts, warmup);
+            }
           } catch (const std::exception& e) {
             throw std::runtime_error("interval planning for '" + workload +
                                      "' (scale " + std::to_string(scale) +
@@ -120,9 +149,7 @@ std::vector<RunOutcome> run_all(const std::vector<RunSpec>& specs,
           if (spec.intervals > 1) {
             // Intervals of one grid point run sequentially inside this
             // worker; the grid itself is already spread across the pool.
-            const trace::IntervalPlan& plan =
-                plans.at({spec.workload, spec.scale, spec.max_insts,
-                          spec.intervals});
+            const trace::IntervalPlan& plan = plans.at(plan_key(spec));
             out[i].stats =
                 trace::sampled_run(spec.config, program, plan, /*threads=*/1)
                     .aggregate;

@@ -12,6 +12,7 @@
 #include "core/config.hpp"
 #include "isa/program.hpp"
 #include "stats/stats.hpp"
+#include "trace/sampling.hpp"
 
 namespace cfir::sim {
 
@@ -21,7 +22,12 @@ struct RunSpec {
   core::CoreConfig config;
   uint64_t max_insts = 0;   ///< 0 = run to completion
   uint32_t scale = 1;       ///< workload size multiplier
-  uint32_t intervals = 1;   ///< >1: checkpointed interval sampling (trace::)
+  uint32_t intervals = 1;   ///< >1: checkpointed interval sampling (trace::).
+                            ///< uniform mode: number of detailed intervals;
+                            ///< cluster mode: number of BBV windows the run
+                            ///< is chopped into before phase clustering.
+  trace::SampleMode sample_mode = trace::SampleMode::kUniform;
+  uint64_t warmup = 0;      ///< warm-up instructions per detailed interval
 };
 
 struct RunOutcome {
@@ -48,5 +54,9 @@ void parallel_for(size_t n, const std::function<void(size_t)>& fn,
 [[nodiscard]] int env_threads();         ///< CFIR_THREADS, default 0 (auto)
 [[nodiscard]] uint64_t env_max_insts();  ///< CFIR_MAX_INSTS, default 0
 [[nodiscard]] uint32_t env_intervals();  ///< CFIR_INTERVALS, default 1
+/// CFIR_SAMPLE_MODE ("uniform" | "cluster"), default uniform; anything
+/// else throws so typos fail loudly instead of silently running uniform.
+[[nodiscard]] trace::SampleMode env_sample_mode();
+[[nodiscard]] uint64_t env_warmup();     ///< CFIR_WARMUP, default 0
 
 }  // namespace cfir::sim

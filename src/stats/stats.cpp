@@ -1,6 +1,7 @@
 #include "stats/stats.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <sstream>
 
 namespace cfir::stats {
@@ -32,63 +33,30 @@ std::string SimStats::to_string() const {
 }
 
 SimStats& SimStats::merge(const SimStats& other) {
-  cycles += other.cycles;
-  committed += other.committed;
-  committed_loads += other.committed_loads;
-  committed_stores += other.committed_stores;
-  committed_branches += other.committed_branches;
-  fetched += other.fetched;
-  squashed += other.squashed;
+#define X(field) field += other.field;
+  CFIR_SIMSTATS_COUNTERS(X)
+#undef X
   halted = halted || other.halted;
-
-  cond_branches += other.cond_branches;
-  mispredicts += other.mispredicts;
-  hard_mispredicts += other.hard_mispredicts;
-
-  ep_total += other.ep_total;
-  ep_ci_selected += other.ep_ci_selected;
-  ep_ci_reused += other.ep_ci_reused;
-
-  reused_committed += other.reused_committed;
-  replicas_created += other.replicas_created;
-  replicas_executed += other.replicas_executed;
-  validations_failed += other.validations_failed;
-  misvalidation_squashes += other.misvalidation_squashes;
-  safety_net_recoveries += other.safety_net_recoveries;
-  srsmt_allocs += other.srsmt_allocs;
-  srsmt_dealloc_daec += other.srsmt_dealloc_daec;
-  srsmt_dealloc_coherence += other.srsmt_dealloc_coherence;
-  srsmt_dealloc_replace += other.srsmt_dealloc_replace;
-
-  l1i_accesses += other.l1i_accesses;
-  l1i_misses += other.l1i_misses;
-  l1d_accesses += other.l1d_accesses;
-  l1d_misses += other.l1d_misses;
-  l2_accesses += other.l2_accesses;
-  l2_misses += other.l2_misses;
-  l3_accesses += other.l3_accesses;
-  l3_misses += other.l3_misses;
-  wide_accesses += other.wide_accesses;
-  loads_piggybacked += other.loads_piggybacked;
-  lsq_forwards += other.lsq_forwards;
-
-  store_range_checks += other.store_range_checks;
-  store_range_conflicts += other.store_range_conflicts;
-
-  regs_in_use_accum += other.regs_in_use_accum;
-  reg_samples += other.reg_samples;
   regs_in_use_max = std::max(regs_in_use_max, other.regs_in_use_max);
-  rename_stall_cycles += other.rename_stall_cycles;
-  replica_alloc_denied += other.replica_alloc_denied;
-  watchdog_reclaims += other.watchdog_reclaims;
+  return *this;
+}
 
-  stridedpc_propagations += other.stridedpc_propagations;
-  stridedpc_overflows += other.stridedpc_overflows;
-  stridedpc_width_accum += other.stridedpc_width_accum;
+SimStats& SimStats::subtract(const SimStats& other) {
+#define X(field) field = field >= other.field ? field - other.field : 0;
+  CFIR_SIMSTATS_COUNTERS(X)
+#undef X
+  // halted / regs_in_use_max keep the minuend's value (see header).
+  return *this;
+}
 
-  specmem_writes += other.specmem_writes;
-  specmem_copies += other.specmem_copies;
-  specmem_alloc_denied += other.specmem_alloc_denied;
+SimStats& SimStats::merge_scaled(const SimStats& other, double weight) {
+#define X(field)                                                           \
+  field += static_cast<uint64_t>(                                          \
+      std::llround(static_cast<double>(other.field) * weight));
+  CFIR_SIMSTATS_COUNTERS(X)
+#undef X
+  halted = halted || other.halted;
+  regs_in_use_max = std::max(regs_in_use_max, other.regs_in_use_max);
   return *this;
 }
 
@@ -101,55 +69,11 @@ std::string to_json(const SimStats& s) {
     first = false;
     os << '"' << key << "\":" << value;
   };
-  num("cycles", s.cycles);
-  num("committed", s.committed);
-  num("committed_loads", s.committed_loads);
-  num("committed_stores", s.committed_stores);
-  num("committed_branches", s.committed_branches);
-  num("fetched", s.fetched);
-  num("squashed", s.squashed);
+#define X(field) num(#field, s.field);
+  CFIR_SIMSTATS_COUNTERS(X)
+#undef X
   num("halted", s.halted ? "true" : "false");
-  num("cond_branches", s.cond_branches);
-  num("mispredicts", s.mispredicts);
-  num("hard_mispredicts", s.hard_mispredicts);
-  num("ep_total", s.ep_total);
-  num("ep_ci_selected", s.ep_ci_selected);
-  num("ep_ci_reused", s.ep_ci_reused);
-  num("reused_committed", s.reused_committed);
-  num("replicas_created", s.replicas_created);
-  num("replicas_executed", s.replicas_executed);
-  num("validations_failed", s.validations_failed);
-  num("misvalidation_squashes", s.misvalidation_squashes);
-  num("safety_net_recoveries", s.safety_net_recoveries);
-  num("srsmt_allocs", s.srsmt_allocs);
-  num("srsmt_dealloc_daec", s.srsmt_dealloc_daec);
-  num("srsmt_dealloc_coherence", s.srsmt_dealloc_coherence);
-  num("srsmt_dealloc_replace", s.srsmt_dealloc_replace);
-  num("l1i_accesses", s.l1i_accesses);
-  num("l1i_misses", s.l1i_misses);
-  num("l1d_accesses", s.l1d_accesses);
-  num("l1d_misses", s.l1d_misses);
-  num("l2_accesses", s.l2_accesses);
-  num("l2_misses", s.l2_misses);
-  num("l3_accesses", s.l3_accesses);
-  num("l3_misses", s.l3_misses);
-  num("wide_accesses", s.wide_accesses);
-  num("loads_piggybacked", s.loads_piggybacked);
-  num("lsq_forwards", s.lsq_forwards);
-  num("store_range_checks", s.store_range_checks);
-  num("store_range_conflicts", s.store_range_conflicts);
-  num("regs_in_use_accum", s.regs_in_use_accum);
-  num("reg_samples", s.reg_samples);
   num("regs_in_use_max", s.regs_in_use_max);
-  num("rename_stall_cycles", s.rename_stall_cycles);
-  num("replica_alloc_denied", s.replica_alloc_denied);
-  num("watchdog_reclaims", s.watchdog_reclaims);
-  num("stridedpc_propagations", s.stridedpc_propagations);
-  num("stridedpc_overflows", s.stridedpc_overflows);
-  num("stridedpc_width_accum", s.stridedpc_width_accum);
-  num("specmem_writes", s.specmem_writes);
-  num("specmem_copies", s.specmem_copies);
-  num("specmem_alloc_denied", s.specmem_alloc_denied);
   num("ipc", s.ipc());
   num("mispredict_rate", s.mispredict_rate());
   num("avg_regs_in_use", s.avg_regs_in_use());

@@ -9,6 +9,60 @@
 
 namespace cfir::stats {
 
+// Every additive counter of SimStats, in declaration order. merge(),
+// subtract(), merge_scaled() and to_json() are all generated from this one
+// list so adding a counter is a two-line change (declare it below, add it
+// here). `halted` (merge = logical OR) and `regs_in_use_max` (merge = max)
+// are the only non-additive fields and are handled explicitly.
+#define CFIR_SIMSTATS_COUNTERS(X)                                          \
+  X(cycles)                                                                \
+  X(committed)                                                             \
+  X(committed_loads)                                                       \
+  X(committed_stores)                                                      \
+  X(committed_branches)                                                    \
+  X(fetched)                                                               \
+  X(squashed)                                                              \
+  X(cond_branches)                                                         \
+  X(mispredicts)                                                           \
+  X(hard_mispredicts)                                                      \
+  X(ep_total)                                                              \
+  X(ep_ci_selected)                                                        \
+  X(ep_ci_reused)                                                          \
+  X(reused_committed)                                                      \
+  X(replicas_created)                                                      \
+  X(replicas_executed)                                                     \
+  X(validations_failed)                                                    \
+  X(misvalidation_squashes)                                                \
+  X(safety_net_recoveries)                                                 \
+  X(srsmt_allocs)                                                          \
+  X(srsmt_dealloc_daec)                                                    \
+  X(srsmt_dealloc_coherence)                                               \
+  X(srsmt_dealloc_replace)                                                 \
+  X(l1i_accesses)                                                          \
+  X(l1i_misses)                                                            \
+  X(l1d_accesses)                                                          \
+  X(l1d_misses)                                                            \
+  X(l2_accesses)                                                           \
+  X(l2_misses)                                                             \
+  X(l3_accesses)                                                           \
+  X(l3_misses)                                                             \
+  X(wide_accesses)                                                         \
+  X(loads_piggybacked)                                                     \
+  X(lsq_forwards)                                                          \
+  X(store_range_checks)                                                    \
+  X(store_range_conflicts)                                                 \
+  X(regs_in_use_accum)                                                     \
+  X(reg_samples)                                                           \
+  X(rename_stall_cycles)                                                   \
+  X(replica_alloc_denied)                                                  \
+  X(watchdog_reclaims)                                                     \
+  X(stridedpc_propagations)                                                \
+  X(stridedpc_overflows)                                                   \
+  X(stridedpc_width_accum)                                                 \
+  X(specmem_writes)                                                        \
+  X(specmem_copies)                                                        \
+  X(specmem_alloc_denied)
+
 struct SimStats {
   // --- progress ----------------------------------------------------------
   uint64_t cycles = 0;
@@ -112,6 +166,22 @@ struct SimStats {
   /// derived ratios (ipc(), reuse_fraction(), ...) remain meaningful on the
   /// merged result.
   SimStats& merge(const SimStats& other);
+
+  /// Inverse of merge() for the additive counters: subtracts `other`
+  /// (saturating at zero) from this. The warm-up machinery in
+  /// trace::sampled_run snapshots stats at the end of the warm-up slice and
+  /// subtracts them from the full-interval stats, leaving only the measured
+  /// window. `halted` and `regs_in_use_max` are not invertible (OR / max
+  /// lose information); they keep the minuend's value, which is correct for
+  /// the warm-up use where the minuend covers a superset window.
+  SimStats& subtract(const SimStats& other);
+
+  /// merge() with every additive counter of `other` scaled by `weight`
+  /// (rounded to nearest). Cluster-mode sampling extrapolates a full run
+  /// from one representative interval per phase: each representative's
+  /// stats are folded in weighted by its cluster population, so the
+  /// aggregate's derived ratios estimate the full-run values.
+  SimStats& merge_scaled(const SimStats& other, double weight);
 };
 
 /// Harmonic mean, the average the paper uses for IPC across benchmarks.

@@ -1,0 +1,78 @@
+#include "trace/bbv.hpp"
+
+#include <stdexcept>
+
+#include "isa/interpreter.hpp"
+#include "isa/isa.hpp"
+#include "trace/trace.hpp"
+
+namespace cfir::trace {
+
+BbvBuilder::BbvBuilder(uint64_t interval_len) {
+  if (interval_len == 0) {
+    throw std::runtime_error("BbvBuilder: interval_len must be > 0");
+  }
+  set_.interval_len = interval_len;
+}
+
+void BbvBuilder::step(uint64_t pc, bool is_cond_branch) {
+  if (in_interval_ == set_.interval_len) flush_interval();
+
+  // Block boundary: stream start, the instruction after a conditional
+  // branch (both arms), or any PC discontinuity (jump/call/ret/taken
+  // branch target).
+  const bool new_block =
+      !have_prev_ || prev_was_branch_ || pc != prev_pc_ + isa::kInstBytes;
+  if (new_block) {
+    const auto [it, inserted] =
+        dim_of_.try_emplace(pc, static_cast<uint32_t>(set_.leaders.size()));
+    if (inserted) set_.leaders.push_back(pc);
+    cur_dim_ = it->second;
+  }
+  if (cur_dim_ >= current_.size()) current_.resize(cur_dim_ + 1, 0);
+  ++current_[cur_dim_];
+  ++in_interval_;
+  ++set_.total_insts;
+
+  prev_pc_ = pc;
+  prev_was_branch_ = is_cond_branch;
+  have_prev_ = true;
+}
+
+void BbvBuilder::flush_interval() {
+  set_.vectors.push_back(std::move(current_));
+  current_.clear();
+  in_interval_ = 0;
+}
+
+BbvSet BbvBuilder::finish() {
+  if (in_interval_ > 0) flush_interval();
+  // Early intervals stopped growing before later blocks were discovered;
+  // pad every vector to the final dimensionality.
+  for (auto& v : set_.vectors) v.resize(set_.leaders.size(), 0);
+  return std::move(set_);
+}
+
+BbvSet bbv_from_trace(TraceReader& reader, uint64_t interval_len) {
+  BbvBuilder builder(interval_len);
+  TraceRecord rec;
+  while (reader.next(rec)) {
+    builder.step(rec.pc, rec.kind == RecordKind::kBranch);
+  }
+  return builder.finish();
+}
+
+BbvSet bbv_from_program(const isa::Program& program, uint64_t interval_len,
+                        uint64_t max_insts) {
+  BbvBuilder builder(interval_len);
+  mem::MainMemory memory;
+  isa::load_data_image(program, memory);
+  isa::Interpreter interp(program, memory);
+  interp.on_step = [&](uint64_t pc, uint64_t) {
+    builder.step(pc, isa::is_cond_branch(program.at(pc).op));
+  };
+  interp.run(max_insts == 0 ? UINT64_MAX : max_insts);
+  return builder.finish();
+}
+
+}  // namespace cfir::trace

@@ -1,37 +1,123 @@
 #include "trace/sampling.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 
 #include "isa/interpreter.hpp"
 #include "sim/simulator.hpp"
 #include "sim/sweep.hpp"
+#include "trace/bbv.hpp"
+#include "trace/cluster.hpp"
 
 namespace cfir::trace {
 
+namespace {
+
+/// Pass 1 of every plan: measure the run length with the reference
+/// interpreter.
+uint64_t measure_run(const isa::Program& program, uint64_t cap) {
+  mem::MainMemory memory;
+  isa::load_data_image(program, memory);
+  isa::Interpreter interp(program, memory);
+  interp.run(cap);
+  return interp.executed();
+}
+
+/// Checkpoint capture for the final plan: one snapshot per interval at
+/// max(start - warmup, 0).
+void capture_checkpoints(IntervalPlan& plan, const isa::Program& program) {
+  std::vector<uint64_t> warm_starts;
+  warm_starts.reserve(plan.boundaries.size());
+  for (const uint64_t start : plan.boundaries) {
+    warm_starts.push_back(start >= plan.warmup ? start - plan.warmup : 0);
+  }
+  plan.checkpoints = interval_checkpoints(program, warm_starts);
+}
+
+}  // namespace
+
 IntervalPlan plan_intervals(const isa::Program& program, uint32_t k,
-                            uint64_t max_insts) {
+                            uint64_t max_insts, uint64_t warmup) {
   const uint64_t cap = max_insts == 0 ? UINT64_MAX : max_insts;
 
-  // Pass 1: measure the run length with the reference interpreter.
   IntervalPlan plan;
-  {
-    mem::MainMemory memory;
-    isa::load_data_image(program, memory);
-    isa::Interpreter interp(program, memory);
-    interp.run(cap);
-    plan.total_insts = interp.executed();
-  }
+  plan.mode = SampleMode::kUniform;
+  plan.warmup = warmup;
+  plan.total_insts = measure_run(program, cap);
   plan.ran_to_halt = plan.total_insts < cap;
   if (k == 0) k = 1;
   k = static_cast<uint32_t>(
       std::max<uint64_t>(1, std::min<uint64_t>(k, plan.total_insts)));
 
-  // Pass 2: capture a checkpoint at each interval boundary.
   plan.boundaries.reserve(k);
+  plan.lengths.reserve(k);
   for (uint32_t i = 0; i < k; ++i) {
     plan.boundaries.push_back(plan.total_insts * i / k);
   }
-  plan.checkpoints = interval_checkpoints(program, plan.boundaries);
+  for (uint32_t i = 0; i < k; ++i) {
+    const uint64_t end =
+        i + 1 < k ? plan.boundaries[i + 1] : plan.total_insts;
+    plan.lengths.push_back(end - plan.boundaries[i]);
+  }
+  plan.weights.assign(k, 1.0);
+  capture_checkpoints(plan, program);
+  return plan;
+}
+
+IntervalPlan plan_cluster_intervals(const isa::Program& program,
+                                    const ClusterPlanOptions& opts) {
+  const uint64_t cap = opts.max_insts == 0 ? UINT64_MAX : opts.max_insts;
+
+  IntervalPlan plan;
+  plan.mode = SampleMode::kCluster;
+  plan.warmup = opts.warmup;
+  plan.total_insts = measure_run(program, cap);
+  plan.ran_to_halt = plan.total_insts < cap;
+  if (plan.total_insts == 0) {
+    // Degenerate program (halts immediately): one empty interval so the
+    // detailed core still retires HALT.
+    plan.boundaries = {0};
+    plan.lengths = {0};
+    plan.weights = {1.0};
+    capture_checkpoints(plan, program);
+    return plan;
+  }
+
+  const uint64_t n = std::max<uint64_t>(
+      1, std::min<uint64_t>(opts.n_intervals, plan.total_insts));
+  plan.interval_len = (plan.total_insts + n - 1) / n;
+
+  // Pass 2: per-window basic-block vectors; pass 3 below: checkpoints.
+  const BbvSet bbvs =
+      bbv_from_program(program, plan.interval_len, plan.total_insts);
+
+  ClusterOptions copts;
+  copts.max_k = opts.max_k != 0
+                    ? opts.max_k
+                    : static_cast<uint32_t>(std::min<uint64_t>(16, n));
+  copts.proj_dims = opts.proj_dims;
+  copts.seed = opts.seed;
+  const Clustering clusters = cluster_bbvs(bbvs, copts);
+  plan.cluster_of = clusters.assignment;
+  plan.bic_by_k = clusters.bic_by_k;
+
+  // One measured interval per cluster, at its representative window,
+  // weighted by cluster population. Sorted by start so checkpoint capture
+  // stays a single forward interpreter pass.
+  std::vector<uint32_t> order(clusters.k);
+  for (uint32_t c = 0; c < clusters.k; ++c) order[c] = c;
+  std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    return clusters.representative[a] < clusters.representative[b];
+  });
+  for (const uint32_t c : order) {
+    const uint64_t start =
+        uint64_t{clusters.representative[c]} * plan.interval_len;
+    plan.boundaries.push_back(start);
+    plan.lengths.push_back(
+        std::min(plan.interval_len, plan.total_insts - start));
+    plan.weights.push_back(static_cast<double>(clusters.sizes[c]));
+  }
+  capture_checkpoints(plan, program);
   return plan;
 }
 
@@ -39,39 +125,63 @@ SampledRun sampled_run(const core::CoreConfig& config,
                        const isa::Program& program, const IntervalPlan& plan,
                        int threads) {
   const size_t k = plan.boundaries.size();
+  if (plan.lengths.size() != k || plan.weights.size() != k ||
+      plan.checkpoints.size() != k) {
+    throw std::runtime_error("sampled_run: malformed plan");
+  }
   SampledRun result;
   result.total_insts = plan.total_insts;
   result.intervals.resize(k);
   for (size_t i = 0; i < k; ++i) {
-    const uint64_t end = i + 1 < k ? plan.boundaries[i + 1]
-                                   : plan.total_insts;
     result.intervals[i].start_inst = plan.boundaries[i];
-    result.intervals[i].length = end - plan.boundaries[i];
+    result.intervals[i].length = plan.lengths[i];
+    result.intervals[i].weight = plan.weights[i];
+    result.intervals[i].warmup =
+        plan.boundaries[i] - plan.checkpoints[i].executed;
   }
 
-  // Detailed-simulate every interval in parallel. When the run ended at
-  // HALT (not at the cap), the final interval runs unbounded so the core
-  // retires HALT and reports `halted` like a monolithic run.
+  // Detailed-simulate every interval in parallel. An interval whose
+  // measured window reaches the end of a halting run executes unbounded so
+  // the core retires HALT and reports `halted` like a monolithic run —
+  // even when the window is empty (a program that halts at instruction 0).
   sim::parallel_for(
       k,
       [&](size_t i) {
         SampledRun::Interval& interval = result.intervals[i];
-        const bool last = i + 1 == k;
-        // The final interval of a halting run always executes — even when
-        // empty (a program that halts at instruction 0) — so the core
-        // retires HALT and the aggregate reports `halted` like a
-        // monolithic run would.
-        const bool run_to_halt = last && plan.ran_to_halt;
+        const bool run_to_halt =
+            plan.ran_to_halt &&
+            interval.start_inst + interval.length == plan.total_insts;
         if (interval.length == 0 && !run_to_halt) return;
         sim::Simulator sim(config, program, plan.checkpoints[i]);
-        interval.stats =
-            sim.run(run_to_halt ? UINT64_MAX : interval.length);
+        stats::SimStats warm_stats;
+        if (interval.warmup > 0) warm_stats = sim.run(interval.warmup);
+        interval.stats = sim.run(run_to_halt
+                                     ? UINT64_MAX
+                                     : interval.warmup + interval.length);
+        interval.stats.subtract(warm_stats);
+        // Episode counters are only hierarchical (total >= selected >=
+        // reused, a ci::CiMechanism invariant) within one contiguous run.
+        // The warm-up boundary can split an episode — selected during the
+        // warm-up slice, reused in the measured window — so re-clamp the
+        // measured slice: credit that belongs to warm-up state is
+        // discarded with the rest of the warm-up.
+        auto& s = interval.stats;
+        s.ep_ci_selected = std::min(s.ep_ci_selected, s.ep_total);
+        s.ep_ci_reused = std::min(s.ep_ci_reused, s.ep_ci_selected);
       },
       threads);
 
   for (const SampledRun::Interval& interval : result.intervals) {
-    result.aggregate.merge(interval.stats);
+    result.detailed_insts += interval.stats.committed + interval.warmup;
+    if (interval.weight == 1.0) {
+      result.aggregate.merge(interval.stats);
+    } else {
+      result.aggregate.merge_scaled(interval.stats, interval.weight);
+    }
   }
+  // In cluster mode the window containing HALT need not be a
+  // representative; the plan still knows the run halted.
+  result.aggregate.halted = result.aggregate.halted || plan.ran_to_halt;
   return result;
 }
 

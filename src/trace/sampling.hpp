@@ -1,17 +1,27 @@
-// Checkpointed interval sampling: split one long workload run into K
-// architectural intervals, simulate each interval independently on the
-// detailed core (resumed from its checkpoint), and merge the per-interval
-// SimStats into one aggregate.
+// Checkpointed interval sampling: pick a set of intervals of one long
+// workload run, simulate each independently on the detailed core (resumed
+// from its checkpoint), and merge the per-interval SimStats into one
+// aggregate. Two plan kinds (docs/sampling.md has the full treatment):
 //
-// Because checkpoints are exact architectural state, the union of the
-// intervals commits exactly the same instruction stream as a monolithic
-// run — committed/load/store/branch counts match exactly. Timing-facing
-// counters (cycles, mispredicts, cache misses) differ slightly from a
-// monolithic run because each interval starts with cold predictors and
-// caches; this is the classic simulation-sampling trade-off, and the win is
-// wall-clock: the K detailed simulations run in parallel on the
-// sim::run_all thread pool while the fast-forward uses only the reference
-// interpreter (orders of magnitude faster per instruction).
+//  - uniform: K contiguous equal intervals covering the whole run. The
+//    union commits exactly the monolithic instruction stream, so
+//    architectural counters match a monolithic run exactly; the win is
+//    wall-clock (the K detailed simulations run in parallel on the
+//    sim::run_all pool while the fast-forward uses only the reference
+//    interpreter).
+//  - cluster: SimPoint-style phase sampling. The run is chopped into N
+//    fixed-length windows, each summarized as a basic-block vector
+//    (bbv.hpp), the vectors are clustered (cluster.hpp), and only one
+//    representative window per cluster is detail-simulated. The aggregate
+//    extrapolates by cluster population (SimStats::merge_scaled), so ~K
+//    representatives stand in for the whole run at a fraction of the
+//    detailed-simulation cost.
+//
+// Either kind can add warm-up windows: each detailed interval starts W
+// instructions early (its checkpoint is captured at start - W), and the
+// stats accumulated during the warm-up slice are subtracted back out
+// (SimStats::subtract), so branch predictors and caches are warm when
+// measurement begins instead of biasing the timing counters cold.
 #pragma once
 
 #include <cstdint>
@@ -24,39 +34,81 @@
 
 namespace cfir::trace {
 
+enum class SampleMode : uint8_t {
+  kUniform = 0,  ///< contiguous equal intervals, exact architectural union
+  kCluster = 1,  ///< BBV-clustered representatives, population-weighted
+};
+
 struct SampledRun {
   struct Interval {
-    uint64_t start_inst = 0;   ///< first instruction index of the interval
-    uint64_t length = 0;       ///< instructions detailed-simulated
-    stats::SimStats stats;
+    uint64_t start_inst = 0;  ///< first measured instruction index
+    uint64_t length = 0;      ///< instructions measured (after warm-up)
+    uint64_t warmup = 0;      ///< instructions warm-simulated before start
+    double weight = 1.0;      ///< population this interval stands in for
+    stats::SimStats stats;    ///< measured slice only (warm-up subtracted)
   };
   std::vector<Interval> intervals;
-  uint64_t total_insts = 0;    ///< instructions covered by all intervals
-  stats::SimStats aggregate;   ///< merge of every interval's stats
+  uint64_t total_insts = 0;    ///< instructions the plan covers
+  uint64_t detailed_insts = 0; ///< instructions actually detail-simulated
+                               ///< (measured + warm-up; the cost)
+  stats::SimStats aggregate;   ///< weighted merge of every interval
 };
 
-/// The checkpoint schedule for a (program, k, max_insts) triple. Planning
-/// costs two interpreter passes (count, then snapshot) and depends only on
-/// the workload — never the core config — so one plan can be shared by
-/// every configuration simulating the same workload (sim::run_all does).
+/// The sampling schedule for one workload. Planning uses only the
+/// reference interpreter and depends on the workload — never the core
+/// config — so one plan can be shared by every configuration simulating
+/// the same workload (sim::run_all does).
 struct IntervalPlan {
+  SampleMode mode = SampleMode::kUniform;
   uint64_t total_insts = 0;
   bool ran_to_halt = false;          ///< run ended at HALT, not at the cap
-  std::vector<uint64_t> boundaries;  ///< interval start instruction counts
+  uint64_t warmup = 0;               ///< requested warm-up W (instructions)
+  std::vector<uint64_t> boundaries;  ///< measured-interval start counts
+  std::vector<uint64_t> lengths;     ///< measured-interval lengths
+  std::vector<double> weights;       ///< per interval (uniform: all 1)
+  /// One per interval, captured at max(start - warmup, 0); the actual
+  /// warm-up available to interval i is boundaries[i] - checkpoints[i].executed.
   std::vector<Checkpoint> checkpoints;
-};
-[[nodiscard]] IntervalPlan plan_intervals(const isa::Program& program,
-                                          uint32_t k, uint64_t max_insts = 0);
 
-/// Simulates every interval of `plan` in parallel under `config` and merges
-/// the stats (`threads` <= 0 picks CFIR_THREADS / hardware concurrency).
+  // Cluster-mode diagnostics (empty in uniform mode).
+  uint64_t interval_len = 0;        ///< window length the run was chopped into
+  std::vector<uint32_t> cluster_of; ///< per source window: cluster id
+  std::vector<double> bic_by_k;     ///< BIC score per swept k
+};
+
+/// Uniform plan: K equal intervals with optional warm-up. Costs two
+/// interpreter passes (count, then snapshot).
+[[nodiscard]] IntervalPlan plan_intervals(const isa::Program& program,
+                                          uint32_t k, uint64_t max_insts = 0,
+                                          uint64_t warmup = 0);
+
+/// Knobs for cluster-mode planning (see cluster.hpp for the algorithm
+/// parameters' meaning).
+struct ClusterPlanOptions {
+  uint32_t n_intervals = 32;  ///< fixed-length windows the run is split into
+  uint32_t max_k = 0;         ///< cluster-count cap; 0 = min(16, n_intervals)
+  uint64_t warmup = 0;        ///< warm-up instructions per representative
+  uint64_t max_insts = 0;     ///< run-length cap (0 = to HALT)
+  uint32_t proj_dims = 16;
+  uint64_t seed = 0xC1F15EEDu;
+};
+
+/// Cluster plan: BBV + k-means phase detection, one weighted
+/// representative window per phase. Costs three interpreter passes
+/// (count, BBV, snapshot).
+[[nodiscard]] IntervalPlan plan_cluster_intervals(
+    const isa::Program& program, const ClusterPlanOptions& opts = {});
+
+/// Simulates every interval of `plan` in parallel under `config`, runs and
+/// subtracts warm-up slices, and merges the weighted stats (`threads` <= 0
+/// picks CFIR_THREADS / hardware concurrency).
 [[nodiscard]] SampledRun sampled_run(const core::CoreConfig& config,
                                      const isa::Program& program,
                                      const IntervalPlan& plan,
                                      int threads = 0);
 
-/// Convenience: plan_intervals + sampled_run in one call. `max_insts` == 0
-/// covers the full run; `k` is clamped to the run length.
+/// Convenience: uniform plan_intervals + sampled_run in one call.
+/// `max_insts` == 0 covers the full run; `k` is clamped to the run length.
 [[nodiscard]] SampledRun sampled_run(const core::CoreConfig& config,
                                      const isa::Program& program, uint32_t k,
                                      uint64_t max_insts = 0, int threads = 0);

@@ -1,0 +1,193 @@
+// Phase detection for cluster-mode sampling (src/trace/bbv, cluster):
+//  - BBVs are deterministic across capture sources: a trace recorded from
+//    the reference interpreter, a trace recorded from the detailed core,
+//    and a direct interpreter pass all yield identical vectors
+//  - vectors partition the instruction stream (entries sum to interval
+//    instruction counts)
+//  - k-means separates well-separated synthetic clusters, deterministically
+//  - cluster_bbvs picks few phases for a homogeneous run, weights sum to
+//    the interval count, and representatives lie in their own cluster
+//  - plan_cluster_intervals produces a well-formed weighted plan with
+//    warm-up checkpoints
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "sim/presets.hpp"
+#include "sim/simulator.hpp"
+#include "trace/bbv.hpp"
+#include "trace/cluster.hpp"
+#include "trace/sampling.hpp"
+#include "trace/trace.hpp"
+#include "workloads/workloads.hpp"
+
+namespace cfir::trace {
+namespace {
+
+class TempFile {
+ public:
+  explicit TempFile(const std::string& tag)
+      : path_(std::string(::testing::TempDir()) + "cfir_" + tag + "_" +
+              std::to_string(reinterpret_cast<uintptr_t>(this))) {}
+  ~TempFile() { std::remove(path_.c_str()); }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+void expect_bbv_equal(const BbvSet& a, const BbvSet& b) {
+  EXPECT_EQ(a.total_insts, b.total_insts);
+  EXPECT_EQ(a.leaders, b.leaders);
+  ASSERT_EQ(a.vectors.size(), b.vectors.size());
+  for (size_t i = 0; i < a.vectors.size(); ++i) {
+    EXPECT_EQ(a.vectors[i], b.vectors[i]) << "interval " << i;
+  }
+}
+
+TEST(Bbv, DeterministicAcrossCaptureSources) {
+  const isa::Program program = workloads::build("bzip2", 1);
+  constexpr uint64_t kIntervalLen = 5000;
+
+  // Source 1: trace recorded from the reference interpreter.
+  TempFile interp_file("bbv_interp");
+  TraceMeta meta;
+  meta.workload = "bzip2";
+  const isa::InterpResult ref =
+      record_interpreter(program, interp_file.path(), meta);
+  TraceReader interp_reader(interp_file.path());
+  const BbvSet from_interp = bbv_from_trace(interp_reader, kIntervalLen);
+
+  // Source 2: trace recorded from the detailed core.
+  TempFile core_file("bbv_core");
+  {
+    TraceWriter writer(core_file.path(), meta);
+    sim::Simulator sim(sim::presets::ci(2, 512), program);
+    sim.attach_trace(writer);
+    const stats::SimStats st = sim.run(UINT64_MAX);
+    EXPECT_EQ(st.committed, ref.executed);
+    std::array<uint64_t, isa::kNumLogicalRegs> regs{};
+    for (int r = 0; r < isa::kNumLogicalRegs; ++r) {
+      regs[static_cast<size_t>(r)] = sim.arch_reg(r);
+    }
+    writer.finish(regs, sim.memory_digest());
+  }
+  TraceReader core_reader(core_file.path());
+  const BbvSet from_core = bbv_from_trace(core_reader, kIntervalLen);
+
+  // Source 3: direct interpreter pass, no file.
+  const BbvSet from_program = bbv_from_program(program, kIntervalLen);
+
+  EXPECT_EQ(from_interp.total_insts, ref.executed);
+  expect_bbv_equal(from_interp, from_core);
+  expect_bbv_equal(from_interp, from_program);
+}
+
+TEST(Bbv, VectorsPartitionTheStream) {
+  const isa::Program program = workloads::build("gcc", 1);
+  constexpr uint64_t kIntervalLen = 3000;
+  const BbvSet bbvs = bbv_from_program(program, kIntervalLen);
+
+  ASSERT_GT(bbvs.num_intervals(), 1u);
+  EXPECT_GT(bbvs.leaders.size(), 1u);
+  uint64_t total = 0;
+  for (size_t i = 0; i < bbvs.num_intervals(); ++i) {
+    ASSERT_EQ(bbvs.vectors[i].size(), bbvs.leaders.size());
+    uint64_t insts = 0;
+    for (const uint32_t c : bbvs.vectors[i]) insts += c;
+    // Every interval is exactly full except possibly the last.
+    if (i + 1 < bbvs.num_intervals()) {
+      EXPECT_EQ(insts, kIntervalLen) << "interval " << i;
+    } else {
+      EXPECT_GT(insts, 0u);
+      EXPECT_LE(insts, kIntervalLen);
+    }
+    total += insts;
+  }
+  EXPECT_EQ(total, bbvs.total_insts);
+}
+
+TEST(Bbv, MaxInstsCapsTheWalk) {
+  const isa::Program program = workloads::build("bzip2", 1);
+  const BbvSet capped = bbv_from_program(program, 1000, 2500);
+  EXPECT_EQ(capped.total_insts, 2500u);
+  EXPECT_EQ(capped.num_intervals(), 3u);  // 1000 + 1000 + 500
+}
+
+TEST(Kmeans, SeparatesDistantGroupsDeterministically) {
+  // Two tight groups far apart; any sane clustering splits them 4/4.
+  std::vector<std::vector<double>> points;
+  for (int i = 0; i < 4; ++i) {
+    points.push_back({0.0 + 0.01 * i, 0.0});
+    points.push_back({10.0 + 0.01 * i, 10.0});
+  }
+  const std::vector<uint32_t> a = kmeans(points, 2, /*seed=*/1);
+  ASSERT_EQ(a.size(), points.size());
+  for (size_t i = 0; i < points.size(); i += 2) {
+    EXPECT_EQ(a[i], a[0]);
+    EXPECT_EQ(a[i + 1], a[1]);
+    EXPECT_NE(a[i], a[i + 1]);
+  }
+  // Bitwise deterministic on repeat.
+  EXPECT_EQ(kmeans(points, 2, /*seed=*/1), a);
+}
+
+TEST(Cluster, HomogeneousRunCollapsesToFewPhases) {
+  // bzip2 iterates one hammock kernel; its intervals are near-identical,
+  // so BIC must not shatter them into one cluster per interval.
+  const isa::Program program = workloads::build("bzip2", 1);
+  const BbvSet bbvs = bbv_from_program(program, 5000);
+  const Clustering clusters = cluster_bbvs(bbvs);
+
+  ASSERT_GT(clusters.k, 0u);
+  EXPECT_LE(clusters.k, bbvs.num_intervals() / 2);
+  uint64_t members = 0;
+  for (uint32_t c = 0; c < clusters.k; ++c) {
+    members += clusters.sizes[c];
+    ASSERT_LT(clusters.representative[c], bbvs.num_intervals());
+    EXPECT_EQ(clusters.assignment[clusters.representative[c]], c)
+        << "representative of cluster " << c << " not a member";
+  }
+  EXPECT_EQ(members, bbvs.num_intervals());
+  EXPECT_EQ(clusters.bic_by_k.size(),
+            std::min<size_t>(16, bbvs.num_intervals()));
+}
+
+TEST(Cluster, PlanClusterIntervalsIsWellFormed) {
+  const isa::Program program = workloads::build("parser", 1);
+  ClusterPlanOptions opts;
+  opts.n_intervals = 16;
+  opts.warmup = 4000;
+  const IntervalPlan plan = plan_cluster_intervals(program, opts);
+
+  EXPECT_EQ(plan.mode, SampleMode::kCluster);
+  EXPECT_GT(plan.total_insts, 0u);
+  EXPECT_GT(plan.interval_len, 0u);
+  const size_t k = plan.boundaries.size();
+  ASSERT_GT(k, 0u);
+  ASSERT_EQ(plan.lengths.size(), k);
+  ASSERT_EQ(plan.weights.size(), k);
+  ASSERT_EQ(plan.checkpoints.size(), k);
+
+  double weight_sum = 0.0;
+  for (size_t i = 0; i < k; ++i) {
+    if (i > 0) EXPECT_GT(plan.boundaries[i], plan.boundaries[i - 1]);
+    EXPECT_EQ(plan.boundaries[i] % plan.interval_len, 0u);
+    EXPECT_LE(plan.lengths[i], plan.interval_len);
+    EXPECT_GE(plan.weights[i], 1.0);
+    weight_sum += plan.weights[i];
+    // Warm-up checkpoints sit `warmup` instructions early (clamped at 0).
+    const uint64_t expect_start = plan.boundaries[i] >= opts.warmup
+                                      ? plan.boundaries[i] - opts.warmup
+                                      : 0;
+    EXPECT_EQ(plan.checkpoints[i].executed, expect_start);
+  }
+  EXPECT_EQ(weight_sum, static_cast<double>(plan.cluster_of.size()));
+}
+
+}  // namespace
+}  // namespace cfir::trace

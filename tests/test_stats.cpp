@@ -61,6 +61,60 @@ TEST(Stats, MergeSumsCountersAndKeepsMaxima) {
   EXPECT_DOUBLE_EQ(a.ipc(), 350.0 / 150.0);
 }
 
+TEST(Stats, SubtractInvertsMerge) {
+  // merge then subtract of the same stats is the identity on every
+  // additive counter — the warm-up window machinery depends on this.
+  // (`halted` / `regs_in_use_max` are non-additive and keep the minuend's
+  // value, so pick `b` that does not dominate them.)
+  SimStats a;
+  a.cycles = 1000;
+  a.committed = 2500;
+  a.mispredicts = 17;
+  a.l1d_misses = 3;
+  a.ep_total = 9;
+  a.regs_in_use_max = 80;
+  a.halted = true;
+  SimStats b;
+  b.cycles = 400;
+  b.committed = 900;
+  b.mispredicts = 5;
+  b.ep_total = 2;
+  b.regs_in_use_max = 60;
+  const std::string before = to_json(a);
+  a.merge(b);
+  a.subtract(b);
+  EXPECT_EQ(to_json(a), before);
+}
+
+TEST(Stats, SubtractSaturatesAtZero) {
+  SimStats a;
+  a.cycles = 10;
+  SimStats b;
+  b.cycles = 25;
+  b.committed = 5;
+  a.subtract(b);
+  EXPECT_EQ(a.cycles, 0u);
+  EXPECT_EQ(a.committed, 0u);
+}
+
+TEST(Stats, MergeScaledExtrapolatesCounters) {
+  SimStats a;
+  a.cycles = 100;
+  SimStats b;
+  b.cycles = 10;
+  b.committed = 7;
+  b.halted = true;
+  a.merge_scaled(b, 3.0);
+  EXPECT_EQ(a.cycles, 130u);
+  EXPECT_EQ(a.committed, 21u);
+  EXPECT_TRUE(a.halted);
+  // Fractional weights round to nearest.
+  SimStats c;
+  c.merge_scaled(b, 0.5);
+  EXPECT_EQ(c.cycles, 5u);
+  EXPECT_EQ(c.committed, 4u);  // llround(3.5)
+}
+
 TEST(Stats, MergeWithDefaultIsIdentity) {
   SimStats a;
   a.cycles = 7;

@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Fails (exit 1) if any relative markdown link in README.md or docs/*.md
+# points at a file that does not exist. External (scheme://), mailto: and
+# pure-anchor (#...) links are skipped; a #fragment on a relative link is
+# stripped before the existence check. Run from anywhere; paths resolve
+# against the repo root (the directory above this script).
+set -u
+
+root="$(cd "$(dirname "$0")/.." && pwd)"
+status=0
+
+for doc in "$root/README.md" "$root"/docs/*.md; do
+  [ -f "$doc" ] || continue
+  dir="$(dirname "$doc")"
+  # Extract the (...) of every markdown link [text](target).
+  while IFS= read -r target; do
+    case "$target" in
+      ''|\#*|*://*|mailto:*) continue ;;
+    esac
+    path="${target%%#*}"
+    [ -n "$path" ] || continue
+    if [ ! -e "$dir/$path" ]; then
+      echo "BROKEN LINK: $doc -> $target" >&2
+      status=1
+    fi
+  done < <(grep -o '\](\([^)]*\))' "$doc" | sed 's/^](//; s/)$//')
+done
+
+if [ "$status" -eq 0 ]; then
+  echo "docs links OK"
+fi
+exit "$status"
