@@ -73,6 +73,8 @@ inline void run_figure(const std::string& title,
       s.intervals = intervals;
       s.sample_mode = sim::env_sample_mode();
       s.warmup = sim::env_warmup();
+      s.warm_mode = sim::env_warm_mode();
+      s.detail_len = sim::env_detail_len();
       specs.push_back(std::move(s));
     }
   }
@@ -109,8 +111,8 @@ inline void run_figure(const std::string& title,
   std::printf("%s\n", title.c_str());
   std::printf("(max %llu committed insts/run, scale %u, intervals %u; set "
               "CFIR_MAX_INSTS / CFIR_SCALE / CFIR_THREADS / CFIR_INTERVALS / "
-              "CFIR_SAMPLE_MODE / CFIR_WARMUP to change — see README "
-              "\"Environment knobs\")\n\n",
+              "CFIR_SAMPLE_MODE / CFIR_WARMUP / CFIR_WARM_MODE to change — "
+              "see README \"Environment knobs\")\n\n",
               static_cast<unsigned long long>(max_insts), scale, intervals);
   std::printf("%s\n", table.to_text().c_str());
   dump_json(outcomes);
@@ -146,6 +148,8 @@ inline void run_register_sweep(
         s.intervals = sim::env_intervals();
         s.sample_mode = sim::env_sample_mode();
         s.warmup = sim::env_warmup();
+        s.warm_mode = sim::env_warm_mode();
+        s.detail_len = sim::env_detail_len();
         specs.push_back(std::move(s));
       }
     }

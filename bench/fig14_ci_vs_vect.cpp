@@ -33,6 +33,8 @@ int main() {
       s.intervals = sim::env_intervals();
       s.sample_mode = sim::env_sample_mode();
       s.warmup = sim::env_warmup();
+      s.warm_mode = sim::env_warm_mode();
+      s.detail_len = sim::env_detail_len();
       specs.push_back(std::move(s));
     }
   }

@@ -7,6 +7,7 @@
 //   trace_tool phases <file> [n_intervals]             BBV + phase clustering, JSON
 //   trace_tool sample <workload> <k> [scale] [max]     sampled detailed run
 //          [--mode=uniform|cluster] [--warmup=W] [--max-k=K]
+//          [--warm-mode=none|detailed|functional|hybrid] [--detail=M]
 //
 // Files land in CFIR_TRACE_DIR (default "."). `record` captures from the
 // reference interpreter; `replay` re-executes under verification and cross
@@ -47,6 +48,8 @@ int usage() {
       "       trace_tool sample <workload> <k> [scale] [max_insts]\n"
       "                         [--mode=uniform|cluster] [--warmup=W]\n"
       "                         [--max-k=K]\n"
+      "                         [--warm-mode=none|detailed|functional|hybrid]\n"
+      "                         [--detail=M (measured-slice cap/interval)]\n"
       "env: CFIR_TRACE_DIR (output dir), CFIR_THREADS (sample)\n");
   return 2;
 }
@@ -172,11 +175,17 @@ int cmd_sample(int argc, char** argv) {
   // Positional args first, then --flags (any order among themselves).
   std::vector<std::string> pos;
   trace::SampleMode mode = trace::SampleMode::kUniform;
+  trace::WarmMode warm_mode = trace::WarmMode::kDetailed;
   uint64_t warmup = 0;
+  uint64_t detail_len = 0;
   uint32_t max_k = 0;
   for (int i = 0; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg.rfind("--mode=", 0) == 0) {
+    if (arg.rfind("--warm-mode=", 0) == 0) {
+      warm_mode = trace::parse_warm_mode(arg.substr(12));
+    } else if (arg.rfind("--detail=", 0) == 0) {
+      detail_len = std::strtoull(arg.c_str() + 9, nullptr, 10);
+    } else if (arg.rfind("--mode=", 0) == 0) {
       const std::string v = arg.substr(7);
       if (v == "uniform") {
         mode = trace::SampleMode::kUniform;
@@ -214,10 +223,13 @@ int cmd_sample(int argc, char** argv) {
     opts.n_intervals = k;
     opts.max_k = max_k;
     opts.warmup = warmup;
+    opts.warm_mode = warm_mode;
+    opts.detail_len = detail_len;
     opts.max_insts = max_insts;
     plan = trace::plan_cluster_intervals(program, opts);
   } else {
-    plan = trace::plan_intervals(program, k, max_insts, warmup);
+    plan = trace::plan_intervals(program, k, max_insts, warmup, warm_mode,
+                                 detail_len);
   }
   const trace::SampledRun run =
       trace::sampled_run(sim::presets::ci(2, 512), program, plan);
@@ -235,12 +247,15 @@ int cmd_sample(int argc, char** argv) {
           ? 0.0
           : static_cast<double>(run.detailed_insts) /
                 static_cast<double>(run.total_insts);
-  std::printf("{\"aggregate\":true,\"mode\":\"%s\",\"total_insts\":%llu,"
-              "\"detailed_insts\":%llu,\"detailed_fraction\":%g,"
+  std::printf("{\"aggregate\":true,\"mode\":\"%s\",\"warm_mode\":\"%s\","
+              "\"total_insts\":%llu,\"detailed_insts\":%llu,"
+              "\"warmed_insts\":%llu,\"detailed_fraction\":%g,"
               "\"stats\":%s}\n",
               mode == trace::SampleMode::kCluster ? "cluster" : "uniform",
+              trace::warm_mode_name(warm_mode),
               static_cast<unsigned long long>(run.total_insts),
               static_cast<unsigned long long>(run.detailed_insts),
+              static_cast<unsigned long long>(run.warmed_insts),
               coverage, stats::to_json(run.aggregate).c_str());
   return 0;
 }

@@ -39,4 +39,31 @@ void Gshare::recover(uint64_t snapshot, bool taken) {
   history_ = ((snapshot << 1) | (taken ? 1 : 0)) & history_mask_;
 }
 
+void Gshare::warm_commit(uint64_t pc, bool taken) {
+  train(pc, history_, taken);
+  history_ = ((history_ << 1) | (taken ? 1 : 0)) & history_mask_;
+}
+
+uint64_t Gshare::debug_digest() const {
+  util::Digest d;
+  d.bytes(table_.data(), table_.size());
+  d.u64(history_);
+  return d.value();
+}
+
+void Gshare::serialize(util::ByteWriter& out) const {
+  out.u32(static_cast<uint32_t>(table_.size()));
+  out.bytes(table_.data(), table_.size());
+  out.u64(history_);
+}
+
+void Gshare::deserialize(util::ByteReader& in) {
+  const uint32_t n = in.u32();
+  if (n != table_.size()) {
+    throw std::runtime_error("Gshare: warm-state table size mismatch");
+  }
+  in.bytes(table_.data(), table_.size());
+  history_ = in.u64() & history_mask_;
+}
+
 }  // namespace cfir::branch

@@ -7,9 +7,11 @@
 #include <cstdint>
 #include <vector>
 
+#include "util/warmable.hpp"
+
 namespace cfir::branch {
 
-class Gshare {
+class Gshare : public util::Warmable {
  public:
   explicit Gshare(uint32_t entries = 64 * 1024, uint32_t history_bits = 16);
 
@@ -26,6 +28,19 @@ class Gshare {
 
   /// Misprediction repair: restores `snapshot` and shifts in `taken`.
   void recover(uint64_t snapshot, bool taken);
+
+  /// Functional warming: one committed conditional branch, in commit order.
+  /// Trains the counter indexed by the current (commit-order) history and
+  /// shifts the actual outcome in. Equivalent to what a detailed run leaves
+  /// behind: commit-time train() uses the fetch-time history snapshot, which
+  /// on the committed path equals the commit-order history (mispredictions
+  /// repair the speculative history before the correct path refetches).
+  void warm_commit(uint64_t pc, bool taken);
+
+  /// Digest over the full predictor state (counter table + history).
+  [[nodiscard]] uint64_t debug_digest() const override;
+  void serialize(util::ByteWriter& out) const override;
+  void deserialize(util::ByteReader& in) override;
 
   /// Raw history restore (used when an indirect jump mispredicts: the jump
   /// itself never entered the history, but squashed wrong-path conditional

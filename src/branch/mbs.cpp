@@ -61,6 +61,43 @@ bool MbsTable::is_hard(uint64_t pc) const {
   return e->counter != kMax && e->counter != kMin;
 }
 
+uint64_t MbsTable::debug_digest() const {
+  util::Digest d;
+  d.u32(sets_).u32(ways_).u64(stamp_);
+  for (const Entry& e : entries_) {
+    d.u64(e.tag).u8(e.counter).boolean(e.last_taken).boolean(e.valid);
+    d.u64(e.lru);
+  }
+  return d.value();
+}
+
+void MbsTable::serialize(util::ByteWriter& out) const {
+  out.u32(sets_);
+  out.u32(ways_);
+  out.u64(stamp_);
+  for (const Entry& e : entries_) {
+    out.u64(e.tag);
+    out.u8(e.counter);
+    out.boolean(e.last_taken);
+    out.boolean(e.valid);
+    out.u64(e.lru);
+  }
+}
+
+void MbsTable::deserialize(util::ByteReader& in) {
+  if (in.u32() != sets_ || in.u32() != ways_) {
+    throw std::runtime_error("MbsTable: warm-state geometry mismatch");
+  }
+  stamp_ = in.u64();
+  for (Entry& e : entries_) {
+    e.tag = in.u64();
+    e.counter = in.u8();
+    e.last_taken = in.boolean();
+    e.valid = in.boolean();
+    e.lru = in.u64();
+  }
+}
+
 uint64_t MbsTable::storage_bytes() const {
   // Paper section 3.1: 4 ways * 64 sets * 8 bytes per element = 2048 bytes.
   return static_cast<uint64_t>(sets_) * ways_ * 8;

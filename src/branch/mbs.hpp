@@ -9,13 +9,17 @@
 #include <cstdint>
 #include <vector>
 
+#include "util/warmable.hpp"
+
 namespace cfir::branch {
 
-class MbsTable {
+class MbsTable : public util::Warmable {
  public:
   explicit MbsTable(uint32_t sets = 64, uint32_t ways = 4);
 
-  /// Records a resolved outcome for the branch at `pc`.
+  /// Records a resolved outcome for the branch at `pc`. The detailed core
+  /// calls this at commit, so the same call doubles as the functional
+  /// warming hook (stream committed branches in commit order).
   void update(uint64_t pc, bool taken);
 
   /// True when the branch is considered hard to predict — i.e. its counter
@@ -26,6 +30,11 @@ class MbsTable {
 
   /// Storage the structure would occupy in hardware (section 3.1 sizing).
   [[nodiscard]] uint64_t storage_bytes() const;
+
+  /// Digest over the full table state (tags, counters, LRU stamps).
+  [[nodiscard]] uint64_t debug_digest() const override;
+  void serialize(util::ByteWriter& out) const override;
+  void deserialize(util::ByteReader& in) override;
 
  private:
   struct Entry {

@@ -21,4 +21,33 @@ uint64_t ReturnAddressStack::peek() const {
   return state_.top == 0 ? 0 : state_.stack[static_cast<size_t>(state_.top - 1)];
 }
 
+uint64_t ReturnAddressStack::debug_digest() const {
+  // Only the live slice [0, top) is state; stale slots above `top` are
+  // unreachable (pop returns 0 when empty, push overwrites) and would make
+  // otherwise-identical stacks digest differently.
+  util::Digest d;
+  d.u32(static_cast<uint32_t>(state_.top));
+  for (int i = 0; i < state_.top; ++i) {
+    d.u64(state_.stack[static_cast<size_t>(i)]);
+  }
+  return d.value();
+}
+
+void ReturnAddressStack::serialize(util::ByteWriter& out) const {
+  out.u32(static_cast<uint32_t>(state_.top));
+  for (int i = 0; i < state_.top; ++i) {
+    out.u64(state_.stack[static_cast<size_t>(i)]);
+  }
+}
+
+void ReturnAddressStack::deserialize(util::ByteReader& in) {
+  const uint32_t top = in.u32();
+  if (top > static_cast<uint32_t>(kEntries)) {
+    throw std::runtime_error("ReturnAddressStack: warm-state depth overflow");
+  }
+  state_ = Snapshot{};
+  state_.top = static_cast<int>(top);
+  for (uint32_t i = 0; i < top; ++i) state_.stack[i] = in.u64();
+}
+
 }  // namespace cfir::branch

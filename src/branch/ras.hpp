@@ -5,9 +5,11 @@
 #include <array>
 #include <cstdint>
 
+#include "util/warmable.hpp"
+
 namespace cfir::branch {
 
-class ReturnAddressStack {
+class ReturnAddressStack : public util::Warmable {
  public:
   static constexpr int kEntries = 16;
 
@@ -24,6 +26,13 @@ class ReturnAddressStack {
 
   [[nodiscard]] Snapshot snapshot() const { return state_; }
   void restore(const Snapshot& s) { state_ = s; }
+
+  // Functional warming reuses push()/pop() in commit order: misprediction
+  // recovery restores the pre-branch snapshot exactly, so the state a
+  // detailed run leaves behind is the committed push/pop sequence.
+  [[nodiscard]] uint64_t debug_digest() const override;
+  void serialize(util::ByteWriter& out) const override;
+  void deserialize(util::ByteReader& in) override;
 
  private:
   Snapshot state_;

@@ -76,6 +76,9 @@ class CiMechanism : public core::Mechanism {
   [[nodiscard]] const StridePredictor& stride_predictor() const {
     return stride_;
   }
+  /// Mutable access for the functional-warming path, which installs a
+  /// commit-order-trained stride table before the first cycle.
+  [[nodiscard]] StridePredictor& stride_predictor() { return stride_; }
   [[nodiscard]] const Nrbq& nrbq() const { return nrbq_; }
   [[nodiscard]] const Crp& crp() const { return crp_; }
   [[nodiscard]] const RenameExt& rename_ext(int logical) const {

@@ -90,6 +90,49 @@ void StridePredictor::clear_selection(uint64_t pc) {
   if (Entry* e = find_mut(pc)) e->s_flag = false;
 }
 
+uint64_t StridePredictor::debug_digest() const {
+  util::Digest d;
+  d.u32(sets_).u32(ways_).u64(stamp_);
+  for (const Entry& e : entries_) {
+    d.u64(e.tag).boolean(e.valid).u64(e.last_addr).i64(e.stride);
+    d.u8(e.confidence).boolean(e.s_flag).u64(e.origin_branch_pc).u64(e.lru);
+  }
+  return d.value();
+}
+
+void StridePredictor::serialize(util::ByteWriter& out) const {
+  out.u32(sets_);
+  out.u32(ways_);
+  out.u64(stamp_);
+  for (const Entry& e : entries_) {
+    out.u64(e.tag);
+    out.boolean(e.valid);
+    out.u64(e.last_addr);
+    out.i64(e.stride);
+    out.u8(e.confidence);
+    out.boolean(e.s_flag);
+    out.u64(e.origin_branch_pc);
+    out.u64(e.lru);
+  }
+}
+
+void StridePredictor::deserialize(util::ByteReader& in) {
+  if (in.u32() != sets_ || in.u32() != ways_) {
+    throw std::runtime_error("StridePredictor: warm-state geometry mismatch");
+  }
+  stamp_ = in.u64();
+  for (Entry& e : entries_) {
+    e.tag = in.u64();
+    e.valid = in.boolean();
+    e.last_addr = in.u64();
+    e.stride = in.i64();
+    e.confidence = in.u8();
+    e.s_flag = in.boolean();
+    e.origin_branch_pc = in.u64();
+    e.lru = in.u64();
+  }
+}
+
 uint64_t StridePredictor::storage_bytes() const {
   // Paper: PC(64) + last address(64) + stride(64) + confidence(2) + S(1)
   // per entry, quoted as 24 bytes per element.

@@ -10,9 +10,11 @@
 #include <cstdint>
 #include <vector>
 
+#include "util/warmable.hpp"
+
 namespace cfir::ci {
 
-class StridePredictor {
+class StridePredictor : public util::Warmable {
  public:
   StridePredictor(uint32_t sets = 256, uint32_t ways = 4);
 
@@ -37,6 +39,16 @@ class StridePredictor {
 
   /// Hardware budget, section 3.1: 4 * 256 * 24 bytes = 24576.
   [[nodiscard]] uint64_t storage_bytes() const;
+
+  // Functional warming reuses train() in commit order — the detailed core
+  // only trains at commit, so the table contents (tags, addresses, strides,
+  // confidence, LRU) are a pure function of the committed load stream. The
+  // S flags are additionally commit-derivable under the vect policy (every
+  // confident strided load selects at commit); under the ci policy they are
+  // driven by speculative episode state and stay cold after warming.
+  [[nodiscard]] uint64_t debug_digest() const override;
+  void serialize(util::ByteWriter& out) const override;
+  void deserialize(util::ByteReader& in) override;
 
  private:
   struct Entry {

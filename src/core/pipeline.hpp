@@ -74,6 +74,11 @@ class Core {
   [[nodiscard]] mem::CacheHierarchy& hierarchy() { return hierarchy_; }
   [[nodiscard]] PhysRegFile& regfile() { return regfile_; }
   [[nodiscard]] branch::MbsTable& mbs() { return mbs_; }
+  // Branch-prediction state, exposed so the functional-warming path
+  // (trace/warming.hpp) can install pre-trained predictor state before the
+  // first cycle and so differential tests can digest it after a run.
+  [[nodiscard]] branch::Gshare& gshare() { return gshare_; }
+  [[nodiscard]] branch::ReturnAddressStack& ras() { return ras_; }
   [[nodiscard]] int rename_lookup(int logical) const {
     return rename_.lookup(logical);
   }

@@ -1,5 +1,6 @@
 #include "mem/cache.hpp"
 
+#include <algorithm>
 #include <cassert>
 
 namespace cfir::mem {
@@ -93,6 +94,83 @@ Cache::Result Cache::access(uint64_t addr, bool is_write, uint64_t now,
   v.dirty = is_write;
   v.lru = use_stamp_;
   return {false, latency};
+}
+
+void Cache::warm_access(uint64_t addr, bool is_write) {
+  const uint64_t line_addr = addr / config_.line_bytes;
+  const uint32_t set = static_cast<uint32_t>(line_addr) & (num_sets_ - 1);
+  const uint64_t tag = line_addr;
+  const size_t base = static_cast<size_t>(set) * config_.assoc;
+
+  ++use_stamp_;
+  for (uint32_t w = 0; w < config_.assoc; ++w) {
+    Line& l = lines_[base + w];
+    if (l.valid && l.tag == tag) {
+      l.lru = use_stamp_;
+      if (is_write) l.dirty = true;
+      return;
+    }
+  }
+  // Miss: same victim selection as access(), fill without timing.
+  size_t victim = base;
+  for (uint32_t w = 0; w < config_.assoc; ++w) {
+    Line& l = lines_[base + w];
+    if (!l.valid) { victim = base + w; break; }
+    if (l.lru < lines_[victim].lru) victim = base + w;
+  }
+  Line& v = lines_[victim];
+  v.valid = true;
+  v.tag = tag;
+  v.dirty = is_write;
+  v.lru = use_stamp_;
+}
+
+uint64_t Cache::debug_digest() const {
+  util::Digest d;
+  d.u32(num_sets_).u32(config_.assoc);
+  std::vector<std::pair<uint64_t, bool>> resident;
+  for (uint32_t set = 0; set < num_sets_; ++set) {
+    const size_t base = static_cast<size_t>(set) * config_.assoc;
+    resident.clear();
+    for (uint32_t w = 0; w < config_.assoc; ++w) {
+      const Line& l = lines_[base + w];
+      if (l.valid) resident.emplace_back(l.tag, l.dirty);
+    }
+    std::sort(resident.begin(), resident.end());
+    d.u32(static_cast<uint32_t>(resident.size()));
+    for (const auto& [tag, dirty] : resident) d.u64(tag).boolean(dirty);
+  }
+  return d.value();
+}
+
+void Cache::serialize(util::ByteWriter& out) const {
+  // Full-fidelity state (LRU included) so a restored warmer continues
+  // exactly where the serializing one stopped; in-flight fills and stats
+  // are timing/measurement state and never part of warm state.
+  out.u32(num_sets_);
+  out.u32(config_.assoc);
+  out.u64(use_stamp_);
+  for (const Line& l : lines_) {
+    out.u64(l.tag);
+    out.boolean(l.valid);
+    out.boolean(l.dirty);
+    out.u64(l.lru);
+  }
+}
+
+void Cache::deserialize(util::ByteReader& in) {
+  if (in.u32() != num_sets_ || in.u32() != config_.assoc) {
+    throw std::runtime_error("Cache: warm-state geometry mismatch (" +
+                             config_.name + ")");
+  }
+  use_stamp_ = in.u64();
+  for (Line& l : lines_) {
+    l.tag = in.u64();
+    l.valid = in.boolean();
+    l.dirty = in.boolean();
+    l.lru = in.u64();
+  }
+  inflight_fills_.clear();
 }
 
 }  // namespace cfir::mem

@@ -10,6 +10,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "util/warmable.hpp"
+
 namespace cfir::mem {
 
 struct CacheConfig {
@@ -31,7 +33,7 @@ struct CacheStats {
 /// One cache level. `access` returns the number of cycles until the data is
 /// available *from this level down* (the owning hierarchy adds upper-level
 /// latencies).
-class Cache {
+class Cache : public util::Warmable {
  public:
   explicit Cache(const CacheConfig& config);
 
@@ -47,6 +49,21 @@ class Cache {
 
   /// Tag-only probe (no state change), for tests and warmup checks.
   [[nodiscard]] bool probe(uint64_t addr) const;
+
+  /// Functional warming: the tag/LRU/dirty state transition of access()
+  /// with none of its timing (no MSHR, no latency) and none of its stats —
+  /// warm accesses must not pollute the measured interval's counters.
+  void warm_access(uint64_t addr, bool is_write);
+
+  /// Digest over the cache *contents*: per set, the valid lines sorted by
+  /// tag (with their dirty bits). Recency (LRU stamps) is deliberately
+  /// excluded: a detailed core interleaves instruction-side, out-of-order
+  /// load-issue and commit-time store accesses, so recency order differs
+  /// benignly from the commit-order functional stream; the resident line
+  /// set is the warm state that matters.
+  [[nodiscard]] uint64_t debug_digest() const override;
+  void serialize(util::ByteWriter& out) const override;
+  void deserialize(util::ByteReader& in) override;
 
   [[nodiscard]] const CacheStats& stats() const { return stats_; }
   [[nodiscard]] const CacheConfig& config() const { return config_; }

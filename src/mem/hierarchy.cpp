@@ -45,4 +45,47 @@ uint32_t CacheHierarchy::access_data(uint64_t addr, bool is_write,
   return l1d_.access(addr, is_write, now, fill).latency;
 }
 
+namespace {
+// Mirrors the timed path's level walk: the L1 miss consults L2
+// unconditionally, and L3 only when L2 also misses.
+void warm_lower(Cache& l2, Cache& l3, uint64_t addr, bool is_write) {
+  const bool l2_hit = l2.probe(addr);
+  l2.warm_access(addr, is_write);
+  if (!l2_hit) l3.warm_access(addr, is_write);
+}
+}  // namespace
+
+void CacheHierarchy::warm_inst(uint64_t addr) {
+  const bool hit = l1i_.probe(addr);
+  l1i_.warm_access(addr, false);
+  if (!hit) warm_lower(l2_, l3_, addr, false);
+}
+
+void CacheHierarchy::warm_data(uint64_t addr, bool is_write) {
+  const bool hit = l1d_.probe(addr);
+  l1d_.warm_access(addr, is_write);
+  if (!hit) warm_lower(l2_, l3_, addr, is_write);
+}
+
+uint64_t CacheHierarchy::debug_digest() const {
+  util::Digest d;
+  d.u64(l1i_.debug_digest()).u64(l1d_.debug_digest());
+  d.u64(l2_.debug_digest()).u64(l3_.debug_digest());
+  return d.value();
+}
+
+void CacheHierarchy::serialize(util::ByteWriter& out) const {
+  l1i_.serialize(out);
+  l1d_.serialize(out);
+  l2_.serialize(out);
+  l3_.serialize(out);
+}
+
+void CacheHierarchy::deserialize(util::ByteReader& in) {
+  l1i_.deserialize(in);
+  l1d_.deserialize(in);
+  l2_.deserialize(in);
+  l3_.deserialize(in);
+}
+
 }  // namespace cfir::mem

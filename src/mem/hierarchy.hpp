@@ -17,7 +17,7 @@ struct HierarchyConfig {
   uint32_t memory_latency = 100;
 };
 
-class CacheHierarchy {
+class CacheHierarchy : public util::Warmable {
  public:
   explicit CacheHierarchy(const HierarchyConfig& config = {});
 
@@ -29,11 +29,25 @@ class CacheHierarchy {
   /// serves several loads calls this once; see the core's memory stage).
   uint32_t access_data(uint64_t addr, bool is_write, uint64_t now);
 
+  /// Functional warming: the same level-walk as the timed accessors
+  /// (L1 miss warms L2, L2 miss warms L3) with Cache::warm_access at each
+  /// level — tag/LRU/dirty state only, no stats, no timing.
+  void warm_inst(uint64_t addr);
+  void warm_data(uint64_t addr, bool is_write);
+
+  /// Content digest over all four caches (see Cache::debug_digest).
+  [[nodiscard]] uint64_t debug_digest() const override;
+  void serialize(util::ByteWriter& out) const override;
+  void deserialize(util::ByteReader& in) override;
+
   [[nodiscard]] Cache& l1i() { return l1i_; }
   [[nodiscard]] Cache& l1d() { return l1d_; }
   [[nodiscard]] Cache& l2() { return l2_; }
   [[nodiscard]] Cache& l3() { return l3_; }
+  [[nodiscard]] const Cache& l1i() const { return l1i_; }
   [[nodiscard]] const Cache& l1d() const { return l1d_; }
+  [[nodiscard]] const Cache& l2() const { return l2_; }
+  [[nodiscard]] const Cache& l3() const { return l3_; }
   [[nodiscard]] const HierarchyConfig& config() const { return config_; }
 
   void reset();

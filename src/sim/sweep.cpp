@@ -47,6 +47,13 @@ trace::SampleMode env_sample_mode() {
 
 uint64_t env_warmup() { return env_u64("CFIR_WARMUP", 0); }
 
+trace::WarmMode env_warm_mode() {
+  const char* v = std::getenv("CFIR_WARM_MODE");
+  return trace::parse_warm_mode(v == nullptr ? "" : v);
+}
+
+uint64_t env_detail_len() { return env_u64("CFIR_DETAIL_LEN", 0); }
+
 void parallel_for(size_t n, const std::function<void(size_t)>& fn,
                   int threads) {
   if (threads <= 0) threads = env_threads();
@@ -94,11 +101,16 @@ std::vector<RunOutcome> run_all(const std::vector<RunSpec>& specs,
   // the config columns of the grid. Unique plans are independent, so they
   // build on the pool too.
   using PlanKey = std::tuple<std::string, uint32_t, uint64_t, uint32_t,
-                             uint8_t, uint64_t>;
+                             uint8_t, uint64_t, uint8_t, uint64_t>;
   const auto plan_key = [](const RunSpec& spec) {
-    return PlanKey{spec.workload,  spec.scale,
-                   spec.max_insts, spec.intervals,
-                   static_cast<uint8_t>(spec.sample_mode), spec.warmup};
+    return PlanKey{spec.workload,
+                   spec.scale,
+                   spec.max_insts,
+                   spec.intervals,
+                   static_cast<uint8_t>(spec.sample_mode),
+                   spec.warmup,
+                   static_cast<uint8_t>(spec.warm_mode),
+                   spec.detail_len};
   };
   std::map<PlanKey, trace::IntervalPlan> plans;
   for (const RunSpec& spec : specs) {
@@ -112,8 +124,8 @@ std::vector<RunOutcome> run_all(const std::vector<RunSpec>& specs,
     parallel_for(
         slots.size(),
         [&](size_t i) {
-          const auto& [workload, scale, max_insts, intervals, mode, warmup] =
-              slots[i]->first;
+          const auto& [workload, scale, max_insts, intervals, mode, warmup,
+                       warm_mode, detail_len] = slots[i]->first;
           try {
             const isa::Program program = workloads::build(workload, scale);
             if (static_cast<trace::SampleMode>(mode) ==
@@ -121,11 +133,14 @@ std::vector<RunOutcome> run_all(const std::vector<RunSpec>& specs,
               trace::ClusterPlanOptions opts;
               opts.n_intervals = intervals;
               opts.warmup = warmup;
+              opts.warm_mode = static_cast<trace::WarmMode>(warm_mode);
+              opts.detail_len = detail_len;
               opts.max_insts = max_insts;
               slots[i]->second = trace::plan_cluster_intervals(program, opts);
             } else {
-              slots[i]->second =
-                  trace::plan_intervals(program, intervals, max_insts, warmup);
+              slots[i]->second = trace::plan_intervals(
+                  program, intervals, max_insts, warmup,
+                  static_cast<trace::WarmMode>(warm_mode), detail_len);
             }
           } catch (const std::exception& e) {
             throw std::runtime_error("interval planning for '" + workload +

@@ -27,7 +27,10 @@ struct RunSpec {
                             ///< cluster mode: number of BBV windows the run
                             ///< is chopped into before phase clustering.
   trace::SampleMode sample_mode = trace::SampleMode::kUniform;
-  uint64_t warmup = 0;      ///< warm-up instructions per detailed interval
+  uint64_t warmup = 0;      ///< detailed warm-up instructions per interval
+  trace::WarmMode warm_mode = trace::WarmMode::kDetailed;
+  uint64_t detail_len = 0;  ///< measured-slice cap per interval (SMARTS
+                            ///< estimator; 0 = whole interval)
 };
 
 struct RunOutcome {
@@ -58,5 +61,9 @@ void parallel_for(size_t n, const std::function<void(size_t)>& fn,
 /// else throws so typos fail loudly instead of silently running uniform.
 [[nodiscard]] trace::SampleMode env_sample_mode();
 [[nodiscard]] uint64_t env_warmup();     ///< CFIR_WARMUP, default 0
+/// CFIR_WARM_MODE ("none" | "detailed" | "functional" | "hybrid"), default
+/// detailed; typos throw (see trace::parse_warm_mode).
+[[nodiscard]] trace::WarmMode env_warm_mode();
+[[nodiscard]] uint64_t env_detail_len();  ///< CFIR_DETAIL_LEN, default 0
 
 }  // namespace cfir::sim

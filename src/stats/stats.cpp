@@ -1,6 +1,7 @@
 #include "stats/stats.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <cmath>
 #include <sstream>
 
@@ -42,7 +43,15 @@ SimStats& SimStats::merge(const SimStats& other) {
 }
 
 SimStats& SimStats::subtract(const SimStats& other) {
-#define X(field) field = field >= other.field ? field - other.field : 0;
+  // Every legitimate caller subtracts a snapshot taken earlier on the same
+  // cumulative stats block (a warm-up slice from its full interval), so
+  // the subtrahend can never exceed the minuend; an underflow means the
+  // caller mixed up unrelated stats and is a bug. Debug builds assert;
+  // release builds saturate at zero rather than wrapping to 2^64-ish
+  // garbage that would silently corrupt merged aggregates.
+#define X(field)                                                           \
+  assert(field >= other.field && "SimStats::subtract underflow: " #field); \
+  field = field >= other.field ? field - other.field : 0;
   CFIR_SIMSTATS_COUNTERS(X)
 #undef X
   // halted / regs_in_use_max keep the minuend's value (see header).

@@ -167,13 +167,15 @@ struct SimStats {
   /// merged result.
   SimStats& merge(const SimStats& other);
 
-  /// Inverse of merge() for the additive counters: subtracts `other`
-  /// (saturating at zero) from this. The warm-up machinery in
-  /// trace::sampled_run snapshots stats at the end of the warm-up slice and
-  /// subtracts them from the full-interval stats, leaving only the measured
-  /// window. `halted` and `regs_in_use_max` are not invertible (OR / max
-  /// lose information); they keep the minuend's value, which is correct for
-  /// the warm-up use where the minuend covers a superset window.
+  /// Inverse of merge() for the additive counters: subtracts `other` from
+  /// this. The warm-up machinery in trace::sampled_run snapshots stats at
+  /// the end of the warm-up slice and subtracts them from the full-interval
+  /// stats, leaving only the measured window — the subtrahend is therefore
+  /// always a prefix snapshot of the minuend and underflow indicates a
+  /// caller bug: debug builds assert, release builds saturate at zero.
+  /// `halted` and `regs_in_use_max` are not invertible (OR / max lose
+  /// information); they keep the minuend's value, which is correct for the
+  /// warm-up use where the minuend covers a superset window.
   SimStats& subtract(const SimStats& other);
 
   /// merge() with every additive counter of `other` scaled by `weight`

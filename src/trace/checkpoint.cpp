@@ -37,8 +37,13 @@ Checkpoint snapshot(const isa::Interpreter& interp,
 void Checkpoint::save(const std::string& path) const {
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   if (!out) throw std::runtime_error("Checkpoint: cannot open " + path);
-  out.write(kCheckpointMagic, sizeof(kCheckpointMagic));
-  put_raw(out, kCheckpointVersion);
+  if (has_warm()) {
+    out.write(kCheckpointMagicV2, sizeof(kCheckpointMagicV2));
+    put_raw(out, kCheckpointVersionWarm);
+  } else {
+    out.write(kCheckpointMagic, sizeof(kCheckpointMagic));
+    put_raw(out, kCheckpointVersion);
+  }
   put_raw(out, uint32_t{0});  // reserved
   put_raw(out, pc);
   put_raw(out, executed);
@@ -56,6 +61,11 @@ void Checkpoint::save(const std::string& path) const {
     out.write(reinterpret_cast<const char*>(data),
               mem::MainMemory::kPageSize);
   }
+  if (has_warm()) {
+    put_raw(out, static_cast<uint64_t>(warm.size()));
+    out.write(reinterpret_cast<const char*>(warm.data()),
+              static_cast<std::streamsize>(warm.size()));
+  }
   out.close();
   if (!out) throw std::runtime_error("Checkpoint: write failed for " + path);
 }
@@ -65,11 +75,15 @@ Checkpoint Checkpoint::load(const std::string& path) {
   if (!in) throw std::runtime_error("Checkpoint: cannot open " + path);
   char magic[sizeof(kCheckpointMagic)];
   in.read(magic, sizeof(magic));
-  if (!in || std::memcmp(magic, kCheckpointMagic, sizeof(magic)) != 0) {
+  const bool v1 =
+      in && std::memcmp(magic, kCheckpointMagic, sizeof(magic)) == 0;
+  const bool v2 =
+      in && std::memcmp(magic, kCheckpointMagicV2, sizeof(magic)) == 0;
+  if (!v1 && !v2) {
     throw std::runtime_error("Checkpoint: bad magic in " + path);
   }
   const uint32_t version = get_raw<uint32_t>(in);
-  if (version != kCheckpointVersion) {
+  if (version != (v2 ? kCheckpointVersionWarm : kCheckpointVersion)) {
     throw std::runtime_error("Checkpoint: unsupported version " +
                              std::to_string(version));
   }
@@ -91,6 +105,23 @@ Checkpoint Checkpoint::load(const std::string& path) {
       throw std::runtime_error("Checkpoint: truncated file " + path);
     }
     ck.memory.write_block(base_addr, buf.data(), buf.size());
+  }
+  if (v2) {
+    const uint64_t warm_size = get_raw<uint64_t>(in);
+    if (!in) throw std::runtime_error("Checkpoint: truncated file " + path);
+    // Cap pathological sizes before allocating: the blob cannot be larger
+    // than what remains of the file.
+    const auto pos = in.tellg();
+    in.seekg(0, std::ios::end);
+    const auto end = in.tellg();
+    in.seekg(pos);
+    if (pos < 0 || end < pos ||
+        warm_size > static_cast<uint64_t>(end - pos)) {
+      throw std::runtime_error("Checkpoint: truncated warm state in " + path);
+    }
+    ck.warm.resize(warm_size);
+    in.read(reinterpret_cast<char*>(ck.warm.data()),
+            static_cast<std::streamsize>(warm_size));
   }
   if (!in) throw std::runtime_error("Checkpoint: truncated file " + path);
   return ck;

@@ -11,6 +11,14 @@
 //   | u64 pc | u64 executed | 64 x u64 registers
 //   | u64 page_count | page_count x (u64 base_addr | 4096 page bytes)
 // All-zero pages are dropped (reads of absent pages return zero).
+//
+// Version 2 ("CFIRCKP2") appends an opaque functional-warm-state blob
+// (trace/warming.hpp) after the pages:
+//   ... | u64 warm_size | warm_size bytes
+// so a warmed interval ships as one self-contained artifact: architectural
+// state to resume from plus the predictor/cache state trained over the
+// prefix. save() emits v1 when no warm state is attached (byte-identical
+// with pre-v2 files); load() accepts both versions.
 #pragma once
 
 #include <array>
@@ -25,13 +33,21 @@ namespace cfir::trace {
 
 inline constexpr char kCheckpointMagic[8] = {'C', 'F', 'I', 'R',
                                              'C', 'K', 'P', '1'};
+inline constexpr char kCheckpointMagicV2[8] = {'C', 'F', 'I', 'R',
+                                               'C', 'K', 'P', '2'};
 inline constexpr uint32_t kCheckpointVersion = 1;
+inline constexpr uint32_t kCheckpointVersionWarm = 2;
 
 struct Checkpoint {
   uint64_t pc = 0;
   uint64_t executed = 0;  ///< instructions retired before this point
   std::array<uint64_t, isa::kNumLogicalRegs> regs{};
   mem::MainMemory memory;
+  /// Optional functional-warm-state blob (FunctionalWarmer::serialize_state
+  /// for the config the interval will run under); empty = cold checkpoint.
+  std::vector<uint8_t> warm;
+
+  [[nodiscard]] bool has_warm() const { return !warm.empty(); }
 
   void save(const std::string& path) const;
   [[nodiscard]] static Checkpoint load(const std::string& path);

@@ -23,13 +23,42 @@ uint64_t measure_run(const isa::Program& program, uint64_t cap) {
   return interp.executed();
 }
 
-/// Checkpoint capture for the final plan: one snapshot per interval at
-/// max(start - warmup, 0).
+/// True when the plan's mode runs a detailed warm-up slice before the
+/// measured window (and therefore wants checkpoints captured early).
+bool wants_detailed_warmup(WarmMode mode) {
+  return mode == WarmMode::kDetailed || mode == WarmMode::kHybrid;
+}
+
+/// True when the plan's mode streams a functional prefix.
+bool wants_functional_warm(WarmMode mode) {
+  return mode == WarmMode::kFunctional || mode == WarmMode::kHybrid;
+}
+
+/// Applies the SMARTS measured-slice cap: shortens every interval's
+/// measured window to `detail_len` and scales its weight so the aggregate
+/// still extrapolates to the interval's full population.
+void apply_detail_cap(IntervalPlan& plan, uint64_t detail_len) {
+  if (detail_len == 0) return;
+  for (size_t i = 0; i < plan.lengths.size(); ++i) {
+    const uint64_t full = plan.lengths[i];
+    if (full <= detail_len) continue;
+    plan.lengths[i] = detail_len;
+    plan.weights[i] *= static_cast<double>(full) /
+                       static_cast<double>(detail_len);
+  }
+}
+
+/// Checkpoint capture for the final plan: one snapshot per interval, at
+/// max(start - warmup, 0) for modes with a detailed warm-up slice (the
+/// clamp means a warm-up longer than the prefix starts at instruction 0,
+/// never underflows) and at the boundary itself otherwise.
 void capture_checkpoints(IntervalPlan& plan, const isa::Program& program) {
+  const uint64_t warmup =
+      wants_detailed_warmup(plan.warm_mode) ? plan.warmup : 0;
   std::vector<uint64_t> warm_starts;
   warm_starts.reserve(plan.boundaries.size());
   for (const uint64_t start : plan.boundaries) {
-    warm_starts.push_back(start >= plan.warmup ? start - plan.warmup : 0);
+    warm_starts.push_back(start >= warmup ? start - warmup : 0);
   }
   plan.checkpoints = interval_checkpoints(program, warm_starts);
 }
@@ -37,11 +66,13 @@ void capture_checkpoints(IntervalPlan& plan, const isa::Program& program) {
 }  // namespace
 
 IntervalPlan plan_intervals(const isa::Program& program, uint32_t k,
-                            uint64_t max_insts, uint64_t warmup) {
+                            uint64_t max_insts, uint64_t warmup,
+                            WarmMode warm_mode, uint64_t detail_len) {
   const uint64_t cap = max_insts == 0 ? UINT64_MAX : max_insts;
 
   IntervalPlan plan;
   plan.mode = SampleMode::kUniform;
+  plan.warm_mode = warm_mode;
   plan.warmup = warmup;
   plan.total_insts = measure_run(program, cap);
   plan.ran_to_halt = plan.total_insts < cap;
@@ -60,6 +91,7 @@ IntervalPlan plan_intervals(const isa::Program& program, uint32_t k,
     plan.lengths.push_back(end - plan.boundaries[i]);
   }
   plan.weights.assign(k, 1.0);
+  apply_detail_cap(plan, detail_len);
   capture_checkpoints(plan, program);
   return plan;
 }
@@ -70,6 +102,7 @@ IntervalPlan plan_cluster_intervals(const isa::Program& program,
 
   IntervalPlan plan;
   plan.mode = SampleMode::kCluster;
+  plan.warm_mode = opts.warm_mode;
   plan.warmup = opts.warmup;
   plan.total_insts = measure_run(program, cap);
   plan.ran_to_halt = plan.total_insts < cap;
@@ -117,8 +150,24 @@ IntervalPlan plan_cluster_intervals(const isa::Program& program,
         std::min(plan.interval_len, plan.total_insts - start));
     plan.weights.push_back(static_cast<double>(clusters.sizes[c]));
   }
+  apply_detail_cap(plan, opts.detail_len);
   capture_checkpoints(plan, program);
   return plan;
+}
+
+void attach_warm_states(IntervalPlan& plan, const core::CoreConfig& config,
+                        const isa::Program& program) {
+  if (!wants_functional_warm(plan.warm_mode)) return;
+  std::vector<uint64_t> targets;
+  targets.reserve(plan.checkpoints.size());
+  for (const Checkpoint& ck : plan.checkpoints) {
+    targets.push_back(ck.executed);
+  }
+  std::vector<std::vector<uint8_t>> blobs =
+      capture_warm_states(config, program, targets);
+  for (size_t i = 0; i < plan.checkpoints.size(); ++i) {
+    plan.checkpoints[i].warm = std::move(blobs[i]);
+  }
 }
 
 SampledRun sampled_run(const core::CoreConfig& config,
@@ -133,11 +182,39 @@ SampledRun sampled_run(const core::CoreConfig& config,
   result.total_insts = plan.total_insts;
   result.intervals.resize(k);
   for (size_t i = 0; i < k; ++i) {
+    if (plan.checkpoints[i].executed > plan.boundaries[i]) {
+      throw std::runtime_error(
+          "sampled_run: checkpoint past its interval boundary");
+    }
     result.intervals[i].start_inst = plan.boundaries[i];
     result.intervals[i].length = plan.lengths[i];
     result.intervals[i].weight = plan.weights[i];
     result.intervals[i].warmup =
         plan.boundaries[i] - plan.checkpoints[i].executed;
+  }
+
+  // Functional warm state: reuse blobs already attached to the plan's
+  // checkpoints (attach_warm_states / CFIRCKP2), otherwise stream the
+  // committed prefixes once up front — a single interpreter pass snapshots
+  // every interval's warm state, and `warmed_insts` records its coverage.
+  const bool functional = wants_functional_warm(plan.warm_mode);
+  std::vector<std::vector<uint8_t>> warm_blobs;
+  if (functional) {
+    bool attached = true;
+    for (const Checkpoint& ck : plan.checkpoints) {
+      attached = attached && ck.has_warm();
+    }
+    if (!attached) {
+      std::vector<uint64_t> targets;
+      targets.reserve(k);
+      for (const Checkpoint& ck : plan.checkpoints) {
+        targets.push_back(ck.executed);
+      }
+      warm_blobs = capture_warm_states(config, program, targets);
+    }
+    for (size_t i = 0; i < k; ++i) {
+      result.warmed_insts += plan.checkpoints[i].executed;
+    }
   }
 
   // Detailed-simulate every interval in parallel. An interval whose
@@ -153,6 +230,13 @@ SampledRun sampled_run(const core::CoreConfig& config,
             interval.start_inst + interval.length == plan.total_insts;
         if (interval.length == 0 && !run_to_halt) return;
         sim::Simulator sim(config, program, plan.checkpoints[i]);
+        if (functional) {
+          FunctionalWarmer warmer(config, program);
+          warmer.deserialize_state(warm_blobs.empty()
+                                       ? plan.checkpoints[i].warm
+                                       : warm_blobs[i]);
+          warmer.apply_to(sim);
+        }
         stats::SimStats warm_stats;
         if (interval.warmup > 0) warm_stats = sim.run(interval.warmup);
         interval.stats = sim.run(run_to_halt

@@ -17,11 +17,20 @@
 //    representatives stand in for the whole run at a fraction of the
 //    detailed-simulation cost.
 //
-// Either kind can add warm-up windows: each detailed interval starts W
-// instructions early (its checkpoint is captured at start - W), and the
-// stats accumulated during the warm-up slice are subtracted back out
-// (SimStats::subtract), so branch predictors and caches are warm when
-// measurement begins instead of biasing the timing counters cold.
+// Either kind warms each interval's microarchitectural state per the
+// plan's WarmMode (trace/warming.hpp):
+//
+//  - detailed: the interval starts W instructions early (its checkpoint is
+//    captured at start - W) and the stats accumulated during the warm-up
+//    slice are subtracted back out (SimStats::subtract). Accurate but the
+//    warm-up instructions cost full detailed simulation.
+//  - functional: SMARTS-style — the *whole* prefix [0, start) streams
+//    through the predictors and caches only, at interpreter speed, before
+//    the detailed interval begins. Near-zero cost per warmed instruction
+//    and no residual transient from state with long time constants.
+//  - hybrid: functional prefix up to start - W, then a detailed warm-up of
+//    the last W instructions to also warm what functional warming cannot
+//    reach (LSQ, in-flight window, replica streams).
 #pragma once
 
 #include <cstdint>
@@ -31,6 +40,7 @@
 #include "isa/program.hpp"
 #include "stats/stats.hpp"
 #include "trace/checkpoint.hpp"
+#include "trace/warming.hpp"
 
 namespace cfir::trace {
 
@@ -50,7 +60,9 @@ struct SampledRun {
   std::vector<Interval> intervals;
   uint64_t total_insts = 0;    ///< instructions the plan covers
   uint64_t detailed_insts = 0; ///< instructions actually detail-simulated
-                               ///< (measured + warm-up; the cost)
+                               ///< (measured + detailed warm-up; the cost)
+  uint64_t warmed_insts = 0;   ///< instructions functionally warmed
+                               ///< (interpreter-speed; ~free by comparison)
   stats::SimStats aggregate;   ///< weighted merge of every interval
 };
 
@@ -60,14 +72,20 @@ struct SampledRun {
 /// the same workload (sim::run_all does).
 struct IntervalPlan {
   SampleMode mode = SampleMode::kUniform;
+  WarmMode warm_mode = WarmMode::kDetailed;
   uint64_t total_insts = 0;
   bool ran_to_halt = false;          ///< run ended at HALT, not at the cap
-  uint64_t warmup = 0;               ///< requested warm-up W (instructions)
+  uint64_t warmup = 0;               ///< requested detailed warm-up W
+                                     ///< (instructions; unused by
+                                     ///< none/functional modes)
   std::vector<uint64_t> boundaries;  ///< measured-interval start counts
   std::vector<uint64_t> lengths;     ///< measured-interval lengths
   std::vector<double> weights;       ///< per interval (uniform: all 1)
-  /// One per interval, captured at max(start - warmup, 0); the actual
-  /// warm-up available to interval i is boundaries[i] - checkpoints[i].executed.
+  /// One per interval. Modes with a detailed warm-up slice (detailed,
+  /// hybrid) capture at max(start - warmup, 0) — clamped, never
+  /// underflowed — and the actual warm-up available to interval i is
+  /// boundaries[i] - checkpoints[i].executed. Modes without one (none,
+  /// functional) capture at the boundary itself.
   std::vector<Checkpoint> checkpoints;
 
   // Cluster-mode diagnostics (empty in uniform mode).
@@ -78,16 +96,31 @@ struct IntervalPlan {
 
 /// Uniform plan: K equal intervals with optional warm-up. Costs two
 /// interpreter passes (count, then snapshot).
+///
+/// `detail_len` > 0 caps the *measured* slice of every interval at that
+/// many instructions and scales the interval's weight by
+/// interval_len / measured_len — the SMARTS estimator: many short
+/// detail-simulated units extrapolated to the run, with the gaps covered
+/// by warming instead of detailed simulation. With a cap the union no
+/// longer commits the whole stream, so architectural counters become
+/// (unbiased) estimates rather than exact; leave it 0 when exactness
+/// matters more than cost.
 [[nodiscard]] IntervalPlan plan_intervals(const isa::Program& program,
                                           uint32_t k, uint64_t max_insts = 0,
-                                          uint64_t warmup = 0);
+                                          uint64_t warmup = 0,
+                                          WarmMode warm_mode =
+                                              WarmMode::kDetailed,
+                                          uint64_t detail_len = 0);
 
 /// Knobs for cluster-mode planning (see cluster.hpp for the algorithm
 /// parameters' meaning).
 struct ClusterPlanOptions {
   uint32_t n_intervals = 32;  ///< fixed-length windows the run is split into
   uint32_t max_k = 0;         ///< cluster-count cap; 0 = min(16, n_intervals)
-  uint64_t warmup = 0;        ///< warm-up instructions per representative
+  uint64_t warmup = 0;        ///< detailed warm-up insts per representative
+  WarmMode warm_mode = WarmMode::kDetailed;
+  uint64_t detail_len = 0;    ///< measured-slice cap per representative
+                              ///< (0 = whole window; see plan_intervals)
   uint64_t max_insts = 0;     ///< run-length cap (0 = to HALT)
   uint32_t proj_dims = 16;
   uint64_t seed = 0xC1F15EEDu;
@@ -99,9 +132,20 @@ struct ClusterPlanOptions {
 [[nodiscard]] IntervalPlan plan_cluster_intervals(
     const isa::Program& program, const ClusterPlanOptions& opts = {});
 
-/// Simulates every interval of `plan` in parallel under `config`, runs and
-/// subtracts warm-up slices, and merges the weighted stats (`threads` <= 0
-/// picks CFIR_THREADS / hardware concurrency).
+/// Attaches per-interval functional warm state to `plan`'s checkpoints for
+/// `config` (one streaming interpreter pass; see capture_warm_states).
+/// Checkpoints then save as CFIRCKP2, so warmed intervals can be farmed to
+/// other machines; sampled_run reuses attached state instead of
+/// re-streaming. Warm state is config-dependent — attaching binds the plan
+/// to configs with identical predictor/cache geometry and policy family.
+void attach_warm_states(IntervalPlan& plan, const core::CoreConfig& config,
+                        const isa::Program& program);
+
+/// Simulates every interval of `plan` in parallel under `config`, warms
+/// each interval per the plan's WarmMode (functional prefixes stream once
+/// up front, detailed warm-up slices run and are subtracted per interval),
+/// and merges the weighted stats (`threads` <= 0 picks CFIR_THREADS /
+/// hardware concurrency).
 [[nodiscard]] SampledRun sampled_run(const core::CoreConfig& config,
                                      const isa::Program& program,
                                      const IntervalPlan& plan,

@@ -1,0 +1,201 @@
+#include "trace/warming.hpp"
+
+#include <stdexcept>
+
+#include "ci/mechanism.hpp"
+#include "sim/simulator.hpp"
+#include "util/warmable.hpp"
+
+namespace cfir::trace {
+
+namespace {
+/// Blob header guarding against feeding a warm-state blob into a warmer
+/// built from a different configuration.
+constexpr uint32_t kWarmStateMagic = 0x314D5257;  // "WRM1"
+}  // namespace
+
+const char* warm_mode_name(WarmMode mode) {
+  switch (mode) {
+    case WarmMode::kNone: return "none";
+    case WarmMode::kDetailed: return "detailed";
+    case WarmMode::kFunctional: return "functional";
+    case WarmMode::kHybrid: return "hybrid";
+  }
+  return "?";
+}
+
+WarmMode parse_warm_mode(std::string_view name) {
+  if (name.empty() || name == "detailed") return WarmMode::kDetailed;
+  if (name == "none") return WarmMode::kNone;
+  if (name == "functional") return WarmMode::kFunctional;
+  if (name == "hybrid") return WarmMode::kHybrid;
+  throw std::runtime_error(
+      "warm mode must be 'none', 'detailed', 'functional' or 'hybrid', got '" +
+      std::string(name) + "'");
+}
+
+FunctionalWarmer::FunctionalWarmer(const core::CoreConfig& config,
+                                   const isa::Program& program)
+    : program_(program),
+      policy_(config.policy),
+      l1i_line_bytes_(config.memory.l1i.line_bytes),
+      gshare_(config.gshare_entries, config.gshare_history_bits),
+      mbs_(config.mbs_sets, config.mbs_ways),
+      stride_(config.stride_sets, config.stride_ways),
+      hier_(config.memory) {}
+
+void FunctionalWarmer::on_record(const TraceRecord& rec) {
+  // Instruction fetch: one L1I access per line transition, mirroring the
+  // core's fetch stage (last_fetch_line_ there, last_fetch_line_ here).
+  const uint64_t line = rec.pc / l1i_line_bytes_;
+  if (line != last_fetch_line_) {
+    hier_.warm_inst(rec.pc);
+    last_fetch_line_ = line;
+  }
+
+  switch (rec.kind) {
+    case RecordKind::kBranch:
+      gshare_.warm_commit(rec.pc, rec.taken);
+      mbs_.update(rec.pc, rec.taken);
+      break;
+    case RecordKind::kLoad:
+      hier_.warm_data(rec.addr, /*is_write=*/false);
+      if (policy_ == core::Policy::kCi || policy_ == core::Policy::kVect) {
+        stride_.train(rec.pc, rec.addr);
+        if (policy_ == core::Policy::kVect) {
+          // The vect policy's commit rule (ci/mechanism.cpp on_commit):
+          // every confident, non-zero-stride load is selected. Purely
+          // commit-driven, so functional warming reproduces it exactly.
+          // The ci policy's S flags are episode-driven (speculative state
+          // a commit stream cannot derive) and deliberately stay cold:
+          // pre-selecting every strided load was tried and over-drives the
+          // replica engine in short windows (twolf IPC +45%), a worse bias
+          // than the cold-selection ramp it removes.
+          const ci::StridePredictor::Info sp = stride_.lookup(rec.pc);
+          if (sp.confident && !sp.selected && sp.stride != 0) {
+            stride_.select(rec.pc, 0);
+          }
+        }
+      }
+      break;
+    case RecordKind::kStore:
+      hier_.warm_data(rec.addr, /*is_write=*/true);
+      break;
+    case RecordKind::kPlain: {
+      // CALL/RET drive the return address stack; recovery snapshots make
+      // the detailed core's final RAS equal the committed push/pop stream.
+      const isa::Instruction* ip = program_.try_at(rec.pc);
+      if (ip != nullptr) {
+        if (ip->op == isa::Opcode::kCall) {
+          ras_.push(rec.pc + isa::kInstBytes);
+        } else if (ip->op == isa::Opcode::kRet) {
+          ras_.pop();
+        }
+      }
+      break;
+    }
+  }
+  ++warmed_;
+}
+
+void FunctionalWarmer::ensure_interpreter() {
+  if (interp_ != nullptr) return;
+  interp_mem_ = std::make_unique<mem::MainMemory>();
+  isa::load_data_image(program_, *interp_mem_);
+  interp_ = std::make_unique<isa::Interpreter>(program_, *interp_mem_);
+  // A warmer restored from a serialized blob already holds the state of
+  // [0, warmed_): fast-skip the interpreter there with the observers still
+  // unset so the prefix is not streamed (and trained) a second time.
+  if (warmed_ > 0) interp_->run(warmed_);
+  interp_->on_branch = [this](uint64_t, bool taken, uint64_t target) {
+    pending_.kind = RecordKind::kBranch;
+    pending_.taken = taken;
+    pending_.next_pc = target;
+  };
+  interp_->on_mem = [this](uint64_t, uint64_t addr, int bytes, bool is_store) {
+    pending_.kind = is_store ? RecordKind::kStore : RecordKind::kLoad;
+    pending_.addr = addr;
+    pending_.size = static_cast<uint8_t>(bytes);
+  };
+  interp_->on_step = [this](uint64_t pc, uint64_t) {
+    pending_.pc = pc;
+    on_record(pending_);
+    pending_ = TraceRecord{};
+  };
+}
+
+void FunctionalWarmer::advance_to(uint64_t n_insts) {
+  ensure_interpreter();
+  while (interp_->executed() < n_insts && interp_->step()) {
+  }
+}
+
+void FunctionalWarmer::apply_to(sim::Simulator& sim) const {
+  core::Core& core = sim.core();
+  core.gshare() = gshare_;
+  core.ras() = ras_;
+  core.mbs() = mbs_;
+  core.hierarchy() = hier_;
+  if (ci::CiMechanism* mech = sim.ci_mechanism()) {
+    mech->stride_predictor() = stride_;
+  }
+}
+
+std::vector<uint8_t> FunctionalWarmer::serialize_state() const {
+  util::ByteWriter out;
+  out.u32(kWarmStateMagic);
+  out.u8(static_cast<uint8_t>(policy_));
+  out.u64(warmed_);
+  out.u64(last_fetch_line_);
+  gshare_.serialize(out);
+  mbs_.serialize(out);
+  ras_.serialize(out);
+  stride_.serialize(out);
+  hier_.serialize(out);
+  return out.take();
+}
+
+void FunctionalWarmer::deserialize_state(const std::vector<uint8_t>& blob) {
+  util::ByteReader in(blob);
+  if (in.u32() != kWarmStateMagic) {
+    throw std::runtime_error("FunctionalWarmer: bad warm-state magic");
+  }
+  if (in.u8() != static_cast<uint8_t>(policy_)) {
+    throw std::runtime_error("FunctionalWarmer: warm-state policy mismatch");
+  }
+  warmed_ = in.u64();
+  last_fetch_line_ = in.u64();
+  // Drop any live interpreter: it sits at the pre-restore position, and
+  // the next advance_to() must resume from warmed_ (ensure_interpreter
+  // fast-skips the restored prefix).
+  interp_.reset();
+  interp_mem_.reset();
+  gshare_.deserialize(in);
+  mbs_.deserialize(in);
+  ras_.deserialize(in);
+  stride_.deserialize(in);
+  hier_.deserialize(in);
+  if (!in.done()) {
+    throw std::runtime_error("FunctionalWarmer: trailing warm-state bytes");
+  }
+}
+
+std::vector<std::vector<uint8_t>> capture_warm_states(
+    const core::CoreConfig& config, const isa::Program& program,
+    const std::vector<uint64_t>& targets) {
+  std::vector<std::vector<uint8_t>> out;
+  out.reserve(targets.size());
+  FunctionalWarmer warmer(config, program);
+  uint64_t prev = 0;
+  for (const uint64_t target : targets) {
+    if (target < prev) {
+      throw std::runtime_error("capture_warm_states: targets not sorted");
+    }
+    prev = target;
+    warmer.advance_to(target);
+    out.push_back(warmer.serialize_state());
+  }
+  return out;
+}
+
+}  // namespace cfir::trace

@@ -1,0 +1,129 @@
+// SMARTS-style functional warming (Wunderlich et al., ISCA'03 — see
+// docs/sampling.md "Functional warming"): stream the committed-instruction
+// records of the gap before a detailed interval through the predictors and
+// caches *only*, at reference-interpreter speed, so the detailed interval
+// starts with warm microarchitectural state without paying detailed
+// simulation for the warm-up.
+//
+// The FunctionalWarmer owns standalone instances of every Warmable
+// component the core trains on the committed path — gshare, MBS, RAS, the
+// stride predictor and the four-level cache hierarchy — built from the same
+// CoreConfig as the detailed core. Streaming a committed prefix through
+// on_record() reproduces, component by component, exactly the state a
+// detailed run's commit-path training leaves behind (tests/
+// test_functional_warming.cpp locks this in per component); apply_to()
+// then copies that state into a freshly constructed Simulator before its
+// first cycle. Warm state also serializes to an opaque blob so it can ride
+// inside CFIRCKP2 checkpoints (trace/checkpoint.hpp) and warmed intervals
+// stay shardable across machines.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "branch/gshare.hpp"
+#include "branch/mbs.hpp"
+#include "branch/ras.hpp"
+#include "ci/stride_predictor.hpp"
+#include "core/config.hpp"
+#include "isa/interpreter.hpp"
+#include "isa/program.hpp"
+#include "mem/hierarchy.hpp"
+#include "mem/main_memory.hpp"
+#include "trace/trace.hpp"
+
+namespace cfir::sim {
+class Simulator;
+}  // namespace cfir::sim
+
+namespace cfir::trace {
+
+/// How a detailed interval's state is warmed before measurement begins.
+enum class WarmMode : uint8_t {
+  kNone = 0,       ///< cold start at the interval boundary
+  kDetailed = 1,   ///< detail-simulate W extra instructions, subtract stats
+  kFunctional = 2, ///< stream the whole prefix through predictors/caches
+  kHybrid = 3,     ///< functional prefix + a short detailed tail of W insts
+};
+
+[[nodiscard]] const char* warm_mode_name(WarmMode mode);
+/// Parses "none" | "detailed" | "functional" | "hybrid"; throws on typos so
+/// a misspelled knob fails loudly instead of silently running cold.
+[[nodiscard]] WarmMode parse_warm_mode(std::string_view name);
+
+class FunctionalWarmer {
+ public:
+  /// Components are sized from `config` exactly as the detailed core sizes
+  /// its own; `program` must outlive the warmer (opcode lookup for RAS
+  /// call/ret handling and the streaming interpreter both reference it).
+  FunctionalWarmer(const core::CoreConfig& config, const isa::Program& program);
+
+  /// Feeds one committed instruction, in commit order. Callers replaying a
+  /// stored CFIRTRC1 trace drive this directly; advance_to() drives it from
+  /// the built-in interpreter.
+  void on_record(const TraceRecord& rec);
+
+  /// Streams committed instructions from the warmer's current position up
+  /// to (program-global) instruction count `n_insts` through on_record(),
+  /// using the reference interpreter. Monotonic: calling with a target at
+  /// or below the current position is a no-op, so one warmer can snapshot
+  /// several sorted interval boundaries in a single pass. After
+  /// deserialize_state() the position is the blob's warmed(): the restored
+  /// prefix is fast-skipped (architecturally executed, not re-trained), so
+  /// resuming a shipped warmer continues exactly where serialization
+  /// stopped.
+  void advance_to(uint64_t n_insts);
+
+  /// Committed instructions warmed so far.
+  [[nodiscard]] uint64_t warmed() const { return warmed_; }
+
+  /// Copies the warm component state into `sim` (which must be freshly
+  /// constructed from the same CoreConfig and not yet run). The stride
+  /// predictor transfers only when the policy has a CiMechanism.
+  void apply_to(sim::Simulator& sim) const;
+
+  /// Opaque warm-state blob (components + a geometry signature + position).
+  /// deserialize() rejects blobs from differently configured warmers.
+  [[nodiscard]] std::vector<uint8_t> serialize_state() const;
+  void deserialize_state(const std::vector<uint8_t>& blob);
+
+  // Per-component introspection for the differential tests.
+  [[nodiscard]] const branch::Gshare& gshare() const { return gshare_; }
+  [[nodiscard]] const branch::MbsTable& mbs() const { return mbs_; }
+  [[nodiscard]] const branch::ReturnAddressStack& ras() const { return ras_; }
+  [[nodiscard]] const ci::StridePredictor& stride_predictor() const {
+    return stride_;
+  }
+  [[nodiscard]] const mem::CacheHierarchy& hierarchy() const { return hier_; }
+
+ private:
+  const isa::Program& program_;
+  core::Policy policy_;
+  uint32_t l1i_line_bytes_;
+
+  branch::Gshare gshare_;
+  branch::MbsTable mbs_;
+  branch::ReturnAddressStack ras_;
+  ci::StridePredictor stride_;
+  mem::CacheHierarchy hier_;
+  uint64_t last_fetch_line_ = ~uint64_t{0};
+  uint64_t warmed_ = 0;
+  TraceRecord pending_;  ///< record under construction by the observers
+
+  // Streaming interpreter (lazily started by advance_to).
+  std::unique_ptr<mem::MainMemory> interp_mem_;
+  std::unique_ptr<isa::Interpreter> interp_;
+  void ensure_interpreter();
+};
+
+/// One streaming interpreter pass capturing the serialized warm state at
+/// each target instruction count (`targets` must be non-decreasing —
+/// interval plans are). Element i is the blob for warming [0, targets[i]).
+[[nodiscard]] std::vector<std::vector<uint8_t>> capture_warm_states(
+    const core::CoreConfig& config, const isa::Program& program,
+    const std::vector<uint64_t>& targets);
+
+}  // namespace cfir::trace

@@ -1,0 +1,121 @@
+// Warmable: the hook set every functionally-warmable microarchitectural
+// structure implements (SMARTS-style functional warming, docs/sampling.md).
+// A Warmable component can
+//   - report a deterministic digest of its table contents (differential
+//     tests compare a functionally warmed instance against one trained by
+//     detailed execution of the same committed prefix), and
+//   - serialize / deserialize its state as an opaque little-endian byte
+//     blob (trace::Checkpoint version 2 carries these blobs so warmed
+//     intervals can be shipped between machines).
+// The commit-order update methods themselves stay non-virtual on each
+// component (warm paths are hot); this interface only standardizes the
+// state-capture surface.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+#include <vector>
+
+namespace cfir::util {
+
+/// Append-only little-endian byte sink for Warmable::serialize.
+class ByteWriter {
+ public:
+  void u8(uint8_t v) { buf_.push_back(v); }
+  void u32(uint32_t v) { raw(&v, sizeof(v)); }
+  void u64(uint64_t v) { raw(&v, sizeof(v)); }
+  void i64(int64_t v) { raw(&v, sizeof(v)); }
+  void boolean(bool v) { u8(v ? 1 : 0); }
+  void bytes(const uint8_t* data, size_t n) { raw(data, n); }
+
+  [[nodiscard]] const std::vector<uint8_t>& data() const { return buf_; }
+  [[nodiscard]] std::vector<uint8_t> take() { return std::move(buf_); }
+
+ private:
+  void raw(const void* p, size_t n) {
+    const auto* b = static_cast<const uint8_t*>(p);
+    buf_.insert(buf_.end(), b, b + n);
+  }
+  std::vector<uint8_t> buf_;
+};
+
+/// Bounds-checked reader over a serialized blob; throws std::runtime_error
+/// on underflow so truncated/corrupt blobs fail loudly, never read stale
+/// memory.
+class ByteReader {
+ public:
+  ByteReader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+  explicit ByteReader(const std::vector<uint8_t>& blob)
+      : ByteReader(blob.data(), blob.size()) {}
+
+  uint8_t u8() { return *take(1); }
+  uint32_t u32() { return read<uint32_t>(); }
+  uint64_t u64() { return read<uint64_t>(); }
+  int64_t i64() { return read<int64_t>(); }
+  bool boolean() { return u8() != 0; }
+  void bytes(uint8_t* out, size_t n) { std::memcpy(out, take(n), n); }
+
+  [[nodiscard]] size_t remaining() const { return size_ - pos_; }
+  [[nodiscard]] bool done() const { return pos_ == size_; }
+
+ private:
+  template <typename T>
+  T read() {
+    T v;
+    std::memcpy(&v, take(sizeof(T)), sizeof(T));
+    return v;
+  }
+  const uint8_t* take(size_t n) {
+    if (size_ - pos_ < n) {
+      throw std::runtime_error("ByteReader: truncated warm-state blob");
+    }
+    const uint8_t* p = data_ + pos_;
+    pos_ += n;
+    return p;
+  }
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+/// Accumulating FNV-1a 64-bit hash for debug_digest implementations.
+/// Feed fields in a fixed order; the result is stable across hosts (all
+/// inputs are hashed through fixed-width little-endian encodings).
+class Digest {
+ public:
+  Digest& u8(uint8_t v) { return byte(v); }
+  Digest& u32(uint32_t v) { return mix(&v, sizeof(v)); }
+  Digest& u64(uint64_t v) { return mix(&v, sizeof(v)); }
+  Digest& i64(int64_t v) { return mix(&v, sizeof(v)); }
+  Digest& boolean(bool v) { return byte(v ? 1 : 0); }
+  Digest& bytes(const uint8_t* data, size_t n) { return mix(data, n); }
+
+  [[nodiscard]] uint64_t value() const { return h_; }
+
+ private:
+  Digest& byte(uint8_t b) {
+    h_ ^= b;
+    h_ *= 0x100000001b3ull;
+    return *this;
+  }
+  Digest& mix(const void* p, size_t n) {
+    const auto* b = static_cast<const uint8_t*>(p);
+    for (size_t i = 0; i < n; ++i) byte(b[i]);
+    return *this;
+  }
+  uint64_t h_ = 0xcbf29ce484222325ull;
+};
+
+/// The interface proper. `deserialize` must reject blobs whose embedded
+/// geometry (table sizes etc.) does not match the component's configured
+/// geometry — warm state is only transferable between identically
+/// configured instances.
+struct Warmable {
+  virtual ~Warmable() = default;
+  [[nodiscard]] virtual uint64_t debug_digest() const = 0;
+  virtual void serialize(ByteWriter& out) const = 0;
+  virtual void deserialize(ByteReader& in) = 0;
+};
+
+}  // namespace cfir::util

@@ -86,15 +86,38 @@ TEST(Stats, SubtractInvertsMerge) {
   EXPECT_EQ(to_json(a), before);
 }
 
-TEST(Stats, SubtractSaturatesAtZero) {
+TEST(Stats, SubtractUnderflowAssertsInDebugSaturatesInRelease) {
+  // Subtracting stats that are not a prefix snapshot of the minuend is a
+  // caller bug: debug builds die on the assert; release builds saturate at
+  // zero instead of wrapping (a wrapped counter would silently corrupt
+  // every merged aggregate downstream).
   SimStats a;
   a.cycles = 10;
   SimStats b;
   b.cycles = 25;
   b.committed = 5;
+#ifdef NDEBUG
   a.subtract(b);
   EXPECT_EQ(a.cycles, 0u);
   EXPECT_EQ(a.committed, 0u);
+#else
+  EXPECT_DEATH(a.subtract(b), "subtract underflow");
+#endif
+}
+
+TEST(Stats, SubtractPrefixSnapshotNeverUnderflows) {
+  // The legitimate pattern — snapshot mid-run, subtract later — stays
+  // assert-clean in every build mode.
+  SimStats total;
+  total.cycles = 100;
+  total.committed = 80;
+  total.l1d_misses = 7;
+  SimStats snapshot = total;
+  total.merge(total);  // "keep running": counters only grow
+  total.subtract(snapshot);
+  EXPECT_EQ(total.cycles, 100u);
+  EXPECT_EQ(total.committed, 80u);
+  EXPECT_EQ(total.l1d_misses, 7u);
 }
 
 TEST(Stats, MergeScaledExtrapolatesCounters) {

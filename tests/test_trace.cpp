@@ -11,6 +11,8 @@
 
 #include <cmath>
 #include <cstdio>
+#include <fstream>
+#include <random>
 #include <string>
 #include <vector>
 
@@ -191,6 +193,132 @@ TEST(TraceReplay, DetectsDivergence) {
   EXPECT_FALSE(r.mismatch.empty());
 }
 
+TEST(TraceFormat, FuzzRandomRecordStreamsRoundTrip) {
+  // The varint/delta codec must reproduce *arbitrary* record streams, not
+  // just streams the interpreter can emit: adversarial pc jumps (large
+  // positive and negative deltas), address swings across the whole 64-bit
+  // space, and every kind/size combination.
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    std::mt19937_64 gen(seed);
+    std::vector<TraceRecord> records;
+    uint64_t pc = gen();
+    for (int i = 0; i < 2000; ++i) {
+      TraceRecord rec;
+      rec.pc = pc;
+      switch (gen() % 4) {
+        case 0:
+          rec.kind = RecordKind::kPlain;
+          break;
+        case 1:
+          rec.kind = RecordKind::kBranch;
+          rec.taken = (gen() & 1) != 0;
+          rec.next_pc = gen();
+          break;
+        case 2:
+        case 3:
+          rec.kind = (gen() & 1) != 0 ? RecordKind::kLoad
+                                      : RecordKind::kStore;
+          rec.addr = gen();
+          rec.size = static_cast<uint8_t>(uint64_t{1} << (gen() % 4));
+          break;
+      }
+      records.push_back(rec);
+      // Mostly sequential pcs with occasional wild jumps, like real code.
+      pc = (gen() % 8 == 0) ? gen() : pc + isa::kInstBytes;
+    }
+
+    TempFile file("fuzz" + std::to_string(seed));
+    TraceMeta meta;
+    meta.workload = "fuzz";
+    meta.base_pc = records.front().pc;
+    TraceWriter writer(file.path(), meta);
+    for (const TraceRecord& rec : records) writer.append(rec);
+    std::array<uint64_t, isa::kNumLogicalRegs> regs{};
+    for (auto& r : regs) r = gen();
+    const uint64_t digest = gen();
+    writer.finish(regs, digest);
+
+    TraceReader reader(file.path());
+    ASSERT_EQ(reader.record_count(), records.size()) << "seed " << seed;
+    EXPECT_EQ(reader.final_digest(), digest);
+    EXPECT_EQ(reader.final_regs(), regs);
+    TraceRecord rec;
+    for (size_t i = 0; i < records.size(); ++i) {
+      ASSERT_TRUE(reader.next(rec)) << "seed " << seed << " record " << i;
+      ASSERT_EQ(rec, records[i]) << "seed " << seed << " record " << i;
+    }
+    EXPECT_FALSE(reader.next(rec));
+  }
+}
+
+namespace {
+std::vector<uint8_t> file_bytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::vector<uint8_t>((std::istreambuf_iterator<char>(in)),
+                              std::istreambuf_iterator<char>());
+}
+
+Checkpoint random_checkpoint(uint64_t seed, bool with_warm) {
+  std::mt19937_64 gen(seed);
+  Checkpoint ck;
+  ck.pc = gen();
+  ck.executed = gen();
+  for (auto& r : ck.regs) r = gen();
+  // A handful of sparse pages, some partially zero (the all-zero-page
+  // dropping must be stable across round trips).
+  for (int p = 0; p < 6; ++p) {
+    const uint64_t base = (gen() % 1024) * mem::MainMemory::kPageSize;
+    std::vector<uint8_t> page(mem::MainMemory::kPageSize, 0);
+    const size_t fill = static_cast<size_t>(gen() % page.size());
+    for (size_t b = 0; b < fill; ++b) page[b] = static_cast<uint8_t>(gen());
+    ck.memory.write_block(base, page.data(), page.size());
+  }
+  if (with_warm) {
+    ck.warm.resize(64 + gen() % 4096);
+    for (auto& b : ck.warm) b = static_cast<uint8_t>(gen());
+  }
+  return ck;
+}
+}  // namespace
+
+TEST(Checkpoint, FuzzSerializeDeserializeReserializeStable) {
+  // save -> load -> save must be byte-identical, for cold (CFIRCKP1) and
+  // warm (CFIRCKP2) checkpoints alike: shards exchanged between machines
+  // must not mutate in flight.
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    for (const bool with_warm : {false, true}) {
+      const Checkpoint ck = random_checkpoint(seed, with_warm);
+      TempFile first("ckfz_a" + std::to_string(seed) + (with_warm ? "w" : ""));
+      TempFile second("ckfz_b" + std::to_string(seed) + (with_warm ? "w" : ""));
+      ck.save(first.path());
+      const Checkpoint loaded = Checkpoint::load(first.path());
+      EXPECT_EQ(loaded.pc, ck.pc);
+      EXPECT_EQ(loaded.executed, ck.executed);
+      EXPECT_EQ(loaded.regs, ck.regs);
+      EXPECT_EQ(loaded.memory.digest(), ck.memory.digest());
+      EXPECT_EQ(loaded.warm, ck.warm);
+      EXPECT_EQ(loaded.has_warm(), with_warm);
+      loaded.save(second.path());
+      EXPECT_EQ(file_bytes(first.path()), file_bytes(second.path()))
+          << "seed " << seed << " warm " << with_warm;
+    }
+  }
+}
+
+TEST(Checkpoint, TruncatedWarmStateFailsLoudly) {
+  const Checkpoint ck = random_checkpoint(3, /*with_warm=*/true);
+  TempFile file("cktrunc");
+  ck.save(file.path());
+  std::vector<uint8_t> bytes = file_bytes(file.path());
+  bytes.resize(bytes.size() - ck.warm.size() / 2);
+  {
+    std::ofstream out(file.path(), std::ios::binary | std::ios::trunc);
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+  }
+  EXPECT_THROW(Checkpoint::load(file.path()), std::runtime_error);
+}
+
 TEST(Checkpoint, SaveLoadRoundTrip) {
   const isa::Program program = workloads::build("gzip", 1);
   const Checkpoint ck = fast_forward(program, 5000);
@@ -315,6 +443,131 @@ TEST(SampledRun, ImmediateHaltProgramReportsHalted) {
   EXPECT_EQ(sampled.total_insts, 0u);
   EXPECT_EQ(sampled.aggregate.committed, 0u);
   EXPECT_TRUE(sampled.aggregate.halted);
+}
+
+TEST(SampledRun, ZeroWarmupCapturesCheckpointsAtBoundaries) {
+  const isa::Program program = workloads::build("gzip", 1);
+  const IntervalPlan plan =
+      plan_intervals(program, /*k=*/4, /*max_insts=*/0, /*warmup=*/0);
+  ASSERT_EQ(plan.checkpoints.size(), plan.boundaries.size());
+  for (size_t i = 0; i < plan.boundaries.size(); ++i) {
+    EXPECT_EQ(plan.checkpoints[i].executed, plan.boundaries[i]) << i;
+  }
+  const SampledRun run =
+      sampled_run(sim::presets::scal(2, 256), program, plan);
+  for (const auto& interval : run.intervals) {
+    EXPECT_EQ(interval.warmup, 0u);
+  }
+}
+
+TEST(SampledRun, OversizedWarmupClampsToRunStart) {
+  // A warm-up longer than the distance to the run start (and longer than
+  // the spacing between intervals) must clamp to instruction 0, not
+  // underflow — every interval's effective warm-up is exactly its prefix.
+  const isa::Program program = workloads::build("gzip", 1);
+  const uint64_t huge = 1 << 30;
+  const IntervalPlan plan =
+      plan_intervals(program, /*k=*/3, /*max_insts=*/0, /*warmup=*/huge);
+  ASSERT_EQ(plan.checkpoints.size(), 3u);
+  for (size_t i = 0; i < plan.checkpoints.size(); ++i) {
+    EXPECT_EQ(plan.checkpoints[i].executed, 0u) << i;
+  }
+  const core::CoreConfig config = sim::presets::scal(2, 256);
+  const SampledRun run = sampled_run(config, program, plan);
+  for (size_t i = 0; i < run.intervals.size(); ++i) {
+    EXPECT_EQ(run.intervals[i].warmup, plan.boundaries[i]) << i;
+  }
+  // Warm-up re-executes each prefix but is subtracted back out, so the
+  // union still commits exactly the monolithic stream.
+  sim::Simulator mono(config, program);
+  const stats::SimStats mono_stats = mono.run(UINT64_MAX);
+  EXPECT_EQ(run.aggregate.committed, mono_stats.committed);
+  EXPECT_EQ(run.aggregate.committed_stores, mono_stats.committed_stores);
+}
+
+TEST(SampledRun, WarmupLongerThanIntervalSpacingOverlapsSafely) {
+  // k=6 on a short run: the spacing between boundaries is far smaller than
+  // the warm-up, so every warm-up window overlaps several earlier
+  // intervals. The re-execution is redundant but must stay correct.
+  const isa::Program program = workloads::build("crafty", 1);
+  const core::CoreConfig config = sim::presets::scal(2, 256);
+  const IntervalPlan plan =
+      plan_intervals(program, /*k=*/6, /*max_insts=*/6000, /*warmup=*/5000);
+  const SampledRun run = sampled_run(config, program, plan);
+  EXPECT_EQ(run.aggregate.committed, 6000u);
+  for (size_t i = 0; i < run.intervals.size(); ++i) {
+    EXPECT_LE(run.intervals[i].warmup, plan.boundaries[i]) << i;
+  }
+  // Cost accounting includes the overlapping warm-ups.
+  EXPECT_GT(run.detailed_insts, run.aggregate.committed);
+}
+
+TEST(SampledRun, NoneWarmModeIgnoresWarmupKnob) {
+  const isa::Program program = workloads::build("gzip", 1);
+  const IntervalPlan plan = plan_intervals(
+      program, /*k=*/4, /*max_insts=*/0, /*warmup=*/12345, WarmMode::kNone);
+  for (size_t i = 0; i < plan.boundaries.size(); ++i) {
+    EXPECT_EQ(plan.checkpoints[i].executed, plan.boundaries[i]) << i;
+  }
+  const SampledRun run =
+      sampled_run(sim::presets::scal(2, 256), program, plan);
+  EXPECT_EQ(run.warmed_insts, 0u);
+  for (const auto& interval : run.intervals) {
+    EXPECT_EQ(interval.warmup, 0u);
+  }
+}
+
+TEST(SampledRun, DetailCapScalesWeightsAndCutsCost) {
+  const isa::Program program = workloads::build("bzip2", 2);
+  const core::CoreConfig config = sim::presets::scal(2, 256);
+  const IntervalPlan full_plan = plan_intervals(program, 4);
+  const IntervalPlan capped_plan =
+      plan_intervals(program, 4, 0, 0, WarmMode::kFunctional,
+                     /*detail_len=*/1500);
+  ASSERT_EQ(capped_plan.lengths.size(), full_plan.lengths.size());
+  for (size_t i = 0; i < capped_plan.lengths.size(); ++i) {
+    EXPECT_LE(capped_plan.lengths[i], 1500u);
+    // weight * measured == original interval population (extrapolation).
+    EXPECT_NEAR(capped_plan.weights[i] *
+                    static_cast<double>(capped_plan.lengths[i]),
+                static_cast<double>(full_plan.lengths[i]),
+                1e-6 * static_cast<double>(full_plan.lengths[i]));
+  }
+  const SampledRun run = sampled_run(config, program, capped_plan);
+  EXPECT_LE(run.detailed_insts, 4 * 1500u);
+  EXPECT_GT(run.warmed_insts, 0u);
+  // The extrapolated committed-instruction estimate lands near the truth.
+  const double est = static_cast<double>(run.aggregate.committed);
+  const double truth = static_cast<double>(capped_plan.total_insts);
+  EXPECT_NEAR(est, truth, 0.01 * truth);
+}
+
+TEST(SampledRun, FunctionalWarmStatesAttachAndShard) {
+  // attach_warm_states embeds per-interval warm blobs; a plan whose
+  // checkpoints round-trip through CFIRCKP2 files must produce the exact
+  // same sampled run (shardability).
+  const isa::Program program = workloads::build("twolf", 2);
+  const core::CoreConfig config = sim::presets::ci(2, 512);
+  IntervalPlan plan = plan_intervals(program, 3, 0, 0, WarmMode::kFunctional);
+  const SampledRun before = sampled_run(config, program, plan);
+
+  attach_warm_states(plan, config, program);
+  for (const Checkpoint& ck : plan.checkpoints) {
+    EXPECT_TRUE(ck.has_warm());
+  }
+  // Round-trip every checkpoint through its v2 file form.
+  for (Checkpoint& ck : plan.checkpoints) {
+    TempFile file("shard");
+    ck.save(file.path());
+    ck = Checkpoint::load(file.path());
+    EXPECT_TRUE(ck.has_warm());
+  }
+  const SampledRun after = sampled_run(config, program, plan);
+  EXPECT_EQ(before.aggregate.cycles, after.aggregate.cycles);
+  EXPECT_EQ(before.aggregate.committed, after.aggregate.committed);
+  EXPECT_EQ(before.aggregate.mispredicts, after.aggregate.mispredicts);
+  EXPECT_EQ(before.aggregate.l1d_misses, after.aggregate.l1d_misses);
+  EXPECT_EQ(before.warmed_insts, after.warmed_insts);
 }
 
 TEST(SampledRun, RunAllIntervalsFieldAggregates) {
