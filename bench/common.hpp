@@ -40,10 +40,27 @@ inline void dump_json(const std::vector<sim::RunOutcome>& outcomes) {
   if (!json_requested()) return;
   for (const sim::RunOutcome& o : outcomes) {
     std::printf("{\"workload\":\"%s\",\"config\":\"%s\",\"scale\":%u,"
-                "\"intervals\":%u,\"stats\":%s}\n",
+                "\"intervals\":%u,\"stats\":%s",
                 o.spec.workload.c_str(), o.spec.config_name.c_str(),
                 o.spec.scale, o.spec.intervals,
                 stats::to_json(o.stats).c_str());
+    // Sampled runs also expose the per-phase columns (one row per measured
+    // interval / cluster representative): position, population weight, and
+    // the phase's own IPC and ci-reuse next to the weighted aggregate.
+    if (!o.phases.empty()) {
+      std::printf(",\"phases\":[");
+      for (size_t p = 0; p < o.phases.size(); ++p) {
+        const sim::PhaseOutcome& ph = o.phases[p];
+        std::printf("%s{\"start\":%llu,\"length\":%llu,\"weight\":%g,"
+                    "\"ipc\":%g,\"ci_reuse\":%g}",
+                    p == 0 ? "" : ",",
+                    static_cast<unsigned long long>(ph.start_inst),
+                    static_cast<unsigned long long>(ph.length), ph.weight,
+                    ph.stats.ipc(), ph.stats.reuse_fraction());
+      }
+      std::printf("]");
+    }
+    std::printf("}\n");
   }
 }
 
@@ -75,6 +92,9 @@ inline void run_figure(const std::string& title,
       s.warmup = sim::env_warmup();
       s.warm_mode = sim::env_warm_mode();
       s.detail_len = sim::env_detail_len();
+      const trace::ShardSelection shard = sim::env_shard();
+      s.shard_index = shard.index;
+      s.shard_count = shard.count;
       specs.push_back(std::move(s));
     }
   }
@@ -150,6 +170,9 @@ inline void run_register_sweep(
         s.warmup = sim::env_warmup();
         s.warm_mode = sim::env_warm_mode();
         s.detail_len = sim::env_detail_len();
+        const trace::ShardSelection shard = sim::env_shard();
+        s.shard_index = shard.index;
+        s.shard_count = shard.count;
         specs.push_back(std::move(s));
       }
     }

@@ -1,5 +1,5 @@
-// Trace tooling CLI: record, inspect, replay, phase-analyze and sample
-// workload traces.
+// Trace tooling CLI: record, inspect, replay, phase-analyze, sample and
+// shard workload traces.
 //
 //   trace_tool record <workload> [scale] [max_insts]   write <wl>.s<scale>.cfirtrace
 //   trace_tool info   <file>                           print header + stream summary
@@ -8,6 +8,12 @@
 //   trace_tool sample <workload> <k> [scale] [max]     sampled detailed run
 //          [--mode=uniform|cluster] [--warmup=W] [--max-k=K]
 //          [--warm-mode=none|detailed|functional|hybrid] [--detail=M]
+//   trace_tool plan   <workload> <k> [scale] [max]     freeze a plan to disk
+//          [sample's flags]                            (manifest + checkpoints)
+//   trace_tool run-shard <manifest> [--shard=i/N]      execute one shard
+//          [--jobs=J] [--out=file]                     -> CFIRSHD1 result blob
+//   trace_tool merge  <manifest> <shard files...>      fold shards back into
+//          [--per-phase]                               one report
 //
 // Files land in CFIR_TRACE_DIR (default "."). `record` captures from the
 // reference interpreter; `replay` re-executes under verification and cross
@@ -19,6 +25,16 @@
 // prints per-interval and merged stats as JSON; in cluster mode <k> is
 // the number of BBV windows and only one weighted representative per
 // phase is simulated.
+//
+// plan / run-shard / merge are the same pipeline split across processes
+// and machines (docs/sharding.md): `plan` writes a CFIRMAN1 manifest plus
+// one self-contained checkpoint per interval, `run-shard` executes any
+// subset of it, and `merge` folds the shard results into output
+// byte-identical to what `sample` prints for the same arguments.
+//
+// Exit codes (scripts can branch on the failure kind):
+//   0 ok | 1 other error | 2 usage | 3 bad magic | 4 unsupported version
+//   5 config-hash mismatch | 6 corrupt/truncated file
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -30,7 +46,10 @@
 #include "stats/stats.hpp"
 #include "trace/bbv.hpp"
 #include "trace/cluster.hpp"
+#include "trace/errors.hpp"
+#include "trace/manifest.hpp"
 #include "trace/sampling.hpp"
+#include "trace/shard.hpp"
 #include "trace/trace.hpp"
 #include "workloads/workloads.hpp"
 
@@ -50,9 +69,22 @@ int usage() {
       "                         [--max-k=K]\n"
       "                         [--warm-mode=none|detailed|functional|hybrid]\n"
       "                         [--detail=M (measured-slice cap/interval)]\n"
-      "env: CFIR_TRACE_DIR (output dir), CFIR_THREADS (sample)\n");
+      "       trace_tool plan   <workload> <k> [scale] [max_insts]\n"
+      "                         [same flags as sample; writes\n"
+      "                         <wl>.s<scale>.cfirman + checkpoints]\n"
+      "       trace_tool run-shard <manifest> [--shard=i/N] [--jobs=J]\n"
+      "                         [--out=file (default <stem>.shard<i>of<N>"
+      ".cfirshd)]\n"
+      "       trace_tool merge  <manifest> <shard-file>... [--per-phase]\n"
+      "env: CFIR_TRACE_DIR (output dir), CFIR_THREADS (sample/run-shard)\n"
+      "exit: 2 usage, 3 bad magic, 4 bad version, 5 config-hash mismatch,\n"
+      "      6 corrupt file, 1 other\n");
   return 2;
 }
+
+/// The core configuration every sampling subcommand simulates under — one
+/// definition so plan, run-shard and sample can never drift apart.
+core::CoreConfig tool_config() { return sim::presets::ci(2, 512); }
 
 std::string default_path(const std::string& workload, uint32_t scale) {
   return trace::env_trace_dir() + "/" + workload + ".s" +
@@ -171,68 +203,80 @@ int cmd_phases(int argc, char** argv) {
   return 0;
 }
 
-int cmd_sample(int argc, char** argv) {
-  // Positional args first, then --flags (any order among themselves).
-  std::vector<std::string> pos;
+/// Shared flag set of `sample` and `plan` — the two must plan identically
+/// for merged shard output to be diffable against sample output.
+struct PlanArgs {
+  std::string workload;
+  uint32_t k = 0;
+  uint32_t scale = 1;
+  uint64_t max_insts = 0;
   trace::SampleMode mode = trace::SampleMode::kUniform;
   trace::WarmMode warm_mode = trace::WarmMode::kDetailed;
   uint64_t warmup = 0;
   uint64_t detail_len = 0;
   uint32_t max_k = 0;
+};
+
+bool parse_plan_args(int argc, char** argv, PlanArgs& out) {
+  std::vector<std::string> pos;
   for (int i = 0; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--warm-mode=", 0) == 0) {
-      warm_mode = trace::parse_warm_mode(arg.substr(12));
+      out.warm_mode = trace::parse_warm_mode(arg.substr(12));
     } else if (arg.rfind("--detail=", 0) == 0) {
-      detail_len = std::strtoull(arg.c_str() + 9, nullptr, 10);
+      out.detail_len = std::strtoull(arg.c_str() + 9, nullptr, 10);
     } else if (arg.rfind("--mode=", 0) == 0) {
       const std::string v = arg.substr(7);
       if (v == "uniform") {
-        mode = trace::SampleMode::kUniform;
+        out.mode = trace::SampleMode::kUniform;
       } else if (v == "cluster") {
-        mode = trace::SampleMode::kCluster;
+        out.mode = trace::SampleMode::kCluster;
       } else {
-        return usage();
+        return false;
       }
     } else if (arg.rfind("--warmup=", 0) == 0) {
-      warmup = std::strtoull(arg.c_str() + 9, nullptr, 10);
+      out.warmup = std::strtoull(arg.c_str() + 9, nullptr, 10);
     } else if (arg.rfind("--max-k=", 0) == 0) {
-      max_k = static_cast<uint32_t>(
+      out.max_k = static_cast<uint32_t>(
           std::strtoul(arg.c_str() + 8, nullptr, 10));
     } else if (arg.rfind("--", 0) == 0) {
-      return usage();
+      return false;
     } else {
       pos.push_back(arg);
     }
   }
-  if (pos.size() < 2) return usage();
-  const std::string workload = pos[0];
-  const uint32_t k =
-      static_cast<uint32_t>(std::strtoul(pos[1].c_str(), nullptr, 10));
-  const uint32_t scale =
-      pos.size() > 2
-          ? static_cast<uint32_t>(std::strtoul(pos[2].c_str(), nullptr, 10))
-          : 1;
-  const uint64_t max_insts =
-      pos.size() > 3 ? std::strtoull(pos[3].c_str(), nullptr, 10) : 0;
-
-  const isa::Program program = workloads::build(workload, scale);
-  trace::IntervalPlan plan;
-  if (mode == trace::SampleMode::kCluster) {
-    trace::ClusterPlanOptions opts;
-    opts.n_intervals = k;
-    opts.max_k = max_k;
-    opts.warmup = warmup;
-    opts.warm_mode = warm_mode;
-    opts.detail_len = detail_len;
-    opts.max_insts = max_insts;
-    plan = trace::plan_cluster_intervals(program, opts);
-  } else {
-    plan = trace::plan_intervals(program, k, max_insts, warmup, warm_mode,
-                                 detail_len);
+  if (pos.size() < 2) return false;
+  out.workload = pos[0];
+  out.k = static_cast<uint32_t>(std::strtoul(pos[1].c_str(), nullptr, 10));
+  if (pos.size() > 2) {
+    out.scale =
+        static_cast<uint32_t>(std::strtoul(pos[2].c_str(), nullptr, 10));
   }
-  const trace::SampledRun run =
-      trace::sampled_run(sim::presets::ci(2, 512), program, plan);
+  if (pos.size() > 3) out.max_insts = std::strtoull(pos[3].c_str(), nullptr, 10);
+  return true;
+}
+
+trace::IntervalPlan build_plan(const PlanArgs& args,
+                               const isa::Program& program) {
+  if (args.mode == trace::SampleMode::kCluster) {
+    trace::ClusterPlanOptions opts;
+    opts.n_intervals = args.k;
+    opts.max_k = args.max_k;
+    opts.warmup = args.warmup;
+    opts.warm_mode = args.warm_mode;
+    opts.detail_len = args.detail_len;
+    opts.max_insts = args.max_insts;
+    return trace::plan_cluster_intervals(program, opts);
+  }
+  return trace::plan_intervals(program, args.k, args.max_insts, args.warmup,
+                               args.warm_mode, args.detail_len);
+}
+
+/// One line per interval plus the aggregate line — shared by `sample` and
+/// `merge` so a sharded pipeline's output can be diffed against the
+/// single-process run byte for byte.
+void print_run(const trace::SampledRun& run, trace::SampleMode mode,
+               trace::WarmMode warm_mode) {
   for (size_t i = 0; i < run.intervals.size(); ++i) {
     const auto& interval = run.intervals[i];
     std::printf("{\"interval\":%zu,\"start\":%llu,\"length\":%llu,"
@@ -257,6 +301,154 @@ int cmd_sample(int argc, char** argv) {
               static_cast<unsigned long long>(run.detailed_insts),
               static_cast<unsigned long long>(run.warmed_insts),
               coverage, stats::to_json(run.aggregate).c_str());
+}
+
+int cmd_sample(int argc, char** argv) {
+  PlanArgs args;
+  if (!parse_plan_args(argc, argv, args)) return usage();
+  const isa::Program program = workloads::build(args.workload, args.scale);
+  const trace::IntervalPlan plan = build_plan(args, program);
+  const trace::SampledRun run = trace::sampled_run(tool_config(), program,
+                                                   plan);
+  print_run(run, args.mode, args.warm_mode);
+  return 0;
+}
+
+int cmd_plan(int argc, char** argv) {
+  PlanArgs args;
+  if (!parse_plan_args(argc, argv, args)) return usage();
+  const isa::Program program = workloads::build(args.workload, args.scale);
+  trace::IntervalPlan plan = build_plan(args, program);
+  // Self-contained shards: functional warm state rides inside the
+  // checkpoints (CFIRCKP2), so run-shard never re-streams the prefix.
+  trace::attach_warm_states(plan, tool_config(), program);
+
+  const std::string manifest_path = trace::env_trace_dir() + "/" +
+                                    args.workload + ".s" +
+                                    std::to_string(args.scale) + ".cfirman";
+  const trace::ShardManifest manifest = trace::write_manifest(
+      plan, tool_config(), args.workload, args.scale, manifest_path);
+  std::printf("{\"manifest\":\"%s\",\"workload\":\"%s\",\"scale\":%u,"
+              "\"mode\":\"%s\",\"warm_mode\":\"%s\",\"intervals\":%zu,"
+              "\"total_insts\":%llu,\"config_hash\":\"0x%016llx\"}\n",
+              manifest_path.c_str(), manifest.workload.c_str(),
+              manifest.scale,
+              manifest.mode == trace::SampleMode::kCluster ? "cluster"
+                                                           : "uniform",
+              trace::warm_mode_name(manifest.warm_mode),
+              manifest.intervals.size(),
+              static_cast<unsigned long long>(manifest.total_insts),
+              static_cast<unsigned long long>(manifest.config_hash));
+  return 0;
+}
+
+int cmd_run_shard(int argc, char** argv) {
+  std::string manifest_path;
+  std::string out_path;
+  trace::ShardSelection shard;
+  int jobs = 0;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--shard=", 0) == 0) {
+      // A malformed or out-of-range shard spec is a usage error (exit 2),
+      // same as an unknown flag — not an internal failure.
+      try {
+        shard = trace::parse_shard(arg.substr(8));
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "trace_tool run-shard: %s\n", e.what());
+        return usage();
+      }
+    } else if (arg.rfind("--jobs=", 0) == 0) {
+      jobs = static_cast<int>(std::strtol(arg.c_str() + 7, nullptr, 10));
+    } else if (arg.rfind("--out=", 0) == 0) {
+      out_path = arg.substr(6);
+    } else if (arg.rfind("--", 0) == 0) {
+      return usage();
+    } else if (manifest_path.empty()) {
+      manifest_path = arg;
+    } else {
+      return usage();
+    }
+  }
+  if (manifest_path.empty()) return usage();
+
+  const trace::ShardManifest manifest =
+      trace::ShardManifest::load(manifest_path);
+  const isa::Program program =
+      workloads::build(manifest.workload, manifest.scale);
+  const trace::IntervalPlan plan =
+      trace::plan_from_manifest(manifest, manifest_path);
+  // Refuse to execute under a config the plan was not made for — a shard
+  // simulated under the wrong core would silently skew the merged result.
+  trace::verify_manifest_config(manifest, tool_config(), plan);
+
+  const trace::ShardResult result =
+      trace::run_shard(tool_config(), program, plan, shard, jobs,
+                       manifest.config_hash);
+  if (out_path.empty()) {
+    out_path = trace::path_stem(manifest_path) + ".shard" +
+               std::to_string(shard.index) + "of" +
+               std::to_string(shard.count) + ".cfirshd";
+  }
+  result.save(out_path);
+  std::printf("{\"shard\":\"%u/%u\",\"intervals\":%zu,"
+              "\"detailed_insts\":%llu,\"warmed_insts\":%llu,"
+              "\"out\":\"%s\"}\n",
+              result.shard_index, result.shard_count,
+              result.intervals.size(),
+              static_cast<unsigned long long>(result.detailed_insts),
+              static_cast<unsigned long long>(result.warmed_insts),
+              out_path.c_str());
+  return 0;
+}
+
+int cmd_merge(int argc, char** argv) {
+  std::string manifest_path;
+  std::vector<std::string> shard_paths;
+  bool per_phase = false;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--per-phase") {
+      per_phase = true;
+    } else if (arg.rfind("--", 0) == 0) {
+      return usage();
+    } else if (manifest_path.empty()) {
+      manifest_path = arg;
+    } else {
+      shard_paths.push_back(arg);
+    }
+  }
+  if (manifest_path.empty() || shard_paths.empty()) return usage();
+
+  const trace::ShardManifest manifest =
+      trace::ShardManifest::load(manifest_path);
+  std::vector<trace::ShardResult> shards;
+  shards.reserve(shard_paths.size());
+  for (const std::string& path : shard_paths) {
+    trace::ShardResult shard = trace::ShardResult::load(path);
+    if (shard.config_hash != manifest.config_hash) {
+      throw trace::ConfigMismatchError(
+          "merge: " + path +
+          " was produced from a different manifest (config hash mismatch) "
+          "— re-run its shard against " + manifest_path);
+    }
+    shards.push_back(std::move(shard));
+  }
+  const trace::SampledRun run = trace::merge_shard_results(shards);
+
+  if (per_phase) {
+    // Per-phase columns: each measured interval is one phase
+    // representative; weight is the population it stands in for.
+    for (size_t i = 0; i < run.intervals.size(); ++i) {
+      const auto& iv = run.intervals[i];
+      std::printf("{\"phase\":%zu,\"start\":%llu,\"length\":%llu,"
+                  "\"weight\":%g,\"ipc\":%g,\"ci_reuse\":%g}\n",
+                  i, static_cast<unsigned long long>(iv.start_inst),
+                  static_cast<unsigned long long>(iv.length), iv.weight,
+                  iv.stats.ipc(), iv.stats.reuse_fraction());
+    }
+  }
+  print_run(run, manifest.mode, manifest.warm_mode);
   return 0;
 }
 
@@ -271,6 +463,21 @@ int main(int argc, char** argv) {
     if (cmd == "replay") return cmd_replay(argc - 2, argv + 2);
     if (cmd == "phases") return cmd_phases(argc - 2, argv + 2);
     if (cmd == "sample") return cmd_sample(argc - 2, argv + 2);
+    if (cmd == "plan") return cmd_plan(argc - 2, argv + 2);
+    if (cmd == "run-shard") return cmd_run_shard(argc - 2, argv + 2);
+    if (cmd == "merge") return cmd_merge(argc - 2, argv + 2);
+  } catch (const trace::BadMagicError& e) {
+    std::fprintf(stderr, "trace_tool %s: %s\n", cmd.c_str(), e.what());
+    return 3;
+  } catch (const trace::VersionError& e) {
+    std::fprintf(stderr, "trace_tool %s: %s\n", cmd.c_str(), e.what());
+    return 4;
+  } catch (const trace::ConfigMismatchError& e) {
+    std::fprintf(stderr, "trace_tool %s: %s\n", cmd.c_str(), e.what());
+    return 5;
+  } catch (const trace::CorruptFileError& e) {
+    std::fprintf(stderr, "trace_tool %s: %s\n", cmd.c_str(), e.what());
+    return 6;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "trace_tool %s: %s\n", cmd.c_str(), e.what());
     return 1;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <sstream>
 
+#include "util/warmable.hpp"
+
 namespace cfir::core {
 
 std::string CoreConfig::label() const {
@@ -23,6 +25,45 @@ std::string CoreConfig::label() const {
 
 void CoreConfig::scale_window_to_regs() {
   rob_size = std::max<uint32_t>(256, num_phys_regs);
+}
+
+namespace {
+
+void mix_cache(util::Digest& d, const mem::CacheConfig& c) {
+  // The name is a display label, not configuration; geometry and latency
+  // are what determine behaviour.
+  d.u32(c.size_bytes).u32(c.assoc).u32(c.line_bytes).u32(c.hit_latency);
+}
+
+}  // namespace
+
+uint64_t CoreConfig::digest() const {
+  util::Digest d;
+  d.u32(fetch_width).u32(decode_width).u32(recovery_penalty);
+  d.u32(rob_size).u32(issue_width).u32(commit_width).u32(lsq_size);
+  d.u32(num_phys_regs);
+  d.u32(simple_int_units).u32(int_alu_latency).u32(muldiv_units);
+  d.u32(mul_latency).u32(div_latency).u32(branch_latency);
+  d.u32(cache_ports).boolean(wide_bus).u32(wide_bus_loads_per_access);
+  d.u32(agu_latency);
+  mix_cache(d, memory.l1i);
+  mix_cache(d, memory.l1d);
+  mix_cache(d, memory.l2);
+  mix_cache(d, memory.l3);
+  d.u32(memory.memory_latency);
+  d.u32(gshare_entries).u32(gshare_history_bits);
+  d.u8(static_cast<uint8_t>(policy));
+  d.u32(replicas).u32(stridedpc_per_entry);
+  d.u32(srsmt_sets).u32(srsmt_ways);
+  d.u32(stride_sets).u32(stride_ways);
+  d.u32(mbs_sets).u32(mbs_ways);
+  d.u32(nrbq_entries).u32(daec_threshold).u32(ci_select_window);
+  d.u32(replica_reg_reserve).u32(squash_reuse_entries);
+  d.boolean(use_spec_memory);
+  d.u32(spec_memory_slots).u32(spec_memory_latency);
+  d.u32(spec_memory_read_ports).u32(spec_memory_write_ports);
+  d.u64(watchdog_cycles).u64(deadlock_cycles);
+  return d.value();
 }
 
 }  // namespace cfir::core

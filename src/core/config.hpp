@@ -90,6 +90,14 @@ struct CoreConfig {
 
   /// Applies the paper's rule that the window scales with registers >256.
   void scale_window_to_regs();
+
+  /// Deterministic FNV-1a digest over every configuration field, in
+  /// declaration order (util::Digest — stable across hosts). Two configs
+  /// digest equal iff they describe the same experiment point; the sharded
+  /// sampling layers fold this into the manifest config hash so results
+  /// from mismatched configs are rejected at merge time instead of being
+  /// silently averaged (trace/manifest.hpp).
+  [[nodiscard]] uint64_t digest() const;
 };
 
 }  // namespace cfir::core

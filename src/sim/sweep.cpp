@@ -54,6 +54,12 @@ trace::WarmMode env_warm_mode() {
 
 uint64_t env_detail_len() { return env_u64("CFIR_DETAIL_LEN", 0); }
 
+trace::ShardSelection env_shard() {
+  const char* v = std::getenv("CFIR_SHARD");
+  if (v == nullptr || *v == '\0') return trace::ShardSelection{};
+  return trace::parse_shard(v);
+}
+
 void parallel_for(size_t n, const std::function<void(size_t)>& fn,
                   int threads) {
   if (threads <= 0) threads = env_threads();
@@ -164,10 +170,29 @@ std::vector<RunOutcome> run_all(const std::vector<RunSpec>& specs,
           if (spec.intervals > 1) {
             // Intervals of one grid point run sequentially inside this
             // worker; the grid itself is already spread across the pool.
+            // The execute layer runs this spec's shard of the plan (the
+            // whole plan by default); with CFIR_SHARD the grid point
+            // contributes one slice, merged offline with the others.
             const trace::IntervalPlan& plan = plans.at(plan_key(spec));
-            out[i].stats =
-                trace::sampled_run(spec.config, program, plan, /*threads=*/1)
-                    .aggregate;
+            const trace::ShardSelection shard{
+                spec.shard_index, std::max<uint32_t>(1, spec.shard_count)};
+            const trace::ShardResult result = trace::run_shard(
+                spec.config, program, plan, shard, /*threads=*/1);
+            std::vector<stats::WeightedStats> parts;
+            parts.reserve(result.intervals.size());
+            out[i].phases.reserve(result.intervals.size());
+            for (const trace::ShardResult::Interval& iv : result.intervals) {
+              parts.push_back({iv.stats, iv.weight});
+              out[i].phases.push_back(
+                  {iv.start_inst, iv.length, iv.weight, iv.stats});
+            }
+            out[i].stats = stats::merge_shards(parts);
+            if (shard.count == 1) {
+              // Complete coverage: report `halted` like a monolithic run
+              // even when no representative window contains HALT.
+              out[i].stats.halted =
+                  out[i].stats.halted || result.ran_to_halt;
+            }
           } else {
             Simulator sim(spec.config, std::move(program));
             out[i].stats = sim.run(cap);

@@ -13,6 +13,7 @@
 #include "isa/program.hpp"
 #include "stats/stats.hpp"
 #include "trace/sampling.hpp"
+#include "trace/shard.hpp"
 
 namespace cfir::sim {
 
@@ -31,11 +32,31 @@ struct RunSpec {
   trace::WarmMode warm_mode = trace::WarmMode::kDetailed;
   uint64_t detail_len = 0;  ///< measured-slice cap per interval (SMARTS
                             ///< estimator; 0 = whole interval)
+  // Sharded sampling (trace/shard.hpp): run only the intervals of shard
+  // `shard_index` of `shard_count`. With count > 1 the reported stats
+  // cover that shard's intervals only — one slice of the work, meant to be
+  // merged with the other shards' outputs (CFIR_SHARD farms a bench grid
+  // across machines this way).
+  uint32_t shard_index = 0;
+  uint32_t shard_count = 1;
+};
+
+/// One measured interval (= one phase representative in cluster mode) of a
+/// sampled run, surfaced so benches can report per-phase columns next to
+/// the weighted aggregate.
+struct PhaseOutcome {
+  uint64_t start_inst = 0;
+  uint64_t length = 0;
+  double weight = 1.0;
+  stats::SimStats stats;
 };
 
 struct RunOutcome {
   RunSpec spec;
   stats::SimStats stats;
+  /// Per-interval stats when the spec sampled (`intervals > 1`); empty for
+  /// monolithic runs.
+  std::vector<PhaseOutcome> phases;
 };
 
 /// Runs every spec (order preserved in the result). `threads` <= 0 picks
@@ -65,5 +86,8 @@ void parallel_for(size_t n, const std::function<void(size_t)>& fn,
 /// detailed; typos throw (see trace::parse_warm_mode).
 [[nodiscard]] trace::WarmMode env_warm_mode();
 [[nodiscard]] uint64_t env_detail_len();  ///< CFIR_DETAIL_LEN, default 0
+/// CFIR_SHARD ("i/N", e.g. "0/4"), default 0/1 (everything); malformed
+/// specs throw (see trace::parse_shard).
+[[nodiscard]] trace::ShardSelection env_shard();
 
 }  // namespace cfir::sim

@@ -69,6 +69,38 @@ SimStats& SimStats::merge_scaled(const SimStats& other, double weight) {
   return *this;
 }
 
+void serialize(const SimStats& s, util::ByteWriter& out) {
+#define X(field) out.u64(s.field);
+  CFIR_SIMSTATS_COUNTERS(X)
+#undef X
+  out.boolean(s.halted);
+  out.u64(s.regs_in_use_max);
+}
+
+SimStats deserialize_stats(util::ByteReader& in) {
+  SimStats s;
+#define X(field) s.field = in.u64();
+  CFIR_SIMSTATS_COUNTERS(X)
+#undef X
+  s.halted = in.boolean();
+  s.regs_in_use_max = in.u64();
+  return s;
+}
+
+SimStats merge_shards(const std::vector<WeightedStats>& parts) {
+  SimStats aggregate;
+  for (const WeightedStats& part : parts) {
+    // weight 1 folds exactly (merge_scaled would round-trip the counters
+    // through double, which loses bits above 2^53).
+    if (part.weight == 1.0) {
+      aggregate.merge(part.stats);
+    } else {
+      aggregate.merge_scaled(part.stats, part.weight);
+    }
+  }
+  return aggregate;
+}
+
 std::string to_json(const SimStats& s) {
   std::ostringstream os;
   os << '{';

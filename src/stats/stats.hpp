@@ -7,6 +7,8 @@
 #include <string>
 #include <vector>
 
+#include "util/warmable.hpp"
+
 namespace cfir::stats {
 
 // Every additive counter of SimStats, in declaration order. merge(),
@@ -185,6 +187,32 @@ struct SimStats {
   /// aggregate's derived ratios estimate the full-run values.
   SimStats& merge_scaled(const SimStats& other, double weight);
 };
+
+/// Byte serialization of one SimStats block (every X-macro counter in
+/// declaration order, then `halted`, then `regs_in_use_max` — all
+/// little-endian via util::ByteWriter). This is the payload format of the
+/// per-interval stats inside CFIRSHD1 shard-result blobs
+/// (trace/shard.hpp), so shards computed on one machine deserialize
+/// bit-identically on another.
+void serialize(const SimStats& s, util::ByteWriter& out);
+[[nodiscard]] SimStats deserialize_stats(util::ByteReader& in);
+
+/// One measured interval's contribution to a sharded aggregate: the
+/// interval's measured stats and the population weight it stands in for.
+struct WeightedStats {
+  SimStats stats;
+  double weight = 1.0;
+};
+
+/// Merge layer of sharded sampling: folds per-interval contributions into
+/// one aggregate, exactly as the in-process sampler does (merge for weight
+/// 1, merge_scaled otherwise). Each contribution rounds and adds
+/// independently, and integer addition / max / OR commute — so the result
+/// is bit-identical for ANY ordering or grouping of the parts. That
+/// order-independence is what lets intervals be farmed across shards and
+/// machines and still merge back to the single-process answer
+/// (tests/test_stats.cpp locks it with randomized orders).
+[[nodiscard]] SimStats merge_shards(const std::vector<WeightedStats>& parts);
 
 /// Harmonic mean, the average the paper uses for IPC across benchmarks.
 [[nodiscard]] double harmonic_mean(const std::vector<double>& xs);

@@ -6,14 +6,14 @@
 #include <stdexcept>
 
 #include "isa/interpreter.hpp"
+#include "trace/blob.hpp"
+#include "trace/errors.hpp"
 #include "trace/io.hpp"
+#include "util/warmable.hpp"
 
 namespace cfir::trace {
 
 namespace {
-
-using io::get_raw;
-using io::put_raw;
 
 bool all_zero(const uint8_t* data, size_t n) {
   for (size_t i = 0; i < n; ++i) {
@@ -35,19 +35,22 @@ Checkpoint snapshot(const isa::Interpreter& interp,
 }  // namespace
 
 void Checkpoint::save(const std::string& path) const {
+  // Stream pages straight to the file (memory images can be large) and
+  // append the CRC footer with the chunked helper afterwards, like
+  // TraceWriter::finish — never the whole payload in one buffer.
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   if (!out) throw std::runtime_error("Checkpoint: cannot open " + path);
   if (has_warm()) {
     out.write(kCheckpointMagicV2, sizeof(kCheckpointMagicV2));
-    put_raw(out, kCheckpointVersionWarm);
+    io::put_raw(out, kCheckpointVersionWarm);
   } else {
     out.write(kCheckpointMagic, sizeof(kCheckpointMagic));
-    put_raw(out, kCheckpointVersion);
+    io::put_raw(out, kCheckpointVersion);
   }
-  put_raw(out, uint32_t{0});  // reserved
-  put_raw(out, pc);
-  put_raw(out, executed);
-  for (const uint64_t r : regs) put_raw(out, r);
+  io::put_raw(out, uint32_t{0});  // reserved
+  io::put_raw(out, pc);
+  io::put_raw(out, executed);
+  for (const uint64_t r : regs) io::put_raw(out, r);
 
   std::vector<std::pair<uint64_t, const uint8_t*>> pages;
   memory.for_each_page([&](uint64_t base_addr, const uint8_t* data) {
@@ -55,76 +58,76 @@ void Checkpoint::save(const std::string& path) const {
       pages.emplace_back(base_addr, data);
     }
   });
-  put_raw(out, static_cast<uint64_t>(pages.size()));
+  io::put_raw(out, static_cast<uint64_t>(pages.size()));
   for (const auto& [base_addr, data] : pages) {
-    put_raw(out, base_addr);
+    io::put_raw(out, base_addr);
     out.write(reinterpret_cast<const char*>(data),
               mem::MainMemory::kPageSize);
   }
   if (has_warm()) {
-    put_raw(out, static_cast<uint64_t>(warm.size()));
+    io::put_raw(out, static_cast<uint64_t>(warm.size()));
     out.write(reinterpret_cast<const char*>(warm.data()),
               static_cast<std::streamsize>(warm.size()));
   }
   out.close();
   if (!out) throw std::runtime_error("Checkpoint: write failed for " + path);
+  append_crc_footer(path);
 }
 
 Checkpoint Checkpoint::load(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) throw std::runtime_error("Checkpoint: cannot open " + path);
-  char magic[sizeof(kCheckpointMagic)];
-  in.read(magic, sizeof(magic));
+  const std::vector<uint8_t> bytes =
+      read_blob_file(path, "Checkpoint", /*require_footer=*/false);
+  if (bytes.size() < sizeof(kCheckpointMagic)) {
+    throw CorruptFileError("Checkpoint: truncated file " + path);
+  }
   const bool v1 =
-      in && std::memcmp(magic, kCheckpointMagic, sizeof(magic)) == 0;
-  const bool v2 =
-      in && std::memcmp(magic, kCheckpointMagicV2, sizeof(magic)) == 0;
+      std::memcmp(bytes.data(), kCheckpointMagic, sizeof(kCheckpointMagic)) ==
+      0;
+  const bool v2 = std::memcmp(bytes.data(), kCheckpointMagicV2,
+                              sizeof(kCheckpointMagicV2)) == 0;
   if (!v1 && !v2) {
-    throw std::runtime_error("Checkpoint: bad magic in " + path);
+    throw BadMagicError("Checkpoint: bad magic in " + path);
   }
-  const uint32_t version = get_raw<uint32_t>(in);
-  if (version != (v2 ? kCheckpointVersionWarm : kCheckpointVersion)) {
-    throw std::runtime_error("Checkpoint: unsupported version " +
-                             std::to_string(version));
-  }
-  (void)get_raw<uint32_t>(in);  // reserved
+  try {
+    util::ByteReader in(bytes.data() + sizeof(kCheckpointMagic),
+                        bytes.size() - sizeof(kCheckpointMagic));
+    const uint32_t version = in.u32();
+    if (version != (v2 ? kCheckpointVersionWarm : kCheckpointVersion)) {
+      throw VersionError("Checkpoint: unsupported version " +
+                         std::to_string(version) + " in " + path);
+    }
+    (void)in.u32();  // reserved
 
-  Checkpoint ck;
-  ck.pc = get_raw<uint64_t>(in);
-  ck.executed = get_raw<uint64_t>(in);
-  for (auto& r : ck.regs) r = get_raw<uint64_t>(in);
-  const uint64_t page_count = get_raw<uint64_t>(in);
-  std::vector<uint8_t> buf(mem::MainMemory::kPageSize);
-  for (uint64_t p = 0; p < page_count; ++p) {
-    const uint64_t base_addr = get_raw<uint64_t>(in);
-    in.read(reinterpret_cast<char*>(buf.data()),
-            static_cast<std::streamsize>(buf.size()));
-    // Fail fast inside the loop: a corrupt page_count would otherwise spin
-    // for up to 2^64 iterations replaying stale bytes.
-    if (!in) {
-      throw std::runtime_error("Checkpoint: truncated file " + path);
+    Checkpoint ck;
+    ck.pc = in.u64();
+    ck.executed = in.u64();
+    for (auto& r : ck.regs) r = in.u64();
+    const uint64_t page_count = in.u64();
+    std::vector<uint8_t> buf(mem::MainMemory::kPageSize);
+    for (uint64_t p = 0; p < page_count; ++p) {
+      const uint64_t base_addr = in.u64();
+      // ByteReader bounds-checks every read, so a corrupt page_count fails
+      // on the first out-of-range page instead of spinning.
+      in.bytes(buf.data(), buf.size());
+      ck.memory.write_block(base_addr, buf.data(), buf.size());
     }
-    ck.memory.write_block(base_addr, buf.data(), buf.size());
-  }
-  if (v2) {
-    const uint64_t warm_size = get_raw<uint64_t>(in);
-    if (!in) throw std::runtime_error("Checkpoint: truncated file " + path);
-    // Cap pathological sizes before allocating: the blob cannot be larger
-    // than what remains of the file.
-    const auto pos = in.tellg();
-    in.seekg(0, std::ios::end);
-    const auto end = in.tellg();
-    in.seekg(pos);
-    if (pos < 0 || end < pos ||
-        warm_size > static_cast<uint64_t>(end - pos)) {
-      throw std::runtime_error("Checkpoint: truncated warm state in " + path);
+    if (v2) {
+      const uint64_t warm_size = in.u64();
+      if (warm_size > in.remaining()) {
+        throw CorruptFileError("Checkpoint: truncated warm state in " + path);
+      }
+      ck.warm.resize(warm_size);
+      in.bytes(ck.warm.data(), warm_size);
     }
-    ck.warm.resize(warm_size);
-    in.read(reinterpret_cast<char*>(ck.warm.data()),
-            static_cast<std::streamsize>(warm_size));
+    return ck;
+  } catch (const VersionError&) {
+    throw;
+  } catch (const CorruptFileError&) {
+    throw;
+  } catch (const std::exception&) {
+    // ByteReader underflow: the payload ended before the structure did.
+    throw CorruptFileError("Checkpoint: truncated file " + path);
   }
-  if (!in) throw std::runtime_error("Checkpoint: truncated file " + path);
-  return ck;
 }
 
 Checkpoint fast_forward(const isa::Program& program, uint64_t n_insts) {

@@ -17,8 +17,12 @@
 //   ... | u64 warm_size | warm_size bytes
 // so a warmed interval ships as one self-contained artifact: architectural
 // state to resume from plus the predictor/cache state trained over the
-// prefix. save() emits v1 when no warm state is attached (byte-identical
-// with pre-v2 files); load() accepts both versions.
+// prefix. save() emits v1 when no warm state is attached; load() accepts
+// both versions.
+//
+// Either version ends with the shared CRC-32 footer (trace/blob.hpp), so a
+// truncated or bit-flipped checkpoint is rejected at load. Footer-less
+// files written before the footer existed still load.
 #pragma once
 
 #include <array>

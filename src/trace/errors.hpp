@@ -1,0 +1,60 @@
+// Typed failure modes of the binary file formats (trace / checkpoint /
+// manifest / shard blobs). Every reader throws the most specific class that
+// applies, so callers — `trace_tool` in particular — can map failures to
+// distinct exit codes and actionable messages instead of collapsing
+// everything into one generic error. All classes derive from
+// std::runtime_error, so existing catch sites keep working unchanged.
+//
+// trace_tool's exit-code contract (docs/sharding.md "Exit codes"):
+//   2  usage error
+//   3  BadMagicError       — not a CFIR file of the expected kind
+//   4  VersionError        — right kind, unsupported format version
+//   5  ConfigMismatchError — artifacts from incompatible configs/plans
+//   6  CorruptFileError    — truncated file or CRC/structure mismatch
+//   1  anything else
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+
+namespace cfir::trace {
+
+/// Formats a hash for error messages ("0x1b0a735794fb1467").
+[[nodiscard]] inline std::string hex64(uint64_t v) {
+  char buf[2 + 16 + 1];
+  std::snprintf(buf, sizeof(buf), "0x%llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+/// The file does not start with the expected magic string: it is a
+/// different kind of file (or not a CFIR artifact at all).
+class BadMagicError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Recognized magic but a format version this build cannot decode.
+class VersionError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Artifacts whose config hashes disagree were combined — e.g. a shard
+/// result produced under a different core config or interval plan than the
+/// manifest it is being merged against.
+class ConfigMismatchError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Structurally broken file: truncated payload, CRC footer mismatch, or
+/// fields that contradict each other.
+class CorruptFileError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+}  // namespace cfir::trace

@@ -1,0 +1,241 @@
+#include "trace/manifest.hpp"
+
+#include <bit>
+#include <cstring>
+
+#include "trace/blob.hpp"
+#include "trace/errors.hpp"
+#include "util/warmable.hpp"
+
+namespace cfir::trace {
+
+namespace {
+
+/// Directory part of `path` ("" when it has none), used to resolve the
+/// relative checkpoint file names.
+std::string dir_of(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  return slash == std::string::npos ? std::string() : path.substr(0, slash);
+}
+
+std::string resolve(const std::string& manifest_path,
+                    const std::string& name) {
+  const std::string dir = dir_of(manifest_path);
+  return dir.empty() ? name : dir + "/" + name;
+}
+
+std::string basename_of(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  return slash == std::string::npos ? path : path.substr(slash + 1);
+}
+
+void put_string(util::ByteWriter& out, const std::string& s) {
+  out.u32(static_cast<uint32_t>(s.size()));
+  out.bytes(reinterpret_cast<const uint8_t*>(s.data()), s.size());
+}
+
+std::string get_string(util::ByteReader& in, const char* what) {
+  const uint32_t len = in.u32();
+  // Names are short identifiers; a huge length means garbage bytes.
+  if (len > 4096) {
+    throw CorruptFileError(std::string("ShardManifest: corrupt ") + what +
+                           " length " + std::to_string(len));
+  }
+  std::string s(len, '\0');
+  in.bytes(reinterpret_cast<uint8_t*>(s.data()), len);
+  return s;
+}
+
+}  // namespace
+
+std::string path_stem(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  const size_t dot = path.find_last_of('.');
+  if (dot == std::string::npos ||
+      (slash != std::string::npos && dot < slash)) {
+    return path;
+  }
+  return path.substr(0, dot);
+}
+
+std::vector<uint8_t> ShardManifest::serialize() const {
+  util::ByteWriter out;
+  for (const char c : kManifestMagic) out.u8(static_cast<uint8_t>(c));
+  out.u32(kManifestVersion);
+  out.u32(0);  // reserved
+  out.u64(config_hash);
+  out.u8(static_cast<uint8_t>(mode));
+  out.u8(static_cast<uint8_t>(warm_mode));
+  out.u64(warmup);
+  out.u64(total_insts);
+  out.u64(interval_len);
+  out.boolean(ran_to_halt);
+  out.u32(scale);
+  put_string(out, workload);
+  out.u32(static_cast<uint32_t>(intervals.size()));
+  for (const IntervalRef& iv : intervals) {
+    out.u64(iv.start);
+    out.u64(iv.length);
+    out.u64(std::bit_cast<uint64_t>(iv.weight));
+    put_string(out, iv.checkpoint_file);
+  }
+  return out.take();
+}
+
+ShardManifest ShardManifest::deserialize(
+    const std::vector<uint8_t>& payload) {
+  if (payload.size() < sizeof(kManifestMagic) ||
+      std::memcmp(payload.data(), kManifestMagic, sizeof(kManifestMagic)) !=
+          0) {
+    throw BadMagicError("ShardManifest: bad magic (not a CFIRMAN file)");
+  }
+  try {
+    util::ByteReader in(payload.data() + sizeof(kManifestMagic),
+                        payload.size() - sizeof(kManifestMagic));
+    const uint32_t version = in.u32();
+    if (version != kManifestVersion) {
+      throw VersionError("ShardManifest: unsupported version " +
+                         std::to_string(version));
+    }
+    (void)in.u32();  // reserved
+
+    ShardManifest m;
+    m.config_hash = in.u64();
+    m.mode = static_cast<SampleMode>(in.u8());
+    m.warm_mode = static_cast<WarmMode>(in.u8());
+    m.warmup = in.u64();
+    m.total_insts = in.u64();
+    m.interval_len = in.u64();
+    m.ran_to_halt = in.boolean();
+    m.scale = in.u32();
+    m.workload = get_string(in, "workload name");
+    const uint32_t n = in.u32();
+    m.intervals.resize(n);
+    for (IntervalRef& iv : m.intervals) {
+      iv.start = in.u64();
+      iv.length = in.u64();
+      iv.weight = std::bit_cast<double>(in.u64());
+      iv.checkpoint_file = get_string(in, "checkpoint file name");
+    }
+    if (!in.done()) {
+      throw CorruptFileError("ShardManifest: trailing bytes after intervals");
+    }
+    return m;
+  } catch (const VersionError&) {
+    throw;
+  } catch (const CorruptFileError&) {
+    throw;
+  } catch (const std::exception&) {
+    throw CorruptFileError("ShardManifest: truncated payload");
+  }
+}
+
+void ShardManifest::save(const std::string& path) const {
+  write_blob_file(path, serialize());
+}
+
+ShardManifest ShardManifest::load(const std::string& path) {
+  return deserialize(
+      read_blob_file(path, "ShardManifest", /*require_footer=*/true));
+}
+
+uint64_t plan_config_hash(const core::CoreConfig& config,
+                          const std::string& workload, uint32_t scale,
+                          const IntervalPlan& plan) {
+  util::Digest d;
+  d.u64(config.digest());
+  d.u32(static_cast<uint32_t>(workload.size()));
+  d.bytes(reinterpret_cast<const uint8_t*>(workload.data()),
+          workload.size());
+  d.u32(scale);
+  d.u8(static_cast<uint8_t>(plan.mode));
+  d.u8(static_cast<uint8_t>(plan.warm_mode));
+  d.u64(plan.warmup);
+  d.u64(plan.total_insts);
+  d.boolean(plan.ran_to_halt);
+  d.u64(plan.interval_len);
+  d.u32(static_cast<uint32_t>(plan.boundaries.size()));
+  for (size_t i = 0; i < plan.boundaries.size(); ++i) {
+    d.u64(plan.boundaries[i]);
+    d.u64(plan.lengths[i]);
+    d.u64(std::bit_cast<uint64_t>(plan.weights[i]));
+  }
+  return d.value();
+}
+
+ShardManifest write_manifest(const IntervalPlan& plan,
+                             const core::CoreConfig& config,
+                             const std::string& workload, uint32_t scale,
+                             const std::string& manifest_path) {
+  const size_t k = plan.boundaries.size();
+  if (plan.lengths.size() != k || plan.weights.size() != k ||
+      plan.checkpoints.size() != k) {
+    throw std::runtime_error("write_manifest: malformed plan");
+  }
+  ShardManifest m;
+  m.workload = workload;
+  m.scale = scale;
+  m.config_hash = plan_config_hash(config, workload, scale, plan);
+  m.mode = plan.mode;
+  m.warm_mode = plan.warm_mode;
+  m.warmup = plan.warmup;
+  m.total_insts = plan.total_insts;
+  m.interval_len = plan.interval_len;
+  m.ran_to_halt = plan.ran_to_halt;
+
+  const std::string stem = path_stem(manifest_path);
+  m.intervals.resize(k);
+  for (size_t i = 0; i < k; ++i) {
+    ShardManifest::IntervalRef& iv = m.intervals[i];
+    iv.start = plan.boundaries[i];
+    iv.length = plan.lengths[i];
+    iv.weight = plan.weights[i];
+    const std::string ck_path =
+        stem + ".ck" + std::to_string(i) + ".cfirckpt";
+    plan.checkpoints[i].save(ck_path);
+    iv.checkpoint_file = basename_of(ck_path);
+  }
+  m.save(manifest_path);
+  return m;
+}
+
+IntervalPlan plan_from_manifest(const ShardManifest& manifest,
+                                const std::string& manifest_path) {
+  IntervalPlan plan;
+  plan.mode = manifest.mode;
+  plan.warm_mode = manifest.warm_mode;
+  plan.warmup = manifest.warmup;
+  plan.total_insts = manifest.total_insts;
+  plan.interval_len = manifest.interval_len;
+  plan.ran_to_halt = manifest.ran_to_halt;
+  plan.boundaries.reserve(manifest.intervals.size());
+  plan.lengths.reserve(manifest.intervals.size());
+  plan.weights.reserve(manifest.intervals.size());
+  plan.checkpoints.reserve(manifest.intervals.size());
+  for (const ShardManifest::IntervalRef& iv : manifest.intervals) {
+    plan.boundaries.push_back(iv.start);
+    plan.lengths.push_back(iv.length);
+    plan.weights.push_back(iv.weight);
+    plan.checkpoints.push_back(
+        Checkpoint::load(resolve(manifest_path, iv.checkpoint_file)));
+  }
+  return plan;
+}
+
+void verify_manifest_config(const ShardManifest& manifest,
+                            const core::CoreConfig& config,
+                            const IntervalPlan& plan) {
+  const uint64_t expected =
+      plan_config_hash(config, manifest.workload, manifest.scale, plan);
+  if (expected != manifest.config_hash) {
+    throw ConfigMismatchError(
+        "ShardManifest: config hash mismatch — the manifest was planned "
+        "for a different core config or plan (manifest has " +
+        hex64(manifest.config_hash) + ", this run computes " +
+        hex64(expected) +
+        "); re-plan with the current config or run with the one the "
+        "manifest was made for");
+  }
+}
+
+}  // namespace cfir::trace

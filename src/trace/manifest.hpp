@@ -1,0 +1,119 @@
+// Shard manifest — the serialized form of an interval plan, and the "plan"
+// layer of the plan / execute / merge decomposition of sampled simulation
+// (docs/sharding.md):
+//
+//   plan    — plan_intervals / plan_cluster_intervals build an
+//             IntervalPlan; write_manifest freezes it to disk as one
+//             CFIRMAN1 manifest plus one self-contained CFIRCKP checkpoint
+//             blob per interval (warm state included when the plan's warm
+//             mode has a functional prefix).
+//   execute — any machine loads the manifest, rebuilds the plan
+//             (plan_from_manifest) and runs a subset of its intervals
+//             (trace/shard.hpp), emitting one CFIRSHD1 result blob.
+//   merge   — the result blobs fold back into the single-process answer
+//             (trace::merge_shard_results / stats::merge_shards).
+//
+// The manifest records a canonical **config hash** — core::CoreConfig
+// digest + workload identity + the plan structure itself — stamped into
+// every shard result, so results produced under a different config or plan
+// are rejected at merge time (ConfigMismatchError) instead of being
+// silently averaged.
+//
+// File format, version 1 (little-endian, shared CRC-32 footer required —
+// trace/blob.hpp):
+//   magic "CFIRMAN1" | u32 version | u32 reserved
+//   | u64 config_hash
+//   | u8 mode | u8 warm_mode | u64 warmup | u64 total_insts
+//   | u64 interval_len | u8 ran_to_halt
+//   | u32 scale | u32 workload_len | workload bytes
+//   | u32 n_intervals
+//   | n x (u64 start | u64 length | u64 weight_bits(double)
+//          | u32 file_len | checkpoint file name bytes)
+//   | "CRC1" | u32 crc32
+// Checkpoint file names are relative to the manifest's directory, so a
+// manifest and its checkpoints move between machines as one directory.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/config.hpp"
+#include "trace/sampling.hpp"
+
+namespace cfir::trace {
+
+inline constexpr char kManifestMagic[8] = {'C', 'F', 'I', 'R',
+                                           'M', 'A', 'N', '1'};
+inline constexpr uint32_t kManifestVersion = 1;
+
+/// `path` minus its final extension (".cfirman" usually) — the stem the
+/// manifest's sibling artifacts are named from: write_manifest puts
+/// checkpoints at `<stem>.ck<i>.cfirckpt` and trace_tool defaults shard
+/// results to `<stem>.shard<i>of<N>.cfirshd`. One definition so the file
+/// layout cannot drift between the planner and the tools.
+[[nodiscard]] std::string path_stem(const std::string& path);
+
+struct ShardManifest {
+  std::string workload;  ///< cfir::workloads name — rebuilds the program
+  uint32_t scale = 1;
+  uint64_t config_hash = 0;  ///< plan_config_hash at write time
+  SampleMode mode = SampleMode::kUniform;
+  WarmMode warm_mode = WarmMode::kDetailed;
+  uint64_t warmup = 0;
+  uint64_t total_insts = 0;
+  uint64_t interval_len = 0;  ///< cluster mode: source-window length
+  bool ran_to_halt = false;
+
+  struct IntervalRef {
+    uint64_t start = 0;   ///< first measured instruction index
+    uint64_t length = 0;  ///< measured instructions
+    double weight = 1.0;  ///< population this interval stands in for
+    std::string checkpoint_file;  ///< relative to the manifest's directory
+  };
+  std::vector<IntervalRef> intervals;
+
+  /// Payload bytes (no CRC footer). Deterministic: serialize ∘ deserialize
+  /// is the identity on the bytes (fuzz-locked in tests/test_shard.cpp).
+  [[nodiscard]] std::vector<uint8_t> serialize() const;
+  [[nodiscard]] static ShardManifest deserialize(
+      const std::vector<uint8_t>& payload);
+
+  void save(const std::string& path) const;
+  [[nodiscard]] static ShardManifest load(const std::string& path);
+};
+
+/// The canonical config hash: CoreConfig::digest() + workload identity +
+/// the plan's structure (mode, warm mode, boundaries, lengths, weights).
+/// Everything that must agree for two shard results to be mergeable.
+[[nodiscard]] uint64_t plan_config_hash(const core::CoreConfig& config,
+                                        const std::string& workload,
+                                        uint32_t scale,
+                                        const IntervalPlan& plan);
+
+/// Plan layer driver: writes `plan` as `manifest_path` plus one checkpoint
+/// blob per interval next to it (named `<stem>.ck<i>.cfirckpt`), and
+/// returns the manifest. The plan's checkpoints should already carry warm
+/// state when the warm mode needs it (attach_warm_states) so every shard
+/// is self-contained.
+ShardManifest write_manifest(const IntervalPlan& plan,
+                             const core::CoreConfig& config,
+                             const std::string& workload, uint32_t scale,
+                             const std::string& manifest_path);
+
+/// Rebuilds a runnable IntervalPlan from a manifest, loading every
+/// referenced checkpoint relative to the manifest's directory. Cluster
+/// diagnostics (cluster_of, bic_by_k) are not stored and come back empty.
+[[nodiscard]] IntervalPlan plan_from_manifest(const ShardManifest& manifest,
+                                              const std::string&
+                                                  manifest_path);
+
+/// Recomputes the config hash for (`config`, the manifest's workload, the
+/// reloaded `plan`) and throws ConfigMismatchError when it differs from the
+/// manifest's — i.e. the caller is about to execute or merge under a
+/// different experiment point than the plan was made for.
+void verify_manifest_config(const ShardManifest& manifest,
+                            const core::CoreConfig& config,
+                            const IntervalPlan& plan);
+
+}  // namespace cfir::trace

@@ -4,10 +4,9 @@
 #include <stdexcept>
 
 #include "isa/interpreter.hpp"
-#include "sim/simulator.hpp"
-#include "sim/sweep.hpp"
 #include "trace/bbv.hpp"
 #include "trace/cluster.hpp"
+#include "trace/shard.hpp"
 
 namespace cfir::trace {
 
@@ -21,17 +20,6 @@ uint64_t measure_run(const isa::Program& program, uint64_t cap) {
   isa::Interpreter interp(program, memory);
   interp.run(cap);
   return interp.executed();
-}
-
-/// True when the plan's mode runs a detailed warm-up slice before the
-/// measured window (and therefore wants checkpoints captured early).
-bool wants_detailed_warmup(WarmMode mode) {
-  return mode == WarmMode::kDetailed || mode == WarmMode::kHybrid;
-}
-
-/// True when the plan's mode streams a functional prefix.
-bool wants_functional_warm(WarmMode mode) {
-  return mode == WarmMode::kFunctional || mode == WarmMode::kHybrid;
 }
 
 /// Applies the SMARTS measured-slice cap: shortens every interval's
@@ -54,7 +42,7 @@ void apply_detail_cap(IntervalPlan& plan, uint64_t detail_len) {
 /// never underflows) and at the boundary itself otherwise.
 void capture_checkpoints(IntervalPlan& plan, const isa::Program& program) {
   const uint64_t warmup =
-      wants_detailed_warmup(plan.warm_mode) ? plan.warmup : 0;
+      warm_mode_has_detailed_slice(plan.warm_mode) ? plan.warmup : 0;
   std::vector<uint64_t> warm_starts;
   warm_starts.reserve(plan.boundaries.size());
   for (const uint64_t start : plan.boundaries) {
@@ -157,7 +145,7 @@ IntervalPlan plan_cluster_intervals(const isa::Program& program,
 
 void attach_warm_states(IntervalPlan& plan, const core::CoreConfig& config,
                         const isa::Program& program) {
-  if (!wants_functional_warm(plan.warm_mode)) return;
+  if (!warm_mode_has_functional_prefix(plan.warm_mode)) return;
   std::vector<uint64_t> targets;
   targets.reserve(plan.checkpoints.size());
   for (const Checkpoint& ck : plan.checkpoints) {
@@ -173,100 +161,12 @@ void attach_warm_states(IntervalPlan& plan, const core::CoreConfig& config,
 SampledRun sampled_run(const core::CoreConfig& config,
                        const isa::Program& program, const IntervalPlan& plan,
                        int threads) {
-  const size_t k = plan.boundaries.size();
-  if (plan.lengths.size() != k || plan.weights.size() != k ||
-      plan.checkpoints.size() != k) {
-    throw std::runtime_error("sampled_run: malformed plan");
-  }
-  SampledRun result;
-  result.total_insts = plan.total_insts;
-  result.intervals.resize(k);
-  for (size_t i = 0; i < k; ++i) {
-    if (plan.checkpoints[i].executed > plan.boundaries[i]) {
-      throw std::runtime_error(
-          "sampled_run: checkpoint past its interval boundary");
-    }
-    result.intervals[i].start_inst = plan.boundaries[i];
-    result.intervals[i].length = plan.lengths[i];
-    result.intervals[i].weight = plan.weights[i];
-    result.intervals[i].warmup =
-        plan.boundaries[i] - plan.checkpoints[i].executed;
-  }
-
-  // Functional warm state: reuse blobs already attached to the plan's
-  // checkpoints (attach_warm_states / CFIRCKP2), otherwise stream the
-  // committed prefixes once up front — a single interpreter pass snapshots
-  // every interval's warm state, and `warmed_insts` records its coverage.
-  const bool functional = wants_functional_warm(plan.warm_mode);
-  std::vector<std::vector<uint8_t>> warm_blobs;
-  if (functional) {
-    bool attached = true;
-    for (const Checkpoint& ck : plan.checkpoints) {
-      attached = attached && ck.has_warm();
-    }
-    if (!attached) {
-      std::vector<uint64_t> targets;
-      targets.reserve(k);
-      for (const Checkpoint& ck : plan.checkpoints) {
-        targets.push_back(ck.executed);
-      }
-      warm_blobs = capture_warm_states(config, program, targets);
-    }
-    for (size_t i = 0; i < k; ++i) {
-      result.warmed_insts += plan.checkpoints[i].executed;
-    }
-  }
-
-  // Detailed-simulate every interval in parallel. An interval whose
-  // measured window reaches the end of a halting run executes unbounded so
-  // the core retires HALT and reports `halted` like a monolithic run —
-  // even when the window is empty (a program that halts at instruction 0).
-  sim::parallel_for(
-      k,
-      [&](size_t i) {
-        SampledRun::Interval& interval = result.intervals[i];
-        const bool run_to_halt =
-            plan.ran_to_halt &&
-            interval.start_inst + interval.length == plan.total_insts;
-        if (interval.length == 0 && !run_to_halt) return;
-        sim::Simulator sim(config, program, plan.checkpoints[i]);
-        if (functional) {
-          FunctionalWarmer warmer(config, program);
-          warmer.deserialize_state(warm_blobs.empty()
-                                       ? plan.checkpoints[i].warm
-                                       : warm_blobs[i]);
-          warmer.apply_to(sim);
-        }
-        stats::SimStats warm_stats;
-        if (interval.warmup > 0) warm_stats = sim.run(interval.warmup);
-        interval.stats = sim.run(run_to_halt
-                                     ? UINT64_MAX
-                                     : interval.warmup + interval.length);
-        interval.stats.subtract(warm_stats);
-        // Episode counters are only hierarchical (total >= selected >=
-        // reused, a ci::CiMechanism invariant) within one contiguous run.
-        // The warm-up boundary can split an episode — selected during the
-        // warm-up slice, reused in the measured window — so re-clamp the
-        // measured slice: credit that belongs to warm-up state is
-        // discarded with the rest of the warm-up.
-        auto& s = interval.stats;
-        s.ep_ci_selected = std::min(s.ep_ci_selected, s.ep_total);
-        s.ep_ci_reused = std::min(s.ep_ci_reused, s.ep_ci_selected);
-      },
-      threads);
-
-  for (const SampledRun::Interval& interval : result.intervals) {
-    result.detailed_insts += interval.stats.committed + interval.warmup;
-    if (interval.weight == 1.0) {
-      result.aggregate.merge(interval.stats);
-    } else {
-      result.aggregate.merge_scaled(interval.stats, interval.weight);
-    }
-  }
-  // In cluster mode the window containing HALT need not be a
-  // representative; the plan still knows the run halted.
-  result.aggregate.halted = result.aggregate.halted || plan.ran_to_halt;
-  return result;
+  // The single-process run IS the sharded run with one shard covering the
+  // whole plan: execute layer, then merge layer. Farming the same plan
+  // across machines (trace_tool plan / run-shard / merge) walks exactly
+  // this code path and therefore reproduces this result bit for bit.
+  return merge_shard_results(
+      {run_shard(config, program, plan, ShardSelection{}, threads)});
 }
 
 SampledRun sampled_run(const core::CoreConfig& config,

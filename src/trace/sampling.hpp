@@ -31,6 +31,14 @@
 //  - hybrid: functional prefix up to start - W, then a detailed warm-up of
 //    the last W instructions to also warm what functional warming cannot
 //    reach (LSQ, in-flight window, replica streams).
+//
+// Orchestration is layered (docs/sharding.md): this header is the **plan**
+// layer (IntervalPlan and the planners); trace/shard.hpp is the
+// **execute** layer (run any subset of a plan's intervals) and the
+// **merge** layer (fold shard results back into one SampledRun);
+// trace/manifest.hpp freezes a plan to disk so the three layers can run on
+// different machines. sampled_run below is just plan-in-hand execute +
+// merge of the whole plan in one process.
 #pragma once
 
 #include <cstdint>
@@ -145,7 +153,9 @@ void attach_warm_states(IntervalPlan& plan, const core::CoreConfig& config,
 /// each interval per the plan's WarmMode (functional prefixes stream once
 /// up front, detailed warm-up slices run and are subtracted per interval),
 /// and merges the weighted stats (`threads` <= 0 picks CFIR_THREADS /
-/// hardware concurrency).
+/// hardware concurrency). Implemented as trace::run_shard of the whole
+/// plan + trace::merge_shard_results — the same code path a multi-machine
+/// sharded run takes, so the two agree bit for bit.
 [[nodiscard]] SampledRun sampled_run(const core::CoreConfig& config,
                                      const isa::Program& program,
                                      const IntervalPlan& plan,

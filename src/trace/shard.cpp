@@ -1,0 +1,317 @@
+#include "trace/shard.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstring>
+#include <stdexcept>
+
+#include "sim/simulator.hpp"
+#include "sim/sweep.hpp"
+#include "trace/blob.hpp"
+#include "trace/errors.hpp"
+#include "trace/warming.hpp"
+#include "util/warmable.hpp"
+
+namespace cfir::trace {
+
+ShardSelection parse_shard(std::string_view spec) {
+  const size_t slash = spec.find('/');
+  if (slash == std::string_view::npos || slash == 0 ||
+      slash + 1 >= spec.size()) {
+    throw std::runtime_error("parse_shard: expected 'i/N', got '" +
+                             std::string(spec) + "'");
+  }
+  ShardSelection sel;
+  size_t pos = 0;
+  try {
+    sel.index = static_cast<uint32_t>(
+        std::stoul(std::string(spec.substr(0, slash)), &pos));
+    if (pos != slash) throw std::invalid_argument("trailing");
+    sel.count = static_cast<uint32_t>(
+        std::stoul(std::string(spec.substr(slash + 1)), &pos));
+    if (pos != spec.size() - slash - 1) throw std::invalid_argument("trail");
+  } catch (const std::logic_error&) {
+    throw std::runtime_error("parse_shard: expected 'i/N', got '" +
+                             std::string(spec) + "'");
+  }
+  if (sel.count == 0 || sel.index >= sel.count) {
+    throw std::runtime_error("parse_shard: shard index " +
+                             std::to_string(sel.index) +
+                             " out of range for count " +
+                             std::to_string(sel.count));
+  }
+  return sel;
+}
+
+std::vector<uint8_t> ShardResult::serialize() const {
+  util::ByteWriter out;
+  for (const char c : kShardMagic) out.u8(static_cast<uint8_t>(c));
+  out.u32(kShardVersion);
+  out.u32(0);  // reserved
+  out.u64(config_hash);
+  out.u32(shard_index);
+  out.u32(shard_count);
+  out.u32(plan_intervals);
+  out.u64(total_insts);
+  out.boolean(ran_to_halt);
+  out.u64(detailed_insts);
+  out.u64(warmed_insts);
+  out.u32(static_cast<uint32_t>(intervals.size()));
+  for (const Interval& iv : intervals) {
+    out.u32(iv.plan_index);
+    out.u64(iv.start_inst);
+    out.u64(iv.length);
+    out.u64(iv.warmup);
+    out.u64(std::bit_cast<uint64_t>(iv.weight));
+    stats::serialize(iv.stats, out);
+  }
+  return out.take();
+}
+
+ShardResult ShardResult::deserialize(const std::vector<uint8_t>& payload) {
+  if (payload.size() < sizeof(kShardMagic) ||
+      std::memcmp(payload.data(), kShardMagic, sizeof(kShardMagic)) != 0) {
+    throw BadMagicError("ShardResult: bad magic (not a CFIRSHD file)");
+  }
+  try {
+    util::ByteReader in(payload.data() + sizeof(kShardMagic),
+                        payload.size() - sizeof(kShardMagic));
+    const uint32_t version = in.u32();
+    if (version != kShardVersion) {
+      throw VersionError("ShardResult: unsupported version " +
+                         std::to_string(version));
+    }
+    (void)in.u32();  // reserved
+
+    ShardResult r;
+    r.config_hash = in.u64();
+    r.shard_index = in.u32();
+    r.shard_count = in.u32();
+    r.plan_intervals = in.u32();
+    r.total_insts = in.u64();
+    r.ran_to_halt = in.boolean();
+    r.detailed_insts = in.u64();
+    r.warmed_insts = in.u64();
+    const uint32_t n = in.u32();
+    r.intervals.resize(n);
+    for (Interval& iv : r.intervals) {
+      iv.plan_index = in.u32();
+      iv.start_inst = in.u64();
+      iv.length = in.u64();
+      iv.warmup = in.u64();
+      iv.weight = std::bit_cast<double>(in.u64());
+      iv.stats = stats::deserialize_stats(in);
+    }
+    if (!in.done()) {
+      throw CorruptFileError("ShardResult: trailing bytes after intervals");
+    }
+    return r;
+  } catch (const VersionError&) {
+    throw;
+  } catch (const CorruptFileError&) {
+    throw;
+  } catch (const std::exception&) {
+    throw CorruptFileError("ShardResult: truncated payload");
+  }
+}
+
+void ShardResult::save(const std::string& path) const {
+  write_blob_file(path, serialize());
+}
+
+ShardResult ShardResult::load(const std::string& path) {
+  return deserialize(
+      read_blob_file(path, "ShardResult", /*require_footer=*/true));
+}
+
+ShardResult run_shard(const core::CoreConfig& config,
+                      const isa::Program& program, const IntervalPlan& plan,
+                      ShardSelection shard, int threads,
+                      uint64_t config_hash) {
+  const size_t k = plan.boundaries.size();
+  if (plan.lengths.size() != k || plan.weights.size() != k ||
+      plan.checkpoints.size() != k) {
+    throw std::runtime_error("run_shard: malformed plan");
+  }
+  if (shard.count == 0 || shard.index >= shard.count) {
+    throw std::runtime_error("run_shard: shard " +
+                             std::to_string(shard.index) + "/" +
+                             std::to_string(shard.count) + " out of range");
+  }
+
+  ShardResult result;
+  result.config_hash = config_hash;
+  result.shard_index = shard.index;
+  result.shard_count = shard.count;
+  result.plan_intervals = static_cast<uint32_t>(k);
+  result.total_insts = plan.total_insts;
+  result.ran_to_halt = plan.ran_to_halt;
+
+  // This shard's subset, in plan order.
+  std::vector<size_t> mine;
+  for (size_t i = 0; i < k; ++i) {
+    if (shard.covers(i)) mine.push_back(i);
+  }
+  result.intervals.resize(mine.size());
+  for (size_t j = 0; j < mine.size(); ++j) {
+    const size_t i = mine[j];
+    if (plan.checkpoints[i].executed > plan.boundaries[i]) {
+      throw std::runtime_error(
+          "run_shard: checkpoint past its interval boundary");
+    }
+    ShardResult::Interval& iv = result.intervals[j];
+    iv.plan_index = static_cast<uint32_t>(i);
+    iv.start_inst = plan.boundaries[i];
+    iv.length = plan.lengths[i];
+    iv.weight = plan.weights[i];
+    iv.warmup = plan.boundaries[i] - plan.checkpoints[i].executed;
+  }
+
+  // Functional warm state: reuse blobs already attached to the plan's
+  // checkpoints (attach_warm_states / CFIRCKP2 / manifest round trip),
+  // otherwise stream the committed prefixes of THIS shard's intervals once
+  // up front — warm state at instruction N is independent of which other
+  // snapshots the pass takes, so a subset capture matches the full one
+  // bit for bit. `warmed_insts` records the coverage.
+  const bool functional = warm_mode_has_functional_prefix(plan.warm_mode);
+  std::vector<std::vector<uint8_t>> warm_blobs;  // parallel to `mine`
+  if (functional) {
+    bool attached = true;
+    for (const size_t i : mine) {
+      attached = attached && plan.checkpoints[i].has_warm();
+    }
+    if (!attached) {
+      std::vector<uint64_t> targets;
+      targets.reserve(mine.size());
+      for (const size_t i : mine) {
+        targets.push_back(plan.checkpoints[i].executed);
+      }
+      warm_blobs = capture_warm_states(config, program, targets);
+    }
+    for (const size_t i : mine) {
+      result.warmed_insts += plan.checkpoints[i].executed;
+    }
+  }
+
+  // Detailed-simulate the subset in parallel. An interval whose measured
+  // window reaches the end of a halting run executes unbounded so the core
+  // retires HALT and reports `halted` like a monolithic run — even when
+  // the window is empty (a program that halts at instruction 0).
+  sim::parallel_for(
+      mine.size(),
+      [&](size_t j) {
+        const size_t i = mine[j];
+        ShardResult::Interval& interval = result.intervals[j];
+        const bool run_to_halt =
+            plan.ran_to_halt &&
+            interval.start_inst + interval.length == plan.total_insts;
+        if (interval.length == 0 && !run_to_halt) return;
+        sim::Simulator sim(config, program, plan.checkpoints[i]);
+        if (functional) {
+          FunctionalWarmer warmer(config, program);
+          warmer.deserialize_state(warm_blobs.empty()
+                                       ? plan.checkpoints[i].warm
+                                       : warm_blobs[j]);
+          warmer.apply_to(sim);
+        }
+        stats::SimStats warm_stats;
+        if (interval.warmup > 0) warm_stats = sim.run(interval.warmup);
+        interval.stats = sim.run(run_to_halt
+                                     ? UINT64_MAX
+                                     : interval.warmup + interval.length);
+        interval.stats.subtract(warm_stats);
+        // Episode counters are only hierarchical (total >= selected >=
+        // reused, a ci::CiMechanism invariant) within one contiguous run.
+        // The warm-up boundary can split an episode — selected during the
+        // warm-up slice, reused in the measured window — so re-clamp the
+        // measured slice: credit that belongs to warm-up state is
+        // discarded with the rest of the warm-up.
+        auto& s = interval.stats;
+        s.ep_ci_selected = std::min(s.ep_ci_selected, s.ep_total);
+        s.ep_ci_reused = std::min(s.ep_ci_reused, s.ep_ci_selected);
+      },
+      threads);
+
+  for (const ShardResult::Interval& interval : result.intervals) {
+    result.detailed_insts += interval.stats.committed + interval.warmup;
+  }
+  return result;
+}
+
+SampledRun merge_shard_results(const std::vector<ShardResult>& shards) {
+  if (shards.empty()) {
+    throw std::runtime_error("merge_shard_results: no shard results");
+  }
+  const ShardResult& first = shards.front();
+  for (const ShardResult& s : shards) {
+    if (s.config_hash != first.config_hash) {
+      throw ConfigMismatchError(
+          "merge_shard_results: shard " + std::to_string(s.shard_index) +
+          "/" + std::to_string(s.shard_count) +
+          " was produced under a different config or plan (config hash " +
+          hex64(s.config_hash) + " vs " + hex64(first.config_hash) +
+          ") — all shards of one merge must come from the same manifest");
+    }
+    if (s.plan_intervals != first.plan_intervals ||
+        s.total_insts != first.total_insts ||
+        s.ran_to_halt != first.ran_to_halt) {
+      throw CorruptFileError(
+          "merge_shard_results: shard " + std::to_string(s.shard_index) +
+          "/" + std::to_string(s.shard_count) +
+          " disagrees with the other shards about the plan shape");
+    }
+  }
+
+  // Coverage: every plan interval exactly once, in any shard order.
+  std::vector<const ShardResult::Interval*> by_index(first.plan_intervals,
+                                                     nullptr);
+  for (const ShardResult& s : shards) {
+    for (const ShardResult::Interval& iv : s.intervals) {
+      if (iv.plan_index >= first.plan_intervals) {
+        throw CorruptFileError(
+            "merge_shard_results: interval index " +
+            std::to_string(iv.plan_index) + " out of range (plan has " +
+            std::to_string(first.plan_intervals) + ")");
+      }
+      if (by_index[iv.plan_index] != nullptr) {
+        throw CorruptFileError(
+            "merge_shard_results: interval " +
+            std::to_string(iv.plan_index) +
+            " appears in more than one shard result — the same shard was "
+            "merged twice?");
+      }
+      by_index[iv.plan_index] = &iv;
+    }
+  }
+  for (uint32_t i = 0; i < first.plan_intervals; ++i) {
+    if (by_index[i] == nullptr) {
+      throw CorruptFileError(
+          "merge_shard_results: interval " + std::to_string(i) +
+          " is covered by no shard result — merge needs every shard of the "
+          "plan (0/N through N-1/N) exactly once");
+    }
+  }
+
+  SampledRun run;
+  run.total_insts = first.total_insts;
+  run.intervals.reserve(first.plan_intervals);
+  std::vector<stats::WeightedStats> parts;
+  parts.reserve(first.plan_intervals);
+  for (uint32_t i = 0; i < first.plan_intervals; ++i) {
+    const ShardResult::Interval& iv = *by_index[i];
+    run.intervals.push_back({iv.start_inst, iv.length, iv.warmup, iv.weight,
+                             iv.stats});
+    parts.push_back({iv.stats, iv.weight});
+  }
+  for (const ShardResult& s : shards) {
+    run.detailed_insts += s.detailed_insts;
+    run.warmed_insts += s.warmed_insts;
+  }
+  run.aggregate = stats::merge_shards(parts);
+  // In cluster mode the window containing HALT need not be a
+  // representative; the plan still knows the run halted.
+  run.aggregate.halted = run.aggregate.halted || first.ran_to_halt;
+  return run;
+}
+
+}  // namespace cfir::trace

@@ -1,0 +1,114 @@
+// Shard runner and result blobs — the "execute" and "merge" layers of the
+// plan / execute / merge decomposition of sampled simulation
+// (docs/sharding.md; trace/manifest.hpp is the plan layer).
+//
+// A ShardSelection names the subset of a plan's intervals one worker runs:
+// shard i of N takes every interval whose plan index ≡ i (mod N), so
+// consecutive (expensive) intervals spread across shards. run_shard
+// executes that subset — in-process on the sim::parallel_for pool — and
+// returns a ShardResult: the per-interval measured stats plus everything
+// the merge layer needs to validate and fold them. Results serialize as
+// CFIRSHD1 blobs, so N workers on N machines can each run one shard and
+// ship one small file back; merge_shard_results folds any complete set of
+// them into a SampledRun **bit-identical** to the single-process
+// trace::sampled_run (which is itself implemented as run_shard of the
+// whole plan + merge — there is exactly one orchestration code path).
+//
+// File format, version 1 (little-endian, shared CRC-32 footer required —
+// trace/blob.hpp):
+//   magic "CFIRSHD1" | u32 version | u32 reserved
+//   | u64 config_hash | u32 shard_index | u32 shard_count
+//   | u32 plan_intervals | u64 total_insts | u8 ran_to_halt
+//   | u64 detailed_insts | u64 warmed_insts
+//   | u32 n_intervals
+//   | n x (u32 plan_index | u64 start | u64 length | u64 warmup
+//          | u64 weight_bits(double) | SimStats (stats::serialize))
+//   | "CRC1" | u32 crc32
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/config.hpp"
+#include "isa/program.hpp"
+#include "stats/stats.hpp"
+#include "trace/sampling.hpp"
+
+namespace cfir::trace {
+
+inline constexpr char kShardMagic[8] = {'C', 'F', 'I', 'R',
+                                        'S', 'H', 'D', '1'};
+inline constexpr uint32_t kShardVersion = 1;
+
+/// Shard `index` of `count`: the intervals whose plan index ≡ index
+/// (mod count). The default selection {0, 1} is the whole plan.
+struct ShardSelection {
+  uint32_t index = 0;
+  uint32_t count = 1;
+
+  [[nodiscard]] bool covers(size_t plan_index) const {
+    return plan_index % count == index;
+  }
+};
+
+/// Parses "i/N" (e.g. "0/4"); throws std::runtime_error on malformed specs
+/// or i >= N, so a typo'd --shard flag fails loudly.
+[[nodiscard]] ShardSelection parse_shard(std::string_view spec);
+
+struct ShardResult {
+  uint64_t config_hash = 0;   ///< stamped from the manifest (0 in-process)
+  uint32_t shard_index = 0;
+  uint32_t shard_count = 1;
+  uint32_t plan_intervals = 0;  ///< intervals in the whole plan (coverage)
+  uint64_t total_insts = 0;     ///< instructions the plan covers
+  bool ran_to_halt = false;
+  uint64_t detailed_insts = 0;  ///< this shard's detailed-simulation cost
+  uint64_t warmed_insts = 0;    ///< this shard's functionally warmed insts
+
+  struct Interval {
+    uint32_t plan_index = 0;  ///< position in the plan (coverage + ordering)
+    uint64_t start_inst = 0;
+    uint64_t length = 0;
+    uint64_t warmup = 0;
+    double weight = 1.0;
+    stats::SimStats stats;  ///< measured slice only (warm-up subtracted)
+  };
+  std::vector<Interval> intervals;
+
+  /// Payload bytes (no CRC footer); deserialize ∘ serialize is the
+  /// identity (fuzz-locked in tests/test_shard.cpp).
+  [[nodiscard]] std::vector<uint8_t> serialize() const;
+  [[nodiscard]] static ShardResult deserialize(
+      const std::vector<uint8_t>& payload);
+
+  void save(const std::string& path) const;
+  [[nodiscard]] static ShardResult load(const std::string& path);
+};
+
+/// Execute layer: detail-simulates `shard`'s subset of `plan`'s intervals
+/// in parallel under `config` (`threads` <= 0 picks CFIR_THREADS /
+/// hardware concurrency), warming each interval per the plan's WarmMode —
+/// functional prefixes reuse warm state already attached to the plan's
+/// checkpoints (CFIRCKP2) and are captured in one streaming pass
+/// otherwise. `config_hash` is stamped into the result for merge-time
+/// validation; pass the manifest's hash when executing a manifest-derived
+/// plan.
+[[nodiscard]] ShardResult run_shard(const core::CoreConfig& config,
+                                    const isa::Program& program,
+                                    const IntervalPlan& plan,
+                                    ShardSelection shard = {},
+                                    int threads = 0,
+                                    uint64_t config_hash = 0);
+
+/// Merge layer: folds a complete set of shard results back into one
+/// SampledRun. Validates that every result carries the same config hash
+/// (ConfigMismatchError otherwise) and that the results cover every plan
+/// interval exactly once (CorruptFileError otherwise). The aggregate is
+/// bit-identical to the single-process sampled_run of the same plan,
+/// regardless of shard count or merge order (stats::merge_shards).
+[[nodiscard]] SampledRun merge_shard_results(
+    const std::vector<ShardResult>& shards);
+
+}  // namespace cfir::trace

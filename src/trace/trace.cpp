@@ -6,6 +6,8 @@
 #include <stdexcept>
 
 #include "mem/main_memory.hpp"
+#include "trace/blob.hpp"
+#include "trace/errors.hpp"
 #include "trace/io.hpp"
 
 namespace cfir::trace {
@@ -54,6 +56,7 @@ std::string env_trace_dir() {
 
 TraceWriter::TraceWriter(const std::string& path, const TraceMeta& meta)
     : out_(path, std::ios::binary | std::ios::trunc),
+      path_(path),
       prev_pc_(meta.base_pc),
       base_pc_(meta.base_pc) {
   if (!out_) {
@@ -124,6 +127,9 @@ void TraceWriter::finish(
   for (const uint64_t r : final_regs) put_raw(out_, r);
   out_.close();
   if (!out_) throw std::runtime_error("TraceWriter: write failed");
+  // The checksum covers the patched header, so it can only be computed now
+  // that the bytes are final.
+  append_crc_footer(path_);
   finished_ = true;
 }
 
@@ -134,15 +140,19 @@ void TraceWriter::finish(
 TraceReader::TraceReader(const std::string& path)
     : in_(path, std::ios::binary) {
   if (!in_) throw std::runtime_error("TraceReader: cannot open " + path);
+  // Verify the CRC footer (when present) before decoding anything; the
+  // record stream below is bounded by record_count, so the footer bytes are
+  // never consumed as records.
+  verify_crc_footer(path, "TraceReader");
   char magic[sizeof(kTraceMagic)];
   in_.read(magic, sizeof(magic));
   if (!in_ || std::memcmp(magic, kTraceMagic, sizeof(magic)) != 0) {
-    throw std::runtime_error("TraceReader: bad magic in " + path);
+    throw BadMagicError("TraceReader: bad magic in " + path);
   }
   const uint32_t version = get_raw<uint32_t>(in_);
   if (version != kTraceVersion) {
-    throw std::runtime_error("TraceReader: unsupported version " +
-                             std::to_string(version));
+    throw VersionError("TraceReader: unsupported version " +
+                       std::to_string(version) + " in " + path);
   }
   (void)get_raw<uint32_t>(in_);  // reserved
   record_count_ = get_raw<uint64_t>(in_);

@@ -27,7 +27,9 @@
 // `record_count`, `final_digest` and the final registers are patched into
 // the header by TraceWriter::finish, so a trace file is self-validating:
 // replay can check the reconstructed architectural state without re-running
-// the original simulation.
+// the original simulation. finish() then appends the shared CRC-32 footer
+// (trace/blob.hpp), verified by TraceReader at open; footer-less files
+// written before the footer existed still load.
 #pragma once
 
 #include <array>
@@ -98,6 +100,7 @@ class TraceWriter {
   void put_varint(uint64_t v);
 
   std::ofstream out_;
+  std::string path_;  ///< finish() re-reads the file to append the CRC footer
   uint64_t records_ = 0;
   uint64_t prev_pc_;     ///< pc of the previous record
   bool have_prev_ = false;

@@ -54,6 +54,17 @@ enum class WarmMode : uint8_t {
 /// a misspelled knob fails loudly instead of silently running cold.
 [[nodiscard]] WarmMode parse_warm_mode(std::string_view name);
 
+/// True when `mode` runs a detailed warm-up slice before the measured
+/// window (and therefore wants checkpoints captured `warmup` insts early).
+[[nodiscard]] constexpr bool warm_mode_has_detailed_slice(WarmMode mode) {
+  return mode == WarmMode::kDetailed || mode == WarmMode::kHybrid;
+}
+
+/// True when `mode` streams a functional prefix through predictors/caches.
+[[nodiscard]] constexpr bool warm_mode_has_functional_prefix(WarmMode mode) {
+  return mode == WarmMode::kFunctional || mode == WarmMode::kHybrid;
+}
+
 class FunctionalWarmer {
  public:
   /// Components are sized from `config` exactly as the detailed core sizes

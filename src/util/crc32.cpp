@@ -1,0 +1,36 @@
+#include "util/crc32.hpp"
+
+#include <array>
+
+namespace cfir::util {
+
+namespace {
+
+constexpr uint32_t kPoly = 0xEDB88320u;
+
+constexpr std::array<uint32_t, 256> make_table() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      c = (c & 1u) != 0 ? (c >> 1) ^ kPoly : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+constexpr std::array<uint32_t, 256> kTable = make_table();
+
+}  // namespace
+
+uint32_t crc32(const void* data, size_t n, uint32_t seed) {
+  const auto* p = static_cast<const uint8_t*>(data);
+  uint32_t c = ~seed;
+  for (size_t i = 0; i < n; ++i) {
+    c = kTable[(c ^ p[i]) & 0xffu] ^ (c >> 8);
+  }
+  return ~c;
+}
+
+}  // namespace cfir::util

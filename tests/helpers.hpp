@@ -8,8 +8,25 @@
 
 #include "isa/assembler.hpp"
 #include "isa/program.hpp"
+#include "stats/stats.hpp"
 
 namespace cfir::testing {
+
+/// A SimStats block with every X-macro counter (and the two non-additive
+/// fields) randomized — shared by the merge-algebra and blob round-trip
+/// tests so the field coverage cannot drift between suites when SimStats
+/// grows a field. `counter_cap` bounds the counters (keep it far below
+/// 2^53 so merge_scaled's double round trip stays exact).
+inline stats::SimStats random_sim_stats(std::mt19937_64& gen,
+                                        uint64_t counter_cap = 1000000) {
+  stats::SimStats s;
+#define X(field) s.field = gen() % counter_cap;
+  CFIR_SIMSTATS_COUNTERS(X)
+#undef X
+  s.halted = (gen() & 1) != 0;
+  s.regs_in_use_max = gen() % 512;
+  return s;
+}
 
 /// The code of Figure 1, scaled: walks `n` words, counts zeros/non-zeros
 /// and accumulates the sum. `p_zero_percent` controls branch difficulty.

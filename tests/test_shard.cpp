@@ -1,0 +1,396 @@
+// The plan / execute / merge decomposition of sampled simulation
+// (trace/manifest.hpp, trace/shard.hpp):
+//
+//  - manifest and shard-result blobs are byte-stable across
+//    serialize -> deserialize -> re-serialize (shards exchanged between
+//    machines must not mutate in flight) and reject corruption with the
+//    typed errors trace_tool maps to exit codes;
+//  - running a plan's intervals as N shards and merging the results is
+//    bit-identical to the single-process trace::sampled_run, for any N,
+//    any merge order, and through the full manifest-file round trip —
+//    the acceptance matrix covers bzip2/parser/twolf s8 under functional
+//    warming;
+//  - mismatched configs and incomplete/duplicate shard sets are rejected
+//    at merge time instead of silently skewing the aggregate.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "helpers.hpp"
+#include "sim/presets.hpp"
+#include "trace/errors.hpp"
+#include "trace/manifest.hpp"
+#include "trace/sampling.hpp"
+#include "trace/shard.hpp"
+#include "workloads/workloads.hpp"
+
+namespace cfir::trace {
+namespace {
+
+class TempFile {
+ public:
+  explicit TempFile(const std::string& tag)
+      : path_(::testing::TempDir() + "cfir_shard_" + tag + ".bin") {}
+  ~TempFile() { std::remove(path_.c_str()); }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+/// A manifest written by write_manifest plus its checkpoint blobs, all
+/// removed on destruction.
+class TempManifest {
+ public:
+  TempManifest(const IntervalPlan& plan, const core::CoreConfig& config,
+               const std::string& workload, uint32_t scale,
+               const std::string& tag)
+      : path_(::testing::TempDir() + "cfir_man_" + tag + ".cfirman"),
+        manifest_(write_manifest(plan, config, workload, scale, path_)) {}
+  ~TempManifest() {
+    std::remove(path_.c_str());
+    const std::string dir =
+        path_.substr(0, path_.find_last_of('/') + 1);
+    for (const auto& iv : manifest_.intervals) {
+      std::remove((dir + iv.checkpoint_file).c_str());
+    }
+  }
+  [[nodiscard]] const std::string& path() const { return path_; }
+  [[nodiscard]] const ShardManifest& manifest() const { return manifest_; }
+
+ private:
+  std::string path_;
+  ShardManifest manifest_;
+};
+
+ShardManifest random_manifest(uint64_t seed) {
+  std::mt19937_64 gen(seed);
+  ShardManifest m;
+  m.workload = "wl" + std::to_string(gen() % 1000);
+  m.scale = static_cast<uint32_t>(gen() % 16 + 1);
+  m.config_hash = gen();
+  m.mode = (gen() & 1) != 0 ? SampleMode::kCluster : SampleMode::kUniform;
+  m.warm_mode = static_cast<WarmMode>(gen() % 4);
+  m.warmup = gen() % 100000;
+  m.total_insts = gen();
+  m.interval_len = gen() % 100000;
+  m.ran_to_halt = (gen() & 1) != 0;
+  const size_t n = gen() % 8;
+  m.intervals.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    m.intervals[i].start = gen();
+    m.intervals[i].length = gen();
+    m.intervals[i].weight =
+        static_cast<double>(gen() % 10000) / 16.0;  // exact in binary
+    m.intervals[i].checkpoint_file = "ck" + std::to_string(i) + ".cfirckpt";
+  }
+  return m;
+}
+
+ShardResult random_shard_result(uint64_t seed) {
+  std::mt19937_64 gen(seed);
+  ShardResult r;
+  r.config_hash = gen();
+  r.shard_count = static_cast<uint32_t>(gen() % 7 + 1);
+  r.shard_index = static_cast<uint32_t>(gen() % r.shard_count);
+  r.plan_intervals = static_cast<uint32_t>(gen() % 16 + 1);
+  r.total_insts = gen();
+  r.ran_to_halt = (gen() & 1) != 0;
+  r.detailed_insts = gen() % 1000000;
+  r.warmed_insts = gen() % 1000000;
+  const size_t n = gen() % 5;
+  r.intervals.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    r.intervals[i].plan_index = static_cast<uint32_t>(gen() % 16);
+    r.intervals[i].start_inst = gen();
+    r.intervals[i].length = gen();
+    r.intervals[i].warmup = gen() % 10000;
+    r.intervals[i].weight = static_cast<double>(gen() % 10000) / 16.0;
+    r.intervals[i].stats = cfir::testing::random_sim_stats(gen);
+  }
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// Blob byte stability and corruption rejection
+// ---------------------------------------------------------------------------
+
+TEST(ShardManifestBlob, FuzzSerializeDeserializeReserializeStable) {
+  for (uint64_t seed = 1; seed <= 16; ++seed) {
+    const ShardManifest m = random_manifest(seed);
+    const std::vector<uint8_t> first = m.serialize();
+    const ShardManifest loaded = ShardManifest::deserialize(first);
+    EXPECT_EQ(loaded.workload, m.workload) << "seed " << seed;
+    EXPECT_EQ(loaded.config_hash, m.config_hash) << "seed " << seed;
+    EXPECT_EQ(loaded.intervals.size(), m.intervals.size())
+        << "seed " << seed;
+    EXPECT_EQ(loaded.serialize(), first) << "seed " << seed;
+  }
+}
+
+TEST(ShardManifestBlob, FileRoundTripVerifiesCrc) {
+  const ShardManifest m = random_manifest(7);
+  TempFile file("man_crc");
+  m.save(file.path());
+  const ShardManifest loaded = ShardManifest::load(file.path());
+  EXPECT_EQ(loaded.serialize(), m.serialize());
+
+  // Flip one payload byte: the CRC footer must catch it.
+  std::vector<uint8_t> bytes = m.serialize();
+  {
+    std::FILE* f = std::fopen(file.path().c_str(), "rb+");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, 12, SEEK_SET);
+    std::fputc(0xA5, f);
+    std::fclose(f);
+  }
+  EXPECT_THROW((void)ShardManifest::load(file.path()), CorruptFileError);
+}
+
+TEST(ShardManifestBlob, TruncationAndWrongKindRejected) {
+  const ShardManifest m = random_manifest(9);
+  std::vector<uint8_t> payload = m.serialize();
+
+  std::vector<uint8_t> truncated(payload.begin(), payload.begin() + 24);
+  EXPECT_THROW((void)ShardManifest::deserialize(truncated), CorruptFileError);
+
+  std::vector<uint8_t> wrong = payload;
+  wrong[0] = 'X';
+  EXPECT_THROW((void)ShardManifest::deserialize(wrong), BadMagicError);
+
+  std::vector<uint8_t> vers = payload;
+  vers[8] = 99;  // u32 version little-endian LSB
+  EXPECT_THROW((void)ShardManifest::deserialize(vers), VersionError);
+
+  // A file missing its (mandatory) footer is rejected even when the
+  // payload itself is intact.
+  TempFile file("man_nofooter");
+  {
+    std::FILE* f = std::fopen(file.path().c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fwrite(payload.data(), 1, payload.size(), f);
+    std::fclose(f);
+  }
+  EXPECT_THROW((void)ShardManifest::load(file.path()), CorruptFileError);
+}
+
+TEST(ShardResultBlob, FuzzSerializeDeserializeReserializeStable) {
+  for (uint64_t seed = 1; seed <= 16; ++seed) {
+    const ShardResult r = random_shard_result(seed);
+    const std::vector<uint8_t> first = r.serialize();
+    const ShardResult loaded = ShardResult::deserialize(first);
+    EXPECT_EQ(loaded.config_hash, r.config_hash) << "seed " << seed;
+    EXPECT_EQ(loaded.intervals.size(), r.intervals.size())
+        << "seed " << seed;
+    for (size_t i = 0; i < r.intervals.size(); ++i) {
+      EXPECT_EQ(stats::to_json(loaded.intervals[i].stats),
+                stats::to_json(r.intervals[i].stats))
+          << "seed " << seed << " interval " << i;
+    }
+    EXPECT_EQ(loaded.serialize(), first) << "seed " << seed;
+  }
+}
+
+TEST(ShardResultBlob, WrongKindAndVersionRejected) {
+  const ShardResult r = random_shard_result(3);
+  std::vector<uint8_t> payload = r.serialize();
+  std::vector<uint8_t> wrong = payload;
+  wrong[3] = 'Z';
+  EXPECT_THROW((void)ShardResult::deserialize(wrong), BadMagicError);
+  std::vector<uint8_t> vers = payload;
+  vers[8] = 2;
+  EXPECT_THROW((void)ShardResult::deserialize(vers), VersionError);
+  payload.resize(payload.size() / 2);
+  EXPECT_THROW((void)ShardResult::deserialize(payload), CorruptFileError);
+}
+
+TEST(ParseShard, AcceptsValidRejectsMalformed) {
+  const ShardSelection s = parse_shard("2/5");
+  EXPECT_EQ(s.index, 2u);
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_TRUE(s.covers(2));
+  EXPECT_TRUE(s.covers(7));
+  EXPECT_FALSE(s.covers(3));
+  EXPECT_THROW((void)parse_shard("5/5"), std::runtime_error);
+  EXPECT_THROW((void)parse_shard("0"), std::runtime_error);
+  EXPECT_THROW((void)parse_shard("a/b"), std::runtime_error);
+  EXPECT_THROW((void)parse_shard("1/0"), std::runtime_error);
+  EXPECT_THROW((void)parse_shard("1/2x"), std::runtime_error);
+}
+
+// ---------------------------------------------------------------------------
+// Sharded == unsharded
+// ---------------------------------------------------------------------------
+
+/// Every per-interval stat block and the aggregate must match bit for bit.
+void expect_same_run(const SampledRun& a, const SampledRun& b,
+                     const std::string& label) {
+  ASSERT_EQ(a.intervals.size(), b.intervals.size()) << label;
+  for (size_t i = 0; i < a.intervals.size(); ++i) {
+    EXPECT_EQ(a.intervals[i].start_inst, b.intervals[i].start_inst)
+        << label << " interval " << i;
+    EXPECT_EQ(a.intervals[i].warmup, b.intervals[i].warmup)
+        << label << " interval " << i;
+    EXPECT_EQ(stats::to_json(a.intervals[i].stats),
+              stats::to_json(b.intervals[i].stats))
+        << label << " interval " << i;
+  }
+  EXPECT_EQ(a.total_insts, b.total_insts) << label;
+  EXPECT_EQ(a.detailed_insts, b.detailed_insts) << label;
+  EXPECT_EQ(a.warmed_insts, b.warmed_insts) << label;
+  EXPECT_EQ(stats::to_json(a.aggregate), stats::to_json(b.aggregate))
+      << label;
+}
+
+TEST(ShardedRun, AnyShardCountMergesBitIdentical) {
+  const core::CoreConfig config = sim::presets::ci(2, 512);
+  const isa::Program program = workloads::build("bzip2", 1);
+  const IntervalPlan plan =
+      plan_intervals(program, 5, /*max_insts=*/40000, /*warmup=*/500,
+                     WarmMode::kDetailed);
+  const SampledRun reference = sampled_run(config, program, plan);
+
+  for (const uint32_t n : {2u, 3u, 5u}) {
+    std::vector<ShardResult> shards;
+    for (uint32_t i = 0; i < n; ++i) {
+      shards.push_back(
+          run_shard(config, program, plan, ShardSelection{i, n}));
+    }
+    // Merge order must not matter: reverse the shard list.
+    std::reverse(shards.begin(), shards.end());
+    expect_same_run(merge_shard_results(shards), reference,
+                    "N=" + std::to_string(n));
+  }
+}
+
+TEST(ShardedRun, SerializedShardsMergeBitIdentical) {
+  // The full wire path: each shard result passes through its CFIRSHD1 blob
+  // before merging, as it would between machines.
+  const core::CoreConfig config = sim::presets::ci(2, 512);
+  const isa::Program program = workloads::build("parser", 1);
+
+  ClusterPlanOptions opts;
+  opts.n_intervals = 8;
+  opts.max_k = 3;
+  opts.warm_mode = WarmMode::kFunctional;
+  opts.detail_len = 1500;
+  opts.max_insts = 40000;
+  IntervalPlan plan = plan_cluster_intervals(program, opts);
+  attach_warm_states(plan, config, program);
+  const SampledRun reference = sampled_run(config, program, plan);
+
+  std::vector<ShardResult> shards;
+  for (uint32_t i = 0; i < 2; ++i) {
+    const ShardResult r =
+        run_shard(config, program, plan, ShardSelection{i, 2});
+    TempFile file("wire" + std::to_string(i));
+    r.save(file.path());
+    shards.push_back(ShardResult::load(file.path()));
+  }
+  expect_same_run(merge_shard_results(shards), reference, "wire");
+}
+
+TEST(ShardedRun, ManifestRoundTripRunsBitIdentical) {
+  // Plan layer to disk and back: a plan reloaded from its manifest (with
+  // warm state riding in the CFIRCKP2 checkpoints) must reproduce the
+  // in-memory plan's sampled run exactly, and the config hash must accept
+  // the planning config and reject others.
+  const core::CoreConfig config = sim::presets::ci(2, 512);
+  const isa::Program program = workloads::build("twolf", 1);
+
+  ClusterPlanOptions opts;
+  opts.n_intervals = 8;
+  opts.max_k = 3;
+  opts.warm_mode = WarmMode::kHybrid;
+  opts.warmup = 300;
+  opts.detail_len = 1500;
+  opts.max_insts = 40000;
+  IntervalPlan plan = plan_cluster_intervals(program, opts);
+  attach_warm_states(plan, config, program);
+  const SampledRun reference = sampled_run(config, program, plan);
+
+  TempManifest tm(plan, config, "twolf", 1, "roundtrip");
+  const ShardManifest manifest = ShardManifest::load(tm.path());
+  EXPECT_EQ(manifest.config_hash, tm.manifest().config_hash);
+
+  const IntervalPlan reloaded = plan_from_manifest(manifest, tm.path());
+  verify_manifest_config(manifest, config, reloaded);  // must not throw
+
+  core::CoreConfig other = config;
+  other.num_phys_regs = 256;
+  EXPECT_THROW(verify_manifest_config(manifest, other, reloaded),
+               ConfigMismatchError);
+
+  std::vector<ShardResult> shards;
+  for (uint32_t i = 0; i < 2; ++i) {
+    shards.push_back(run_shard(config, program, reloaded,
+                               ShardSelection{i, 2}, /*threads=*/0,
+                               manifest.config_hash));
+  }
+  expect_same_run(merge_shard_results(shards), reference, "manifest");
+}
+
+TEST(ShardedRun, MergeRejectsIncompleteDuplicateAndMismatched) {
+  const core::CoreConfig config = sim::presets::ci(2, 512);
+  const isa::Program program = workloads::build("bzip2", 1);
+  const IntervalPlan plan = plan_intervals(program, 4, 20000);
+
+  const ShardResult s0 =
+      run_shard(config, program, plan, ShardSelection{0, 2});
+  const ShardResult s1 =
+      run_shard(config, program, plan, ShardSelection{1, 2});
+
+  EXPECT_THROW((void)merge_shard_results({s0}), CorruptFileError);       // missing
+  EXPECT_THROW((void)merge_shard_results({s0, s0}), CorruptFileError);   // dup
+  ShardResult tampered = s1;
+  tampered.config_hash = 0xDEADBEEF;
+  EXPECT_THROW((void)merge_shard_results({s0, tampered}), ConfigMismatchError);
+  EXPECT_NO_THROW((void)merge_shard_results({s0, s1}));
+  EXPECT_NO_THROW((void)merge_shard_results({s1, s0}));  // any order
+}
+
+// ---------------------------------------------------------------------------
+// Acceptance: the ISSUE 4 matrix — bzip2/parser/twolf s8, functional
+// warming, sharded pipeline bit-identical to single-process sampled_run.
+// ---------------------------------------------------------------------------
+
+void expect_acceptance(const std::string& workload) {
+  const core::CoreConfig config = sim::presets::ci(2, 512);
+  const isa::Program program = workloads::build(workload, 8);
+
+  ClusterPlanOptions opts;
+  opts.n_intervals = 16;
+  opts.max_k = 4;
+  opts.warm_mode = WarmMode::kFunctional;
+  opts.detail_len = 2000;
+  IntervalPlan plan = plan_cluster_intervals(program, opts);
+  attach_warm_states(plan, config, program);
+  const SampledRun reference = sampled_run(config, program, plan);
+
+  TempManifest tm(plan, config, workload, 8, "acc_" + workload);
+  const ShardManifest manifest = ShardManifest::load(tm.path());
+  const IntervalPlan reloaded = plan_from_manifest(manifest, tm.path());
+  verify_manifest_config(manifest, config, reloaded);
+
+  std::vector<ShardResult> shards;
+  for (uint32_t i = 0; i < 2; ++i) {
+    const ShardResult r = run_shard(config, program, reloaded,
+                                    ShardSelection{i, 2}, /*threads=*/0,
+                                    manifest.config_hash);
+    TempFile file("acc_" + workload + std::to_string(i));
+    r.save(file.path());
+    shards.push_back(ShardResult::load(file.path()));
+  }
+  expect_same_run(merge_shard_results(shards), reference, workload + " s8");
+}
+
+TEST(ShardAcceptance, Bzip2S8Functional) { expect_acceptance("bzip2"); }
+TEST(ShardAcceptance, ParserS8Functional) { expect_acceptance("parser"); }
+TEST(ShardAcceptance, TwolfS8Functional) { expect_acceptance("twolf"); }
+
+}  // namespace
+}  // namespace cfir::trace

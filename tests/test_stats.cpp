@@ -3,8 +3,18 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <random>
+#include <vector>
+
+#include "helpers.hpp"
+
 namespace cfir::stats {
 namespace {
+
+SimStats random_stats(std::mt19937_64& gen) {
+  return cfir::testing::random_sim_stats(gen);
+}
 
 TEST(Stats, DerivedQuantities) {
   SimStats s;
@@ -148,6 +158,85 @@ TEST(Stats, MergeWithDefaultIsIdentity) {
   EXPECT_EQ(a.cycles, copy.cycles);
   EXPECT_EQ(a.committed, copy.committed);
   EXPECT_TRUE(a.halted);
+}
+
+TEST(Stats, MergeIsOrderIndependentRandomized) {
+  // The merge algebra behind sharded sampling: counters add, halted ORs,
+  // regs_in_use_max maxes — all commutative — so folding the same interval
+  // stats in ANY order must produce the bit-identical aggregate. Shards
+  // arrive from other machines in arbitrary order; this is what makes the
+  // merged report reproducible.
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    std::mt19937_64 gen(seed);
+    std::vector<SimStats> parts;
+    for (int i = 0; i < 9; ++i) parts.push_back(random_stats(gen));
+
+    SimStats forward;
+    for (const SimStats& p : parts) forward.merge(p);
+    const std::string expected = to_json(forward);
+
+    for (int shuffle = 0; shuffle < 4; ++shuffle) {
+      std::shuffle(parts.begin(), parts.end(), gen);
+      SimStats folded;
+      for (const SimStats& p : parts) folded.merge(p);
+      EXPECT_EQ(to_json(folded), expected)
+          << "seed " << seed << " shuffle " << shuffle;
+    }
+  }
+}
+
+TEST(Stats, MergeScaledIsAssociativeAcrossGroupings) {
+  // Weighted contributions round (llround) independently and then add, so
+  // folding parts into per-shard sub-aggregates and merging those must
+  // equal folding everything into one accumulator — the property that
+  // makes shard boundaries invisible in the merged result.
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    std::mt19937_64 gen(seed);
+    std::vector<SimStats> parts;
+    std::vector<double> weights;
+    for (int i = 0; i < 10; ++i) {
+      parts.push_back(random_stats(gen));
+      // Mix of unit and fractional weights, like a cluster plan's.
+      weights.push_back(i % 3 == 0 ? 1.0
+                                   : static_cast<double>(gen() % 64 + 1) /
+                                         8.0);
+    }
+
+    SimStats all;
+    for (int i = 0; i < 10; ++i) all.merge_scaled(parts[i], weights[i]);
+
+    SimStats shard_a, shard_b;
+    for (int i = 0; i < 10; ++i) {
+      (i % 2 == 0 ? shard_a : shard_b).merge_scaled(parts[i], weights[i]);
+    }
+    SimStats regrouped = shard_a;
+    regrouped.merge(shard_b);
+    EXPECT_EQ(to_json(regrouped), to_json(all)) << "seed " << seed;
+
+    // merge_shards (weight-1 fast path included) agrees with the manual
+    // fold.
+    std::vector<WeightedStats> wparts;
+    for (int i = 0; i < 10; ++i) wparts.push_back({parts[i], weights[i]});
+    EXPECT_EQ(to_json(merge_shards(wparts)), to_json(all))
+        << "seed " << seed;
+    std::mt19937_64 order(seed);
+    std::shuffle(wparts.begin(), wparts.end(), order);
+    EXPECT_EQ(to_json(merge_shards(wparts)), to_json(all))
+        << "seed " << seed << " shuffled";
+  }
+}
+
+TEST(Stats, SerializeDeserializeRoundTripsEveryField) {
+  std::mt19937_64 gen(42);
+  for (int i = 0; i < 8; ++i) {
+    const SimStats s = random_stats(gen);
+    util::ByteWriter out;
+    serialize(s, out);
+    util::ByteReader in(out.data());
+    const SimStats back = deserialize_stats(in);
+    EXPECT_TRUE(in.done());
+    EXPECT_EQ(to_json(back), to_json(s)) << "iteration " << i;
+  }
 }
 
 TEST(Stats, ToJsonIsParseableAndComplete) {

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+
 #include "sim/presets.hpp"
 
 namespace cfir::sim {
@@ -57,6 +59,57 @@ TEST(Sweep, UnknownWorkloadReportsError) {
   specs[0].config = presets::scal(1, 256);
   specs[0].max_insts = 10;
   EXPECT_THROW(run_all(specs, 1), std::runtime_error);
+}
+
+TEST(Sweep, SampledSpecsExposePhasesAndShardsPartition) {
+  // A sampled grid point surfaces per-phase stats, and two complementary
+  // shard specs of the same plan split its intervals and merge back to the
+  // unsharded stats exactly (the bench-level CFIR_SHARD contract).
+  RunSpec whole;
+  whole.workload = "bzip2";
+  whole.config_name = "ci";
+  whole.config = presets::ci(2, 512);
+  whole.max_insts = 30000;
+  whole.intervals = 4;
+  whole.warmup = 200;
+
+  RunSpec half0 = whole, half1 = whole;
+  half0.shard_count = half1.shard_count = 2;
+  half0.shard_index = 0;
+  half1.shard_index = 1;
+
+  const auto out = run_all({whole, half0, half1}, 1);
+  ASSERT_EQ(out.size(), 3u);
+  ASSERT_EQ(out[0].phases.size(), 4u);
+  EXPECT_EQ(out[1].phases.size(), 2u);
+  EXPECT_EQ(out[2].phases.size(), 2u);
+  uint64_t phase_committed = 0;
+  for (const PhaseOutcome& ph : out[0].phases) {
+    EXPECT_EQ(ph.weight, 1.0);
+    phase_committed += ph.stats.committed;
+  }
+  EXPECT_EQ(phase_committed, out[0].stats.committed);
+
+  stats::SimStats folded = out[1].stats;
+  folded.merge(out[2].stats);
+  EXPECT_EQ(folded.cycles, out[0].stats.cycles);
+  EXPECT_EQ(folded.committed, out[0].stats.committed);
+  EXPECT_EQ(folded.reused_committed, out[0].stats.reused_committed);
+  // Monolithic specs keep phases empty.
+  RunSpec mono = whole;
+  mono.intervals = 1;
+  EXPECT_TRUE(run_all({mono}, 1)[0].phases.empty());
+}
+
+TEST(Sweep, EnvShardParsesSpec) {
+  ASSERT_EQ(setenv("CFIR_SHARD", "1/3", 1), 0);
+  const trace::ShardSelection sel = env_shard();
+  EXPECT_EQ(sel.index, 1u);
+  EXPECT_EQ(sel.count, 3u);
+  ASSERT_EQ(setenv("CFIR_SHARD", "bogus", 1), 0);
+  EXPECT_THROW((void)env_shard(), std::runtime_error);
+  ASSERT_EQ(unsetenv("CFIR_SHARD"), 0);
+  EXPECT_EQ(env_shard().count, 1u);
 }
 
 }  // namespace

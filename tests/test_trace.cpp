@@ -21,6 +21,7 @@
 #include "sim/simulator.hpp"
 #include "sim/sweep.hpp"
 #include "trace/checkpoint.hpp"
+#include "trace/errors.hpp"
 #include "trace/sampling.hpp"
 #include "workloads/workloads.hpp"
 
@@ -39,6 +40,12 @@ class TempFile {
  private:
   std::string path_;
 };
+
+std::vector<uint8_t> file_bytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::vector<uint8_t>((std::istreambuf_iterator<char>(in)),
+                              std::istreambuf_iterator<char>());
+}
 
 std::vector<TraceRecord> capture_live(const isa::Program& program,
                                       uint64_t max_insts = UINT64_MAX) {
@@ -95,6 +102,50 @@ TEST(TraceFormat, RoundTripEqualsLiveStream) {
     ASSERT_EQ(rec, live[i]) << "record " << i << " differs";
   }
   EXPECT_FALSE(reader.next(rec));
+}
+
+TEST(TraceFormat, CrcFooterRejectsBitFlips) {
+  // Every finished trace carries the CRC-32 footer; a single flipped
+  // payload byte must be rejected at open, before any record decodes.
+  const isa::Program program = cfir::testing::figure1_program(64, 50, 5);
+  TempFile file("crcflip");
+  TraceMeta meta;
+  meta.workload = "figure1";
+  (void)record_interpreter(program, file.path(), meta);
+  EXPECT_NO_THROW(TraceReader{file.path()});
+
+  std::vector<uint8_t> bytes = file_bytes(file.path());
+  bytes[bytes.size() / 2] ^= 0x40;  // mid-stream, away from the footer
+  {
+    std::ofstream out(file.path(), std::ios::binary | std::ios::trunc);
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+  }
+  EXPECT_THROW(TraceReader{file.path()}, CorruptFileError);
+}
+
+TEST(TraceFormat, LegacyFooterlessFileStillLoads) {
+  // Files written before the CRC footer existed end right after the last
+  // record; stripping the footer must leave a loadable (legacy) file.
+  const isa::Program program = cfir::testing::figure1_program(64, 50, 6);
+  TempFile file("legacy");
+  TraceMeta meta;
+  meta.workload = "figure1";
+  const isa::InterpResult r = record_interpreter(program, file.path(), meta);
+
+  std::vector<uint8_t> bytes = file_bytes(file.path());
+  bytes.resize(bytes.size() - 8);  // drop "CRC1" + u32
+  {
+    std::ofstream out(file.path(), std::ios::binary | std::ios::trunc);
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+  }
+  TraceReader reader(file.path());
+  EXPECT_EQ(reader.record_count(), r.executed);
+  TraceRecord rec;
+  uint64_t n = 0;
+  while (reader.next(rec)) ++n;
+  EXPECT_EQ(n, r.executed);
 }
 
 TEST(TraceFormat, RandomProgramsRoundTrip) {
@@ -252,12 +303,6 @@ TEST(TraceFormat, FuzzRandomRecordStreamsRoundTrip) {
 }
 
 namespace {
-std::vector<uint8_t> file_bytes(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  return std::vector<uint8_t>((std::istreambuf_iterator<char>(in)),
-                              std::istreambuf_iterator<char>());
-}
-
 Checkpoint random_checkpoint(uint64_t seed, bool with_warm) {
   std::mt19937_64 gen(seed);
   Checkpoint ck;
