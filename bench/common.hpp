@@ -36,6 +36,26 @@ inline bool json_requested() {
   return v != nullptr && *v != '\0' && *v != '0';
 }
 
+/// One machine-readable line summarizing what sharing each plan across its
+/// config columns saved (sim::SweepSavings): checkpoints captured and
+/// instructions functionally warmed once versus what per-column planning
+/// and warming would have cost. Only meaningful for sampled grids
+/// (CFIR_INTERVALS > 1); suppressed otherwise.
+inline void dump_savings_json(const sim::SweepSavings& savings) {
+  if (!json_requested() || savings.sampled_points == 0) return;
+  std::printf("{\"shared_plan\":true,\"sampled_points\":%llu,"
+              "\"plans\":%llu,\"checkpoints\":%llu,"
+              "\"checkpoints_per_column\":%llu,\"warmed_insts\":%llu,"
+              "\"warmed_insts_per_column\":%llu}\n",
+              static_cast<unsigned long long>(savings.sampled_points),
+              static_cast<unsigned long long>(savings.plans),
+              static_cast<unsigned long long>(savings.checkpoints),
+              static_cast<unsigned long long>(savings.checkpoints_per_column),
+              static_cast<unsigned long long>(savings.warmed_insts),
+              static_cast<unsigned long long>(
+                  savings.warmed_insts_per_column));
+}
+
 inline void dump_json(const std::vector<sim::RunOutcome>& outcomes) {
   if (!json_requested()) return;
   for (const sim::RunOutcome& o : outcomes) {
@@ -98,7 +118,8 @@ inline void run_figure(const std::string& title,
       specs.push_back(std::move(s));
     }
   }
-  const auto outcomes = sim::run_all(specs, sim::env_threads());
+  sim::SweepSavings savings;
+  const auto outcomes = sim::run_all(specs, sim::env_threads(), &savings);
 
   std::vector<std::string> headers{"bench"};
   for (const NamedConfig& nc : configs) headers.push_back(nc.name);
@@ -136,6 +157,7 @@ inline void run_figure(const std::string& title,
               static_cast<unsigned long long>(max_insts), scale, intervals);
   std::printf("%s\n", table.to_text().c_str());
   dump_json(outcomes);
+  dump_savings_json(savings);
 }
 
 /// Variant keyed by register count instead of workload: one row per sweep
@@ -177,7 +199,8 @@ inline void run_register_sweep(
       }
     }
   }
-  const auto outcomes = sim::run_all(specs, sim::env_threads());
+  sim::SweepSavings savings;
+  const auto outcomes = sim::run_all(specs, sim::env_threads(), &savings);
 
   size_t i = 0;
   for (const uint32_t regs : regs_sweep) {
@@ -196,6 +219,7 @@ inline void run_register_sweep(
               wls.size(), static_cast<unsigned long long>(max_insts));
   std::printf("%s\n", table.to_text().c_str());
   dump_json(outcomes);
+  dump_savings_json(savings);
 }
 
 }  // namespace cfir::bench

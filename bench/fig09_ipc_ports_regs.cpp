@@ -2,6 +2,13 @@
 // sweep (128/256/512/768/inf). The paper's shape: wide buses help the
 // baseline; CI loses at 128 registers, is neutral at 256 and gains
 // 14-17.8% beyond 512 while the baselines flatten out.
+//
+// All 30 config columns of one workload share a single interval plan when
+// sampling (CFIR_INTERVALS > 1): boundaries and checkpoints are
+// config-independent, and functional warming streams each gap once for
+// the whole column group (sim::run_all / trace::run_shard). With
+// CFIR_JSON=1 the trailing "shared_plan" line reports what that sharing
+// saved — checkpoints planned and instructions warmed once vs per column.
 #include "common.hpp"
 
 int main() {

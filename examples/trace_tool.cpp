@@ -3,17 +3,31 @@
 //
 //   trace_tool record <workload> [scale] [max_insts]   write <wl>.s<scale>.cfirtrace
 //   trace_tool info   <file>                           print header + stream summary
+//                                                      (trace or manifest)
 //   trace_tool replay <file>                           verify trace against live run
 //   trace_tool phases <file> [n_intervals]             BBV + phase clustering, JSON
 //   trace_tool sample <workload> <k> [scale] [max]     sampled detailed run
 //          [--mode=uniform|cluster] [--warmup=W] [--max-k=K]
 //          [--warm-mode=none|detailed|functional|hybrid] [--detail=M]
+//          [--config=<spec>]
 //   trace_tool plan   <workload> <k> [scale] [max]     freeze a plan to disk
-//          [sample's flags]                            (manifest + checkpoints)
-//   trace_tool run-shard <manifest> [--shard=i/N]      execute one shard
-//          [--jobs=J] [--out=file]                     -> CFIRSHD1 result blob
+//          [sample's flags] [--configs=<spec>,...]     (manifest + checkpoints
+//                                                      + per-config warm state)
+//   trace_tool run-shard <manifest> [--shard=i/N]      execute one shard for
+//          [--jobs=J] [--out=file]                     every config point
+//                                                      -> CFIRSHD2 result blob
 //   trace_tool merge  <manifest> <shard files...>      fold shards back into
-//          [--per-phase]                               one report
+//          [--per-phase] [--config=<name>]             one report per config
+//
+// Config specs are preset labels of the form <family>:<ports>:<regs>
+// (sim::presets::from_spec), e.g. ci:2:512. `plan --configs` freezes a
+// whole grid of them into ONE manifest sharing one checkpoint set —
+// interval boundaries and architectural state are config-independent,
+// only the functional warm state binds per config (one sidecar file per
+// (interval, config)). `run-shard` then executes every config point per
+// interval, streaming each warming gap once for the whole grid, and
+// `merge --config=<name>` prints any column byte-identical to the
+// single-config `sample` of the same arguments (docs/sharding.md).
 //
 // Files land in CFIR_TRACE_DIR (default "."). `record` captures from the
 // reference interpreter; `replay` re-executes under verification and cross
@@ -26,18 +40,13 @@
 // the number of BBV windows and only one weighted representative per
 // phase is simulated.
 //
-// plan / run-shard / merge are the same pipeline split across processes
-// and machines (docs/sharding.md): `plan` writes a CFIRMAN1 manifest plus
-// one self-contained checkpoint per interval, `run-shard` executes any
-// subset of it, and `merge` folds the shard results into output
-// byte-identical to what `sample` prints for the same arguments.
-//
 // Exit codes (scripts can branch on the failure kind):
 //   0 ok | 1 other error | 2 usage | 3 bad magic | 4 unsupported version
 //   5 config-hash mismatch | 6 corrupt/truncated file
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -61,7 +70,7 @@ int usage() {
   std::fprintf(
       stderr,
       "usage: trace_tool record <workload> [scale] [max_insts]\n"
-      "       trace_tool info   <trace-file>\n"
+      "       trace_tool info   <trace-or-manifest-file>\n"
       "       trace_tool replay <trace-file>\n"
       "       trace_tool phases <trace-file> [n_intervals]\n"
       "       trace_tool sample <workload> <k> [scale] [max_insts]\n"
@@ -69,21 +78,29 @@ int usage() {
       "                         [--max-k=K]\n"
       "                         [--warm-mode=none|detailed|functional|hybrid]\n"
       "                         [--detail=M (measured-slice cap/interval)]\n"
+      "                         [--config=<family>:<ports>:<regs> e.g."
+      " ci:2:512]\n"
       "       trace_tool plan   <workload> <k> [scale] [max_insts]\n"
-      "                         [same flags as sample; writes\n"
-      "                         <wl>.s<scale>.cfirman + checkpoints]\n"
+      "                         [same flags as sample]\n"
+      "                         [--configs=<spec>,<spec>,... (config grid\n"
+      "                         sharing one checkpoint set)]\n"
+      "                         writes <wl>.s<scale>.cfirman + checkpoints\n"
+      "                         + per-(interval,config) warm sidecars\n"
       "       trace_tool run-shard <manifest> [--shard=i/N] [--jobs=J]\n"
       "                         [--out=file (default <stem>.shard<i>of<N>"
       ".cfirshd)]\n"
       "       trace_tool merge  <manifest> <shard-file>... [--per-phase]\n"
-      "env: CFIR_TRACE_DIR (output dir), CFIR_THREADS (sample/run-shard)\n"
+      "                         [--config=<name> (one grid column)]\n"
+      "env: CFIR_TRACE_DIR (output dir), CFIR_THREADS (sample/run-shard),\n"
+      "     CFIR_STRICT_BLOBS (reject legacy footer-less blobs)\n"
       "exit: 2 usage, 3 bad magic, 4 bad version, 5 config-hash mismatch,\n"
       "      6 corrupt file, 1 other\n");
   return 2;
 }
 
-/// The core configuration every sampling subcommand simulates under — one
-/// definition so plan, run-shard and sample can never drift apart.
+/// The core configuration sampling subcommands default to when no
+/// --config/--configs flag names one — one definition so plan, run-shard
+/// and sample can never drift apart.
 core::CoreConfig tool_config() { return sim::presets::ci(2, 512); }
 
 std::string default_path(const std::string& workload, uint32_t scale) {
@@ -114,9 +131,57 @@ int cmd_record(int argc, char** argv) {
   return 0;
 }
 
+/// `info` on a CFIRMAN manifest: the plan, its config points and its
+/// artifact files, so a farmed directory is inspectable without merging.
+int manifest_info(const std::string& path) {
+  const trace::ShardManifest m = trace::ShardManifest::load(path);
+  std::printf("manifest: %s  version: %u\n", path.c_str(), m.version);
+  std::printf("workload: %s  scale: %u  mode: %s  warm_mode: %s\n",
+              m.workload.c_str(), m.scale,
+              m.mode == trace::SampleMode::kCluster ? "cluster" : "uniform",
+              trace::warm_mode_name(m.warm_mode));
+  std::printf("plan_hash: 0x%016llx  total_insts: %llu  warmup: %llu\n",
+              static_cast<unsigned long long>(m.plan_hash),
+              static_cast<unsigned long long>(m.total_insts),
+              static_cast<unsigned long long>(m.warmup));
+  std::printf("configs: %zu\n", m.configs.size());
+  for (size_t c = 0; c < m.configs.size(); ++c) {
+    const auto& cp = m.configs[c];
+    std::printf("  [%zu] %s  hash 0x%016llx%s\n", c,
+                cp.name.empty() ? "(executor-supplied)" : cp.name.c_str(),
+                static_cast<unsigned long long>(cp.config_hash),
+                cp.embedded ? "" : "  (not embedded)");
+  }
+  std::printf("intervals: %zu\n", m.intervals.size());
+  for (size_t i = 0; i < m.intervals.size(); ++i) {
+    const auto& iv = m.intervals[i];
+    size_t warm_files = 0;
+    for (const std::string& wf : iv.warm_files) warm_files += !wf.empty();
+    std::printf("  [%zu] start %llu  length %llu  weight %g  %s", i,
+                static_cast<unsigned long long>(iv.start),
+                static_cast<unsigned long long>(iv.length), iv.weight,
+                iv.checkpoint_file.c_str());
+    if (warm_files > 0) std::printf("  (+%zu warm sidecars)", warm_files);
+    std::printf("\n");
+  }
+  return 0;
+}
+
 int cmd_info(int argc, char** argv) {
   if (argc < 1) return usage();
-  trace::TraceReader reader(argv[0]);
+  const std::string path = argv[0];
+  // Sniff the magic so one `info` verb serves every artifact kind.
+  {
+    char magic[8] = {};
+    std::ifstream in(path, std::ios::binary);
+    in.read(magic, sizeof(magic));
+    if (in &&
+        (std::memcmp(magic, trace::kManifestMagic, sizeof(magic)) == 0 ||
+         std::memcmp(magic, trace::kManifestMagicV2, sizeof(magic)) == 0)) {
+      return manifest_info(path);
+    }
+  }
+  trace::TraceReader reader(path);
   std::printf("workload: %s  scale: %u  base_pc: 0x%llx\n",
               reader.meta().workload.c_str(), reader.meta().scale,
               static_cast<unsigned long long>(reader.meta().base_pc));
@@ -215,7 +280,32 @@ struct PlanArgs {
   uint64_t warmup = 0;
   uint64_t detail_len = 0;
   uint32_t max_k = 0;
+  /// The config grid: (name, config) points. Defaults to one tool_config()
+  /// point; `sample --config=<spec>` replaces it, `plan --configs=...`
+  /// extends it to a whole grid sharing one checkpoint set.
+  std::vector<std::pair<std::string, core::CoreConfig>> configs;
 };
+
+/// Appends the comma-separated preset specs in `list` to `out.configs`;
+/// false (usage error) on a malformed spec.
+bool parse_config_list(const std::string& list, PlanArgs& out) {
+  size_t pos = 0;
+  while (pos <= list.size()) {
+    const size_t comma = list.find(',', pos);
+    const size_t end = comma == std::string::npos ? list.size() : comma;
+    const std::string spec = list.substr(pos, end - pos);
+    try {
+      core::CoreConfig config = sim::presets::from_spec(spec);
+      out.configs.emplace_back(config.label(), config);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "trace_tool: %s\n", e.what());
+      return false;
+    }
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return true;
+}
 
 bool parse_plan_args(int argc, char** argv, PlanArgs& out) {
   std::vector<std::string> pos;
@@ -239,6 +329,10 @@ bool parse_plan_args(int argc, char** argv, PlanArgs& out) {
     } else if (arg.rfind("--max-k=", 0) == 0) {
       out.max_k = static_cast<uint32_t>(
           std::strtoul(arg.c_str() + 8, nullptr, 10));
+    } else if (arg.rfind("--config=", 0) == 0) {
+      if (!parse_config_list(arg.substr(9), out)) return false;
+    } else if (arg.rfind("--configs=", 0) == 0) {
+      if (!parse_config_list(arg.substr(10), out)) return false;
     } else if (arg.rfind("--", 0) == 0) {
       return false;
     } else {
@@ -253,6 +347,9 @@ bool parse_plan_args(int argc, char** argv, PlanArgs& out) {
         static_cast<uint32_t>(std::strtoul(pos[2].c_str(), nullptr, 10));
   }
   if (pos.size() > 3) out.max_insts = std::strtoull(pos[3].c_str(), nullptr, 10);
+  if (out.configs.empty()) {
+    out.configs.emplace_back(tool_config().label(), tool_config());
+  }
   return true;
 }
 
@@ -306,10 +403,16 @@ void print_run(const trace::SampledRun& run, trace::SampleMode mode,
 int cmd_sample(int argc, char** argv) {
   PlanArgs args;
   if (!parse_plan_args(argc, argv, args)) return usage();
+  if (args.configs.size() != 1) {
+    std::fprintf(stderr,
+                 "trace_tool sample: takes exactly one --config spec (use "
+                 "plan --configs for a grid)\n");
+    return usage();
+  }
   const isa::Program program = workloads::build(args.workload, args.scale);
   const trace::IntervalPlan plan = build_plan(args, program);
-  const trace::SampledRun run = trace::sampled_run(tool_config(), program,
-                                                   plan);
+  const trace::SampledRun run =
+      trace::sampled_run(args.configs[0].second, program, plan);
   print_run(run, args.mode, args.warm_mode);
   return 0;
 }
@@ -318,19 +421,23 @@ int cmd_plan(int argc, char** argv) {
   PlanArgs args;
   if (!parse_plan_args(argc, argv, args)) return usage();
   const isa::Program program = workloads::build(args.workload, args.scale);
-  trace::IntervalPlan plan = build_plan(args, program);
-  // Self-contained shards: functional warm state rides inside the
-  // checkpoints (CFIRCKP2), so run-shard never re-streams the prefix.
-  trace::attach_warm_states(plan, tool_config(), program);
+  const trace::IntervalPlan plan = build_plan(args, program);
+  // Self-contained shards: the architectural checkpoints are shared by the
+  // whole config grid; each config's functional warm state is captured in
+  // ONE fan-out streaming pass (bind_configs) and rides in per-(interval,
+  // config) sidecar files, so run-shard never re-streams the prefixes.
+  const std::vector<trace::ConfigBinding> bindings =
+      trace::bind_configs(plan, args.configs, program);
 
   const std::string manifest_path = trace::env_trace_dir() + "/" +
                                     args.workload + ".s" +
                                     std::to_string(args.scale) + ".cfirman";
   const trace::ShardManifest manifest = trace::write_manifest(
-      plan, tool_config(), args.workload, args.scale, manifest_path);
+      plan, bindings, args.workload, args.scale, manifest_path);
   std::printf("{\"manifest\":\"%s\",\"workload\":\"%s\",\"scale\":%u,"
               "\"mode\":\"%s\",\"warm_mode\":\"%s\",\"intervals\":%zu,"
-              "\"total_insts\":%llu,\"config_hash\":\"0x%016llx\"}\n",
+              "\"total_insts\":%llu,\"plan_hash\":\"0x%016llx\","
+              "\"configs\":[",
               manifest_path.c_str(), manifest.workload.c_str(),
               manifest.scale,
               manifest.mode == trace::SampleMode::kCluster ? "cluster"
@@ -338,7 +445,14 @@ int cmd_plan(int argc, char** argv) {
               trace::warm_mode_name(manifest.warm_mode),
               manifest.intervals.size(),
               static_cast<unsigned long long>(manifest.total_insts),
-              static_cast<unsigned long long>(manifest.config_hash));
+              static_cast<unsigned long long>(manifest.plan_hash));
+  for (size_t c = 0; c < manifest.configs.size(); ++c) {
+    std::printf("%s{\"name\":\"%s\",\"hash\":\"0x%016llx\"}",
+                c == 0 ? "" : ",", manifest.configs[c].name.c_str(),
+                static_cast<unsigned long long>(
+                    manifest.configs[c].config_hash));
+  }
+  std::printf("]}\n");
   return 0;
 }
 
@@ -378,25 +492,39 @@ int cmd_run_shard(int argc, char** argv) {
       workloads::build(manifest.workload, manifest.scale);
   const trace::IntervalPlan plan =
       trace::plan_from_manifest(manifest, manifest_path);
-  // Refuse to execute under a config the plan was not made for — a shard
-  // simulated under the wrong core would silently skew the merged result.
-  trace::verify_manifest_config(manifest, tool_config(), plan);
 
-  const trace::ShardResult result =
-      trace::run_shard(tool_config(), program, plan, shard, jobs,
-                       manifest.config_hash);
+  trace::ShardResult result;
+  if (manifest.version >= 2) {
+    // The configs travel in the manifest; refuse a manifest directory
+    // whose reloaded checkpoints no longer match its interval schedule.
+    trace::verify_manifest_plan(manifest, plan);
+    // `shard` limits the warm-sidecar reads to this worker's intervals.
+    const std::vector<trace::ConfigBinding> bindings =
+        trace::bindings_from_manifest(manifest, manifest_path, shard);
+    result = trace::run_shard(bindings, program, plan, shard, jobs,
+                              manifest.plan_hash);
+  } else {
+    // v1: the config is executor-supplied. Refuse to execute under a
+    // config the plan was not made for — a shard simulated under the
+    // wrong core would silently skew the merged result.
+    trace::verify_manifest_config(manifest, tool_config(), plan);
+    result = trace::run_shard(tool_config(), program, plan, shard, jobs,
+                              manifest.plan_hash);
+  }
   if (out_path.empty()) {
     out_path = trace::path_stem(manifest_path) + ".shard" +
                std::to_string(shard.index) + "of" +
                std::to_string(shard.count) + ".cfirshd";
   }
   result.save(out_path);
-  std::printf("{\"shard\":\"%u/%u\",\"intervals\":%zu,"
+  uint64_t detailed = 0;
+  for (const auto& cc : result.configs) detailed += cc.detailed_insts;
+  std::printf("{\"shard\":\"%u/%u\",\"intervals\":%zu,\"configs\":%zu,"
               "\"detailed_insts\":%llu,\"warmed_insts\":%llu,"
               "\"out\":\"%s\"}\n",
               result.shard_index, result.shard_count,
-              result.intervals.size(),
-              static_cast<unsigned long long>(result.detailed_insts),
+              result.intervals.size(), result.configs.size(),
+              static_cast<unsigned long long>(detailed),
               static_cast<unsigned long long>(result.warmed_insts),
               out_path.c_str());
   return 0;
@@ -404,12 +532,15 @@ int cmd_run_shard(int argc, char** argv) {
 
 int cmd_merge(int argc, char** argv) {
   std::string manifest_path;
+  std::string config_name;
   std::vector<std::string> shard_paths;
   bool per_phase = false;
   for (int i = 0; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--per-phase") {
       per_phase = true;
+    } else if (arg.rfind("--config=", 0) == 0) {
+      config_name = arg.substr(9);
     } else if (arg.rfind("--", 0) == 0) {
       return usage();
     } else if (manifest_path.empty()) {
@@ -426,29 +557,57 @@ int cmd_merge(int argc, char** argv) {
   shards.reserve(shard_paths.size());
   for (const std::string& path : shard_paths) {
     trace::ShardResult shard = trace::ShardResult::load(path);
-    if (shard.config_hash != manifest.config_hash) {
+    if (shard.plan_hash != manifest.plan_hash) {
       throw trace::ConfigMismatchError(
           "merge: " + path +
-          " was produced from a different manifest (config hash mismatch) "
+          " was produced from a different manifest (plan hash mismatch) "
           "— re-run its shard against " + manifest_path);
     }
     shards.push_back(std::move(shard));
   }
-  const trace::SampledRun run = trace::merge_shard_results(shards);
+  const trace::MergedGrid grid = trace::merge_shard_grid(shards);
 
-  if (per_phase) {
-    // Per-phase columns: each measured interval is one phase
-    // representative; weight is the population it stands in for.
-    for (size_t i = 0; i < run.intervals.size(); ++i) {
-      const auto& iv = run.intervals[i];
-      std::printf("{\"phase\":%zu,\"start\":%llu,\"length\":%llu,"
-                  "\"weight\":%g,\"ipc\":%g,\"ci_reuse\":%g}\n",
-                  i, static_cast<unsigned long long>(iv.start_inst),
-                  static_cast<unsigned long long>(iv.length), iv.weight,
-                  iv.stats.ipc(), iv.stats.reuse_fraction());
+  // Column selection: --config picks one grid column by name; a 1-config
+  // grid needs no flag (and prints exactly what `sample` prints).
+  std::vector<const trace::MergedGrid::ConfigRun*> selected;
+  if (!config_name.empty()) {
+    for (const auto& column : grid.configs) {
+      if (column.name == config_name) selected.push_back(&column);
     }
+    if (selected.empty()) {
+      std::fprintf(stderr,
+                   "trace_tool merge: no config point named '%s' in %s "
+                   "(run `trace_tool info` on the manifest to list them)\n",
+                   config_name.c_str(), manifest_path.c_str());
+      return usage();
+    }
+  } else {
+    for (const auto& column : grid.configs) selected.push_back(&column);
   }
-  print_run(run, manifest.mode, manifest.warm_mode);
+
+  for (const trace::MergedGrid::ConfigRun* column : selected) {
+    // A multi-column report labels each column; single-column output
+    // stays byte-identical to `trace_tool sample`.
+    if (selected.size() > 1) {
+      std::printf("{\"config\":\"%s\",\"config_hash\":\"0x%016llx\"}\n",
+                  column->name.c_str(),
+                  static_cast<unsigned long long>(column->config_hash));
+    }
+    if (per_phase) {
+      // Per-phase columns: each measured interval is one phase
+      // representative; weight is the population it stands in for.
+      const trace::SampledRun& run = column->run;
+      for (size_t i = 0; i < run.intervals.size(); ++i) {
+        const auto& iv = run.intervals[i];
+        std::printf("{\"phase\":%zu,\"start\":%llu,\"length\":%llu,"
+                    "\"weight\":%g,\"ipc\":%g,\"ci_reuse\":%g}\n",
+                    i, static_cast<unsigned long long>(iv.start_inst),
+                    static_cast<unsigned long long>(iv.length), iv.weight,
+                    iv.stats.ipc(), iv.stats.reuse_fraction());
+      }
+    }
+    print_run(column->run, manifest.mode, manifest.warm_mode);
+  }
   return 0;
 }
 

@@ -2,8 +2,7 @@
 
 #include <algorithm>
 #include <sstream>
-
-#include "util/warmable.hpp"
+#include <stdexcept>
 
 namespace cfir::core {
 
@@ -27,43 +26,52 @@ void CoreConfig::scale_window_to_regs() {
   rob_size = std::max<uint32_t>(256, num_phys_regs);
 }
 
-namespace {
+// The four CFIR_CORECONFIG_FIELDS kinds, as encode / decode / flatten
+// operations. util::Digest and util::ByteWriter share method names, so one
+// encode macro serves both digest() and serialize().
+#define CFIR_CFG_ENC_u32(sink, f) (sink).u32(f);
+#define CFIR_CFG_ENC_u64(sink, f) (sink).u64(f);
+#define CFIR_CFG_ENC_boolean(sink, f) (sink).boolean(f);
+#define CFIR_CFG_ENC_policy(sink, f) (sink).u8(static_cast<uint8_t>(f));
 
-void mix_cache(util::Digest& d, const mem::CacheConfig& c) {
-  // The name is a display label, not configuration; geometry and latency
-  // are what determine behaviour.
-  d.u32(c.size_bytes).u32(c.assoc).u32(c.line_bytes).u32(c.hit_latency);
-}
+#define CFIR_CFG_DEC_u32(in, f) f = (in).u32();
+#define CFIR_CFG_DEC_u64(in, f) f = (in).u64();
+#define CFIR_CFG_DEC_boolean(in, f) f = (in).boolean();
+#define CFIR_CFG_DEC_policy(in, f) f = static_cast<Policy>((in).u8());
 
-}  // namespace
+#define CFIR_CFG_VAL_u32(f) static_cast<uint64_t>(f)
+#define CFIR_CFG_VAL_u64(f) static_cast<uint64_t>(f)
+#define CFIR_CFG_VAL_boolean(f) static_cast<uint64_t>((f) ? 1 : 0)
+#define CFIR_CFG_VAL_policy(f) static_cast<uint64_t>(f)
 
 uint64_t CoreConfig::digest() const {
   util::Digest d;
-  d.u32(fetch_width).u32(decode_width).u32(recovery_penalty);
-  d.u32(rob_size).u32(issue_width).u32(commit_width).u32(lsq_size);
-  d.u32(num_phys_regs);
-  d.u32(simple_int_units).u32(int_alu_latency).u32(muldiv_units);
-  d.u32(mul_latency).u32(div_latency).u32(branch_latency);
-  d.u32(cache_ports).boolean(wide_bus).u32(wide_bus_loads_per_access);
-  d.u32(agu_latency);
-  mix_cache(d, memory.l1i);
-  mix_cache(d, memory.l1d);
-  mix_cache(d, memory.l2);
-  mix_cache(d, memory.l3);
-  d.u32(memory.memory_latency);
-  d.u32(gshare_entries).u32(gshare_history_bits);
-  d.u8(static_cast<uint8_t>(policy));
-  d.u32(replicas).u32(stridedpc_per_entry);
-  d.u32(srsmt_sets).u32(srsmt_ways);
-  d.u32(stride_sets).u32(stride_ways);
-  d.u32(mbs_sets).u32(mbs_ways);
-  d.u32(nrbq_entries).u32(daec_threshold).u32(ci_select_window);
-  d.u32(replica_reg_reserve).u32(squash_reuse_entries);
-  d.boolean(use_spec_memory);
-  d.u32(spec_memory_slots).u32(spec_memory_latency);
-  d.u32(spec_memory_read_ports).u32(spec_memory_write_ports);
-  d.u64(watchdog_cycles).u64(deadlock_cycles);
+#define X(kind, field) CFIR_CFG_ENC_##kind(d, field)
+  CFIR_CORECONFIG_FIELDS(X)
+#undef X
   return d.value();
+}
+
+void CoreConfig::serialize(util::ByteWriter& out) const {
+#define X(kind, field) CFIR_CFG_ENC_##kind(out, field)
+  CFIR_CORECONFIG_FIELDS(X)
+#undef X
+}
+
+CoreConfig CoreConfig::deserialize(util::ByteReader& in) {
+  CoreConfig cfg;
+#define X(kind, field) CFIR_CFG_DEC_##kind(in, cfg.field)
+  CFIR_CORECONFIG_FIELDS(X)
+#undef X
+  return cfg;
+}
+
+std::vector<CoreConfig::NamedValue> CoreConfig::fields() const {
+  std::vector<NamedValue> out;
+#define X(kind, field) out.push_back({#field, CFIR_CFG_VAL_##kind(field)});
+  CFIR_CORECONFIG_FIELDS(X)
+#undef X
+  return out;
 }
 
 }  // namespace cfir::core

@@ -7,8 +7,10 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "mem/hierarchy.hpp"
+#include "util/warmable.hpp"
 
 namespace cfir::core {
 
@@ -92,12 +94,104 @@ struct CoreConfig {
   void scale_window_to_regs();
 
   /// Deterministic FNV-1a digest over every configuration field, in
-  /// declaration order (util::Digest — stable across hosts). Two configs
-  /// digest equal iff they describe the same experiment point; the sharded
-  /// sampling layers fold this into the manifest config hash so results
-  /// from mismatched configs are rejected at merge time instead of being
-  /// silently averaged (trace/manifest.hpp).
+  /// declaration order (util::Digest — stable across hosts; generated from
+  /// CFIR_CORECONFIG_FIELDS so a field added to the struct without hash
+  /// coverage fails to compile, not to collide). Two configs digest equal
+  /// iff they describe the same experiment point; the sharded sampling
+  /// layers stamp this per-config hash into manifests and shard results so
+  /// results from mismatched configs are rejected at merge time instead of
+  /// being silently averaged (trace/manifest.hpp).
   [[nodiscard]] uint64_t digest() const;
+
+  /// Byte codec over the same field list and order as digest(): a config
+  /// embedded in a CFIRMAN2 manifest rebuilds on any machine without that
+  /// machine knowing the preset it came from. deserialize() throws
+  /// std::runtime_error on truncation or trailing bytes (a config from a
+  /// build with a different field set).
+  void serialize(util::ByteWriter& out) const;
+  [[nodiscard]] static CoreConfig deserialize(util::ByteReader& in);
+
+  /// One configuration field flattened to (name, value) — the same list and
+  /// order as digest()/serialize(), for display (`trace_tool info`) and for
+  /// tests that must cover every field.
+  struct NamedValue {
+    const char* name;
+    uint64_t value;
+  };
+  [[nodiscard]] std::vector<NamedValue> fields() const;
 };
 
 }  // namespace cfir::core
+
+// Every configuration field of CoreConfig as X(kind, field), in declaration
+// order. `kind` selects the encoding (u32 | u64 | boolean | policy) and
+// `field` is the member expression (nested cache geometry spelled out; the
+// CacheConfig `name` is a display label, not configuration, and is
+// deliberately absent). digest(), serialize(), deserialize() and fields()
+// are all generated from this one list, and the digest-sensitivity test
+// (tests/test_config.cpp) flips every entry — so a field added to the
+// struct but not listed here is caught, and one listed here but removed
+// from the struct fails to compile.
+//
+// The expansion order and encodings reproduce the pre-X-macro digest()
+// byte-for-byte, so config hashes (and the v1 manifests that embed them)
+// are unchanged.
+#define CFIR_CORECONFIG_FIELDS(X)       \
+  X(u32, fetch_width)                   \
+  X(u32, decode_width)                  \
+  X(u32, recovery_penalty)              \
+  X(u32, rob_size)                      \
+  X(u32, issue_width)                   \
+  X(u32, commit_width)                  \
+  X(u32, lsq_size)                      \
+  X(u32, num_phys_regs)                 \
+  X(u32, simple_int_units)              \
+  X(u32, int_alu_latency)               \
+  X(u32, muldiv_units)                  \
+  X(u32, mul_latency)                   \
+  X(u32, div_latency)                   \
+  X(u32, branch_latency)                \
+  X(u32, cache_ports)                   \
+  X(boolean, wide_bus)                  \
+  X(u32, wide_bus_loads_per_access)     \
+  X(u32, agu_latency)                   \
+  X(u32, memory.l1i.size_bytes)         \
+  X(u32, memory.l1i.assoc)              \
+  X(u32, memory.l1i.line_bytes)         \
+  X(u32, memory.l1i.hit_latency)        \
+  X(u32, memory.l1d.size_bytes)         \
+  X(u32, memory.l1d.assoc)              \
+  X(u32, memory.l1d.line_bytes)         \
+  X(u32, memory.l1d.hit_latency)        \
+  X(u32, memory.l2.size_bytes)          \
+  X(u32, memory.l2.assoc)               \
+  X(u32, memory.l2.line_bytes)          \
+  X(u32, memory.l2.hit_latency)         \
+  X(u32, memory.l3.size_bytes)          \
+  X(u32, memory.l3.assoc)               \
+  X(u32, memory.l3.line_bytes)          \
+  X(u32, memory.l3.hit_latency)         \
+  X(u32, memory.memory_latency)         \
+  X(u32, gshare_entries)                \
+  X(u32, gshare_history_bits)           \
+  X(policy, policy)                     \
+  X(u32, replicas)                      \
+  X(u32, stridedpc_per_entry)           \
+  X(u32, srsmt_sets)                    \
+  X(u32, srsmt_ways)                    \
+  X(u32, stride_sets)                   \
+  X(u32, stride_ways)                   \
+  X(u32, mbs_sets)                      \
+  X(u32, mbs_ways)                      \
+  X(u32, nrbq_entries)                  \
+  X(u32, daec_threshold)                \
+  X(u32, ci_select_window)              \
+  X(u32, replica_reg_reserve)           \
+  X(u32, squash_reuse_entries)          \
+  X(boolean, use_spec_memory)           \
+  X(u32, spec_memory_slots)             \
+  X(u32, spec_memory_latency)           \
+  X(u32, spec_memory_read_ports)        \
+  X(u32, spec_memory_write_ports)       \
+  X(u64, watchdog_cycles)               \
+  X(u64, deadlock_cycles)

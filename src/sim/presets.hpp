@@ -39,4 +39,13 @@ inline constexpr uint32_t kInfRegs = 8192;
 [[nodiscard]] core::CoreConfig vect(uint32_t ports, uint32_t regs,
                                     uint32_t replicas = 4);
 
+/// Parses a preset spec "<family>:<ports>:<regs>[:<extra>...]" into a
+/// CoreConfig — the textual form of a config point for `trace_tool plan
+/// --configs` / `sample --config` (docs/sharding.md):
+///   scal:2:512 | wb:1:256 | ci:2:512[:replicas] | ci-iw:2:512
+///   vect:2:512[:replicas] | ci-h:2:512:slots[:replicas]
+/// Throws std::runtime_error on unknown families, malformed numbers or
+/// wrong arities so a typo'd grid column fails loudly at plan time.
+[[nodiscard]] core::CoreConfig from_spec(std::string_view spec);
+
 }  // namespace cfir::sim::presets

@@ -100,7 +100,7 @@ void parallel_for(size_t n, const std::function<void(size_t)>& fn,
 }
 
 std::vector<RunOutcome> run_all(const std::vector<RunSpec>& specs,
-                                int threads) {
+                                int threads, SweepSavings* savings) {
   // Interval plans depend only on (workload, scale, cap, k), never on the
   // core config, so capture each unique plan once up front (interpreter
   // passes are ~50x cheaper than detailed simulation) and share it across
@@ -158,45 +158,24 @@ std::vector<RunOutcome> run_all(const std::vector<RunSpec>& specs,
   }
 
   std::vector<RunOutcome> out(specs.size());
+  for (size_t i = 0; i < specs.size(); ++i) out[i].spec = specs[i];
+
+  // Monolithic grid points are embarrassingly parallel: one pool item each.
+  std::vector<size_t> mono;
+  for (size_t i = 0; i < specs.size(); ++i) {
+    if (specs[i].intervals <= 1) mono.push_back(i);
+  }
   parallel_for(
-      specs.size(),
-      [&](size_t i) {
+      mono.size(),
+      [&](size_t m) {
+        const size_t i = mono[m];
         const RunSpec& spec = specs[i];
         try {
           isa::Program program = workloads::build(spec.workload, spec.scale);
           const uint64_t cap =
               spec.max_insts == 0 ? UINT64_MAX : spec.max_insts;
-          out[i].spec = spec;
-          if (spec.intervals > 1) {
-            // Intervals of one grid point run sequentially inside this
-            // worker; the grid itself is already spread across the pool.
-            // The execute layer runs this spec's shard of the plan (the
-            // whole plan by default); with CFIR_SHARD the grid point
-            // contributes one slice, merged offline with the others.
-            const trace::IntervalPlan& plan = plans.at(plan_key(spec));
-            const trace::ShardSelection shard{
-                spec.shard_index, std::max<uint32_t>(1, spec.shard_count)};
-            const trace::ShardResult result = trace::run_shard(
-                spec.config, program, plan, shard, /*threads=*/1);
-            std::vector<stats::WeightedStats> parts;
-            parts.reserve(result.intervals.size());
-            out[i].phases.reserve(result.intervals.size());
-            for (const trace::ShardResult::Interval& iv : result.intervals) {
-              parts.push_back({iv.stats, iv.weight});
-              out[i].phases.push_back(
-                  {iv.start_inst, iv.length, iv.weight, iv.stats});
-            }
-            out[i].stats = stats::merge_shards(parts);
-            if (shard.count == 1) {
-              // Complete coverage: report `halted` like a monolithic run
-              // even when no representative window contains HALT.
-              out[i].stats.halted =
-                  out[i].stats.halted || result.ran_to_halt;
-            }
-          } else {
-            Simulator sim(spec.config, std::move(program));
-            out[i].stats = sim.run(cap);
-          }
+          Simulator sim(spec.config, std::move(program));
+          out[i].stats = sim.run(cap);
         } catch (const std::exception& e) {
           throw std::runtime_error(std::string("run '") + spec.workload +
                                    "/" + spec.config_name +
@@ -204,6 +183,78 @@ std::vector<RunOutcome> run_all(const std::vector<RunSpec>& specs,
         }
       },
       threads);
+
+  // Sampled grid points sharing one plan (and one shard selection) execute
+  // as a single multi-config run_shard: every config column rides the same
+  // checkpoints and, under functional warming, the same streamed gaps —
+  // the whole point of the config-independent plan / per-config binding
+  // split (docs/sharding.md). Each group saturates the pool internally
+  // over (interval × config) pairs; columns are bit-identical to running
+  // each spec alone.
+  std::map<std::tuple<PlanKey, uint32_t, uint32_t>, std::vector<size_t>>
+      groups;
+  for (size_t i = 0; i < specs.size(); ++i) {
+    if (specs[i].intervals <= 1) continue;
+    groups[{plan_key(specs[i]), specs[i].shard_index,
+            std::max<uint32_t>(1, specs[i].shard_count)}]
+        .push_back(i);
+  }
+  if (savings != nullptr) {
+    *savings = SweepSavings{};
+    savings->plans = plans.size();
+    for (const auto& [key, plan] : plans) {
+      savings->checkpoints += plan.checkpoints.size();
+    }
+  }
+  for (const auto& [key, members] : groups) {
+    const RunSpec& lead = specs[members.front()];
+    try {
+      const trace::IntervalPlan& plan = plans.at(std::get<0>(key));
+      const trace::ShardSelection shard{std::get<1>(key), std::get<2>(key)};
+      const isa::Program program =
+          workloads::build(lead.workload, lead.scale);
+      std::vector<trace::ConfigBinding> bindings;
+      bindings.reserve(members.size());
+      for (const size_t i : members) {
+        trace::ConfigBinding b;
+        b.name = specs[i].config_name;
+        b.config = specs[i].config;
+        bindings.push_back(std::move(b));
+      }
+      const trace::ShardResult result =
+          trace::run_shard(bindings, program, plan, shard, threads);
+      for (size_t c = 0; c < members.size(); ++c) {
+        RunOutcome& o = out[members[c]];
+        std::vector<stats::WeightedStats> parts;
+        parts.reserve(result.intervals.size());
+        o.phases.reserve(result.intervals.size());
+        for (const trace::ShardResult::Interval& iv : result.intervals) {
+          parts.push_back({iv.stats[c], iv.weight});
+          o.phases.push_back(
+              {iv.start_inst, iv.length, iv.weight, iv.stats[c]});
+        }
+        o.stats = stats::merge_shards(parts);
+        if (shard.count == 1) {
+          // Complete coverage: report `halted` like a monolithic run even
+          // when no representative window contains HALT.
+          o.stats.halted = o.stats.halted || result.ran_to_halt;
+        }
+      }
+      if (savings != nullptr) {
+        savings->sampled_points += members.size();
+        savings->checkpoints_per_column +=
+            plan.checkpoints.size() * members.size();
+        savings->warmed_insts += result.warmed_insts;
+        savings->warmed_insts_per_column +=
+            result.warmed_insts * members.size();
+      }
+    } catch (const std::exception& e) {
+      throw std::runtime_error(
+          std::string("run '") + lead.workload + "/" + lead.config_name +
+          "' (shared plan, " + std::to_string(members.size()) +
+          " config columns) failed: " + e.what());
+    }
+  }
   return out;
 }
 

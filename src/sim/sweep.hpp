@@ -59,12 +59,31 @@ struct RunOutcome {
   std::vector<PhaseOutcome> phases;
 };
 
+/// What sharing one plan (and one warming stream) across the config
+/// columns of a bench grid saved, versus planning/warming each grid point
+/// independently — surfaced in bench CFIR_JSON output so a figure's cost
+/// is inspectable (docs/sharding.md "Sweep a config grid").
+struct SweepSavings {
+  uint64_t sampled_points = 0;  ///< grid points that ran sampled
+  uint64_t plans = 0;           ///< unique plans actually built
+  uint64_t checkpoints = 0;     ///< checkpoints captured (shared)
+  uint64_t checkpoints_per_column = 0;  ///< what per-point planning captures
+  uint64_t warmed_insts = 0;            ///< instructions streamed (shared)
+  uint64_t warmed_insts_per_column = 0; ///< what per-point warming streams
+};
+
 /// Runs every spec (order preserved in the result). `threads` <= 0 picks
 /// CFIR_THREADS or the hardware concurrency. Specs with `intervals > 1`
-/// run through the checkpointed interval sampler (trace::sampled_run) and
-/// report the merged aggregate stats.
+/// run through the checkpointed interval sampler: specs sharing one plan
+/// (same workload/scale/cap/plan knobs) execute as ONE multi-config
+/// trace::run_shard — the plan and its checkpoints are config-independent
+/// and each functional-warming gap streams once for the whole column
+/// group — and report the merged aggregate stats per column, bit-identical
+/// to running each column alone. `savings`, when non-null, receives the
+/// shared-plan accounting.
 [[nodiscard]] std::vector<RunOutcome> run_all(const std::vector<RunSpec>& specs,
-                                              int threads = 0);
+                                              int threads = 0,
+                                              SweepSavings* savings = nullptr);
 
 /// The shared work-stealing-free job pool behind run_all and
 /// trace::SampledRun: invokes `fn(0..n)` across `threads` workers

@@ -1,6 +1,9 @@
 #include "trace/blob.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 
@@ -10,6 +13,38 @@
 namespace cfir::trace {
 
 namespace {
+
+/// CFIR_STRICT_BLOBS=1 turns legacy footer-less blobs from a warning into
+/// a hard CorruptFileError — for fleets where every artifact is known to
+/// be post-CRC and a missing footer can only mean truncation.
+bool strict_blobs() {
+  const char* v = std::getenv("CFIR_STRICT_BLOBS");
+  return v != nullptr && *v != '\0' && *v != '0';
+}
+
+/// A pre-CRC CFIRTRC1/CFIRCKP blob was accepted without integrity
+/// checking: warn once per process (the first file names the problem; a
+/// directory of old blobs should not flood stderr), or reject under
+/// CFIR_STRICT_BLOBS=1.
+void note_legacy_blob(const char* what, const std::string& path) {
+  if (strict_blobs()) {
+    throw CorruptFileError(
+        std::string(what) + ": " + path +
+        " has no CRC footer (legacy pre-CRC blob) and CFIR_STRICT_BLOBS=1 "
+        "rejects footer-less files — re-record the artifact to add the "
+        "footer");
+  }
+  static std::atomic<bool> warned{false};
+  if (!warned.exchange(true)) {
+    std::fprintf(
+        stderr,
+        "cfir: warning: %s %s has no CRC footer (legacy pre-CRC blob); "
+        "loading without integrity checking. Re-record it to add the "
+        "footer, or set CFIR_STRICT_BLOBS=1 to reject such files. "
+        "(warning printed once per process)\n",
+        what, path.c_str());
+  }
+}
 
 /// Opens `path` positioned at the end and returns its size; rejects
 /// anything that is not a readable regular file (tellg returns -1 for
@@ -100,6 +135,7 @@ std::vector<uint8_t> read_blob_file(const std::string& path, const char* what,
                              ": missing CRC footer (truncated file?) in " +
                              path);
     }
+    note_legacy_blob(what, path);
     return bytes;  // legacy pre-footer file
   }
   const size_t payload_size = bytes.size() - kCrcFooterBytes;
@@ -131,7 +167,10 @@ void append_crc_footer(const std::string& path) {
 void verify_crc_footer(const std::string& path, const char* what) {
   std::streamoff size = 0;
   std::ifstream in = open_sized(path, what, size);
-  if (static_cast<uint64_t>(size) < kCrcFooterBytes) return;  // legacy
+  if (static_cast<uint64_t>(size) < kCrcFooterBytes) {
+    note_legacy_blob(what, path);
+    return;
+  }
   const uint64_t payload_size =
       static_cast<uint64_t>(size) - kCrcFooterBytes;
 
@@ -142,6 +181,7 @@ void verify_crc_footer(const std::string& path, const char* what) {
     throw CorruptFileError(std::string(what) + ": read failed for " + path);
   }
   if (std::memcmp(footer, kCrcFooterMagic, sizeof(kCrcFooterMagic)) != 0) {
+    note_legacy_blob(what, path);
     return;  // legacy pre-footer file
   }
   uint32_t stored = 0;
@@ -153,6 +193,22 @@ void verify_crc_footer(const std::string& path, const char* what) {
                            ": CRC mismatch (corrupt or truncated file) in " +
                            path);
   }
+}
+
+void put_string(util::ByteWriter& out, const std::string& s) {
+  out.u32(static_cast<uint32_t>(s.size()));
+  out.bytes(reinterpret_cast<const uint8_t*>(s.data()), s.size());
+}
+
+std::string get_string(util::ByteReader& in, const char* what) {
+  const uint32_t len = in.u32();
+  if (len > 4096) {
+    throw CorruptFileError(std::string("corrupt ") + what + " length " +
+                           std::to_string(len));
+  }
+  std::string s(len, '\0');
+  in.bytes(reinterpret_cast<uint8_t*>(s.data()), len);
+  return s;
 }
 
 }  // namespace cfir::trace

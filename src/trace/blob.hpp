@@ -17,6 +17,8 @@
 #include <string>
 #include <vector>
 
+#include "util/warmable.hpp"
+
 namespace cfir::trace {
 
 inline constexpr char kCrcFooterMagic[4] = {'C', 'R', 'C', '1'};
@@ -46,5 +48,13 @@ void append_crc_footer(const std::string& path);
 /// Checksums in fixed-size chunks. Footer-less legacy files pass; a
 /// present-but-wrong CRC throws CorruptFileError.
 void verify_crc_footer(const std::string& path, const char* what);
+
+/// The length-prefixed string encoding shared by every trace blob format
+/// (u32 byte count + bytes): one definition so the manifest and shard
+/// codecs cannot drift. get_string rejects lengths over 4 KiB
+/// (CorruptFileError naming `what`) — these are short identifiers, and a
+/// huge length means garbage bytes.
+void put_string(util::ByteWriter& out, const std::string& s);
+[[nodiscard]] std::string get_string(util::ByteReader& in, const char* what);
 
 }  // namespace cfir::trace

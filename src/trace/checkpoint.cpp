@@ -34,13 +34,14 @@ Checkpoint snapshot(const isa::Interpreter& interp,
 
 }  // namespace
 
-void Checkpoint::save(const std::string& path) const {
+void Checkpoint::save(const std::string& path, bool include_warm) const {
   // Stream pages straight to the file (memory images can be large) and
   // append the CRC footer with the chunked helper afterwards, like
   // TraceWriter::finish — never the whole payload in one buffer.
+  const bool with_warm = include_warm && has_warm();
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   if (!out) throw std::runtime_error("Checkpoint: cannot open " + path);
-  if (has_warm()) {
+  if (with_warm) {
     out.write(kCheckpointMagicV2, sizeof(kCheckpointMagicV2));
     io::put_raw(out, kCheckpointVersionWarm);
   } else {
@@ -64,7 +65,7 @@ void Checkpoint::save(const std::string& path) const {
     out.write(reinterpret_cast<const char*>(data),
               mem::MainMemory::kPageSize);
   }
-  if (has_warm()) {
+  if (with_warm) {
     io::put_raw(out, static_cast<uint64_t>(warm.size()));
     out.write(reinterpret_cast<const char*>(warm.data()),
               static_cast<std::streamsize>(warm.size()));

@@ -53,7 +53,12 @@ struct Checkpoint {
 
   [[nodiscard]] bool has_warm() const { return !warm.empty(); }
 
-  void save(const std::string& path) const;
+  /// Writes v2 when warm state is attached and `include_warm`, v1
+  /// otherwise. `include_warm = false` strips the warm blob from the file
+  /// without copying the (large) memory image — multi-config manifests
+  /// share one cold architectural checkpoint per interval and carry warm
+  /// state in per-config sidecars instead (trace/manifest.hpp).
+  void save(const std::string& path, bool include_warm = true) const;
   [[nodiscard]] static Checkpoint load(const std::string& path);
 };
 

@@ -1,5 +1,6 @@
 #include "trace/manifest.hpp"
 
+#include <algorithm>
 #include <bit>
 #include <cstring>
 
@@ -12,7 +13,7 @@ namespace cfir::trace {
 namespace {
 
 /// Directory part of `path` ("" when it has none), used to resolve the
-/// relative checkpoint file names.
+/// relative checkpoint / warm-sidecar file names.
 std::string dir_of(const std::string& path) {
   const size_t slash = path.find_last_of('/');
   return slash == std::string::npos ? std::string() : path.substr(0, slash);
@@ -29,21 +30,42 @@ std::string basename_of(const std::string& path) {
   return slash == std::string::npos ? path : path.substr(slash + 1);
 }
 
-void put_string(util::ByteWriter& out, const std::string& s) {
-  out.u32(static_cast<uint32_t>(s.size()));
-  out.bytes(reinterpret_cast<const uint8_t*>(s.data()), s.size());
+/// The warm-sidecar name write_manifest emits for interval `i`, config
+/// point `c` — one definition so the planner and any recovery tooling
+/// agree on the layout.
+std::string warm_sidecar_name(const std::string& stem, size_t i, size_t c) {
+  return stem + ".ck" + std::to_string(i) + ".cfg" + std::to_string(c) +
+         ".cfirwarm";
 }
 
-std::string get_string(util::ByteReader& in, const char* what) {
-  const uint32_t len = in.u32();
-  // Names are short identifiers; a huge length means garbage bytes.
-  if (len > 4096) {
-    throw CorruptFileError(std::string("ShardManifest: corrupt ") + what +
-                           " length " + std::to_string(len));
+void check_plan_shape(const IntervalPlan& plan, const char* who) {
+  const size_t k = plan.boundaries.size();
+  if (plan.lengths.size() != k || plan.weights.size() != k ||
+      plan.checkpoints.size() != k) {
+    throw std::runtime_error(std::string(who) + ": malformed plan");
   }
-  std::string s(len, '\0');
-  in.bytes(reinterpret_cast<uint8_t*>(s.data()), len);
-  return s;
+}
+
+/// The shared header + interval skeleton of both write_manifest overloads.
+ShardManifest manifest_skeleton(const IntervalPlan& plan,
+                                const std::string& workload,
+                                uint32_t scale) {
+  ShardManifest m;
+  m.workload = workload;
+  m.scale = scale;
+  m.mode = plan.mode;
+  m.warm_mode = plan.warm_mode;
+  m.warmup = plan.warmup;
+  m.total_insts = plan.total_insts;
+  m.interval_len = plan.interval_len;
+  m.ran_to_halt = plan.ran_to_halt;
+  m.intervals.resize(plan.boundaries.size());
+  for (size_t i = 0; i < plan.boundaries.size(); ++i) {
+    m.intervals[i].start = plan.boundaries[i];
+    m.intervals[i].length = plan.lengths[i];
+    m.intervals[i].weight = plan.weights[i];
+  }
+  return m;
 }
 
 }  // namespace
@@ -59,11 +81,44 @@ std::string path_stem(const std::string& path) {
 }
 
 std::vector<uint8_t> ShardManifest::serialize() const {
+  if (version != 1 && version != kManifestVersion) {
+    throw std::runtime_error("ShardManifest: cannot serialize version " +
+                             std::to_string(version));
+  }
   util::ByteWriter out;
-  for (const char c : kManifestMagic) out.u8(static_cast<uint8_t>(c));
+  if (version == 1) {
+    // Legacy layout, byte-for-byte: one combined config hash, no embedded
+    // configs, no warm sidecars.
+    if (configs.size() != 1) {
+      throw std::runtime_error(
+          "ShardManifest: a v1 manifest carries exactly one config point");
+    }
+    for (const char c : kManifestMagic) out.u8(static_cast<uint8_t>(c));
+    out.u32(1);
+    out.u32(0);  // reserved
+    out.u64(plan_hash);
+    out.u8(static_cast<uint8_t>(mode));
+    out.u8(static_cast<uint8_t>(warm_mode));
+    out.u64(warmup);
+    out.u64(total_insts);
+    out.u64(interval_len);
+    out.boolean(ran_to_halt);
+    out.u32(scale);
+    put_string(out, workload);
+    out.u32(static_cast<uint32_t>(intervals.size()));
+    for (const IntervalRef& iv : intervals) {
+      out.u64(iv.start);
+      out.u64(iv.length);
+      out.u64(std::bit_cast<uint64_t>(iv.weight));
+      put_string(out, iv.checkpoint_file);
+    }
+    return out.take();
+  }
+
+  for (const char c : kManifestMagicV2) out.u8(static_cast<uint8_t>(c));
   out.u32(kManifestVersion);
   out.u32(0);  // reserved
-  out.u64(config_hash);
+  out.u64(plan_hash);
   out.u8(static_cast<uint8_t>(mode));
   out.u8(static_cast<uint8_t>(warm_mode));
   out.u64(warmup);
@@ -72,35 +127,54 @@ std::vector<uint8_t> ShardManifest::serialize() const {
   out.boolean(ran_to_halt);
   out.u32(scale);
   put_string(out, workload);
+  out.u32(static_cast<uint32_t>(configs.size()));
+  for (const ConfigPoint& cp : configs) {
+    put_string(out, cp.name);
+    out.u64(cp.config_hash);
+    util::ByteWriter cfg;
+    cp.config.serialize(cfg);
+    out.u32(static_cast<uint32_t>(cfg.data().size()));
+    out.bytes(cfg.data().data(), cfg.data().size());
+  }
   out.u32(static_cast<uint32_t>(intervals.size()));
   for (const IntervalRef& iv : intervals) {
     out.u64(iv.start);
     out.u64(iv.length);
     out.u64(std::bit_cast<uint64_t>(iv.weight));
     put_string(out, iv.checkpoint_file);
+    for (size_t c = 0; c < configs.size(); ++c) {
+      put_string(out,
+                 c < iv.warm_files.size() ? iv.warm_files[c] : std::string());
+    }
   }
   return out.take();
 }
 
 ShardManifest ShardManifest::deserialize(
     const std::vector<uint8_t>& payload) {
-  if (payload.size() < sizeof(kManifestMagic) ||
-      std::memcmp(payload.data(), kManifestMagic, sizeof(kManifestMagic)) !=
-          0) {
+  const bool v1 =
+      payload.size() >= sizeof(kManifestMagic) &&
+      std::memcmp(payload.data(), kManifestMagic, sizeof(kManifestMagic)) ==
+          0;
+  const bool v2 = payload.size() >= sizeof(kManifestMagicV2) &&
+                  std::memcmp(payload.data(), kManifestMagicV2,
+                              sizeof(kManifestMagicV2)) == 0;
+  if (!v1 && !v2) {
     throw BadMagicError("ShardManifest: bad magic (not a CFIRMAN file)");
   }
   try {
     util::ByteReader in(payload.data() + sizeof(kManifestMagic),
                         payload.size() - sizeof(kManifestMagic));
     const uint32_t version = in.u32();
-    if (version != kManifestVersion) {
+    if (version != (v1 ? 1u : kManifestVersion)) {
       throw VersionError("ShardManifest: unsupported version " +
                          std::to_string(version));
     }
     (void)in.u32();  // reserved
 
     ShardManifest m;
-    m.config_hash = in.u64();
+    m.version = version;
+    m.plan_hash = in.u64();
     m.mode = static_cast<SampleMode>(in.u8());
     m.warm_mode = static_cast<WarmMode>(in.u8());
     m.warmup = in.u64();
@@ -108,14 +182,55 @@ ShardManifest ShardManifest::deserialize(
     m.interval_len = in.u64();
     m.ran_to_halt = in.boolean();
     m.scale = in.u32();
-    m.workload = get_string(in, "workload name");
+    m.workload = get_string(in, "ShardManifest workload name");
+    if (v1) {
+      // A v1 manifest is a 1-config manifest whose combined hash doubles
+      // as the (only) config point's hash; the config itself is not
+      // embedded and must come from the executor (verify_manifest_config).
+      ConfigPoint cp;
+      cp.config_hash = m.plan_hash;
+      m.configs.push_back(std::move(cp));
+    } else {
+      const uint32_t nc = in.u32();
+      if (nc == 0 || nc > 4096) {
+        throw CorruptFileError(
+            "ShardManifest: corrupt config point count " +
+            std::to_string(nc));
+      }
+      m.configs.resize(nc);
+      for (ConfigPoint& cp : m.configs) {
+        cp.name = get_string(in, "ShardManifest config name");
+        cp.config_hash = in.u64();
+        const uint32_t cfg_len = in.u32();
+        if (cfg_len > 4096 || cfg_len > in.remaining()) {
+          throw CorruptFileError(
+              "ShardManifest: corrupt embedded config length " +
+              std::to_string(cfg_len));
+        }
+        std::vector<uint8_t> cfg_bytes(cfg_len);
+        in.bytes(cfg_bytes.data(), cfg_len);
+        util::ByteReader cfg(cfg_bytes);
+        cp.config = core::CoreConfig::deserialize(cfg);
+        if (!cfg.done()) {
+          throw CorruptFileError(
+              "ShardManifest: trailing bytes after embedded config");
+        }
+        cp.embedded = true;
+      }
+    }
     const uint32_t n = in.u32();
     m.intervals.resize(n);
     for (IntervalRef& iv : m.intervals) {
       iv.start = in.u64();
       iv.length = in.u64();
       iv.weight = std::bit_cast<double>(in.u64());
-      iv.checkpoint_file = get_string(in, "checkpoint file name");
+      iv.checkpoint_file = get_string(in, "ShardManifest checkpoint file name");
+      if (!v1) {
+        iv.warm_files.resize(m.configs.size());
+        for (std::string& wf : iv.warm_files) {
+          wf = get_string(in, "ShardManifest warm sidecar file name");
+        }
+      }
     }
     if (!in.done()) {
       throw CorruptFileError("ShardManifest: trailing bytes after intervals");
@@ -139,11 +254,12 @@ ShardManifest ShardManifest::load(const std::string& path) {
       read_blob_file(path, "ShardManifest", /*require_footer=*/true));
 }
 
-uint64_t plan_config_hash(const core::CoreConfig& config,
-                          const std::string& workload, uint32_t scale,
-                          const IntervalPlan& plan) {
-  util::Digest d;
-  d.u64(config.digest());
+namespace {
+
+/// The plan-structure fields, mixed in the exact order the v1 combined
+/// hash used, so plan_config_hash stays byte-compatible with PR 4.
+void mix_plan_structure(util::Digest& d, const std::string& workload,
+                        uint32_t scale, const IntervalPlan& plan) {
   d.u32(static_cast<uint32_t>(workload.size()));
   d.bytes(reinterpret_cast<const uint8_t*>(workload.data()),
           workload.size());
@@ -160,6 +276,26 @@ uint64_t plan_config_hash(const core::CoreConfig& config,
     d.u64(plan.lengths[i]);
     d.u64(std::bit_cast<uint64_t>(plan.weights[i]));
   }
+}
+
+}  // namespace
+
+uint64_t plan_config_hash(const core::CoreConfig& config,
+                          const std::string& workload, uint32_t scale,
+                          const IntervalPlan& plan) {
+  util::Digest d;
+  d.u64(config.digest());
+  mix_plan_structure(d, workload, scale, plan);
+  return d.value();
+}
+
+uint64_t plan_structure_hash(const std::string& workload, uint32_t scale,
+                             const IntervalPlan& plan) {
+  util::Digest d;
+  // A fixed tag in the config slot keeps structure hashes from colliding
+  // with v1 combined hashes over the same plan.
+  d.u64(0x43464952'504C414Eull);  // "CFIR" "PLAN"
+  mix_plan_structure(d, workload, scale, plan);
   return d.value();
 }
 
@@ -167,33 +303,70 @@ ShardManifest write_manifest(const IntervalPlan& plan,
                              const core::CoreConfig& config,
                              const std::string& workload, uint32_t scale,
                              const std::string& manifest_path) {
-  const size_t k = plan.boundaries.size();
-  if (plan.lengths.size() != k || plan.weights.size() != k ||
-      plan.checkpoints.size() != k) {
-    throw std::runtime_error("write_manifest: malformed plan");
-  }
-  ShardManifest m;
-  m.workload = workload;
-  m.scale = scale;
-  m.config_hash = plan_config_hash(config, workload, scale, plan);
-  m.mode = plan.mode;
-  m.warm_mode = plan.warm_mode;
-  m.warmup = plan.warmup;
-  m.total_insts = plan.total_insts;
-  m.interval_len = plan.interval_len;
-  m.ran_to_halt = plan.ran_to_halt;
+  check_plan_shape(plan, "write_manifest");
+  ShardManifest m = manifest_skeleton(plan, workload, scale);
+  m.version = 1;
+  m.plan_hash = plan_config_hash(config, workload, scale, plan);
+  ShardManifest::ConfigPoint cp;
+  cp.name = config.label();
+  cp.config_hash = m.plan_hash;
+  m.configs.push_back(std::move(cp));
 
   const std::string stem = path_stem(manifest_path);
-  m.intervals.resize(k);
-  for (size_t i = 0; i < k; ++i) {
-    ShardManifest::IntervalRef& iv = m.intervals[i];
-    iv.start = plan.boundaries[i];
-    iv.length = plan.lengths[i];
-    iv.weight = plan.weights[i];
+  for (size_t i = 0; i < plan.checkpoints.size(); ++i) {
     const std::string ck_path =
         stem + ".ck" + std::to_string(i) + ".cfirckpt";
     plan.checkpoints[i].save(ck_path);
+    m.intervals[i].checkpoint_file = basename_of(ck_path);
+  }
+  m.save(manifest_path);
+  return m;
+}
+
+ShardManifest write_manifest(const IntervalPlan& plan,
+                             const std::vector<ConfigBinding>& bindings,
+                             const std::string& workload, uint32_t scale,
+                             const std::string& manifest_path) {
+  check_plan_shape(plan, "write_manifest");
+  if (bindings.empty()) {
+    throw std::runtime_error("write_manifest: no config bindings");
+  }
+  for (const ConfigBinding& b : bindings) {
+    if (!b.warm.empty() && b.warm.size() != plan.checkpoints.size()) {
+      throw std::runtime_error(
+          "write_manifest: binding '" + b.name +
+          "' carries warm state for a different interval count");
+    }
+  }
+  ShardManifest m = manifest_skeleton(plan, workload, scale);
+  m.plan_hash = plan_structure_hash(workload, scale, plan);
+  m.configs.reserve(bindings.size());
+  for (const ConfigBinding& b : bindings) {
+    ShardManifest::ConfigPoint cp;
+    cp.name = b.name.empty() ? b.config.label() : b.name;
+    cp.config_hash = b.config_hash != 0 ? b.config_hash : b.config.digest();
+    cp.config = b.config;
+    cp.embedded = true;
+    m.configs.push_back(std::move(cp));
+  }
+
+  const std::string stem = path_stem(manifest_path);
+  for (size_t i = 0; i < plan.checkpoints.size(); ++i) {
+    const std::string ck_path =
+        stem + ".ck" + std::to_string(i) + ".cfirckpt";
+    // The architectural checkpoint is config-independent and shared by the
+    // whole grid; warm state travels in the per-config sidecars instead,
+    // so strip any blob a single-config flow may have attached.
+    plan.checkpoints[i].save(ck_path, /*include_warm=*/false);
+    ShardManifest::IntervalRef& iv = m.intervals[i];
     iv.checkpoint_file = basename_of(ck_path);
+    iv.warm_files.resize(bindings.size());
+    for (size_t c = 0; c < bindings.size(); ++c) {
+      if (bindings[c].warm.empty() || bindings[c].warm[i].empty()) continue;
+      const std::string warm_path = warm_sidecar_name(stem, i, c);
+      write_blob_file(warm_path, bindings[c].warm[i]);
+      iv.warm_files[c] = basename_of(warm_path);
+    }
   }
   m.save(manifest_path);
   return m;
@@ -222,19 +395,100 @@ IntervalPlan plan_from_manifest(const ShardManifest& manifest,
   return plan;
 }
 
+std::vector<ConfigBinding> bindings_from_manifest(
+    const ShardManifest& manifest, const std::string& manifest_path,
+    ShardSelection shard) {
+  if (manifest.version < 2) {
+    throw VersionError(
+        "ShardManifest: a v1 manifest does not embed its config — supply "
+        "it to the executor and verify with verify_manifest_config");
+  }
+  std::vector<ConfigBinding> bindings;
+  bindings.reserve(manifest.configs.size());
+  for (size_t c = 0; c < manifest.configs.size(); ++c) {
+    const ShardManifest::ConfigPoint& cp = manifest.configs[c];
+    ConfigBinding b;
+    b.name = cp.name;
+    b.config = cp.config;
+    b.config_hash = cp.config_hash;
+    // Load warm sidecars for this shard's intervals only; the slots of
+    // intervals other shards execute stay empty (run_shard never reads
+    // them), so each worker of an N-shard farm does 1/N of the blob I/O.
+    bool any_warm = false;
+    for (size_t i = 0; i < manifest.intervals.size(); ++i) {
+      const ShardManifest::IntervalRef& iv = manifest.intervals[i];
+      any_warm = any_warm || (shard.covers(i) && c < iv.warm_files.size() &&
+                              !iv.warm_files[c].empty());
+    }
+    if (any_warm) {
+      b.warm.resize(manifest.intervals.size());
+      for (size_t i = 0; i < manifest.intervals.size(); ++i) {
+        if (!shard.covers(i)) continue;
+        const ShardManifest::IntervalRef& iv = manifest.intervals[i];
+        if (c >= iv.warm_files.size() || iv.warm_files[c].empty()) {
+          throw CorruptFileError(
+              "ShardManifest: config point '" + cp.name +
+              "' has warm state for only some intervals");
+        }
+        b.warm[i] = read_blob_file(resolve(manifest_path, iv.warm_files[c]),
+                                   "WarmState", /*require_footer=*/true);
+      }
+    }
+    bindings.push_back(std::move(b));
+  }
+  return bindings;
+}
+
 void verify_manifest_config(const ShardManifest& manifest,
                             const core::CoreConfig& config,
                             const IntervalPlan& plan) {
   const uint64_t expected =
       plan_config_hash(config, manifest.workload, manifest.scale, plan);
-  if (expected != manifest.config_hash) {
+  if (expected != manifest.plan_hash) {
     throw ConfigMismatchError(
         "ShardManifest: config hash mismatch — the manifest was planned "
         "for a different core config or plan (manifest has " +
-        hex64(manifest.config_hash) + ", this run computes " +
+        hex64(manifest.plan_hash) + ", this run computes " +
         hex64(expected) +
         "); re-plan with the current config or run with the one the "
         "manifest was made for");
+  }
+}
+
+void verify_manifest_plan(const ShardManifest& manifest,
+                          const IntervalPlan& plan) {
+  const uint64_t expected =
+      plan_structure_hash(manifest.workload, manifest.scale, plan);
+  if (expected != manifest.plan_hash) {
+    throw ConfigMismatchError(
+        "ShardManifest: plan hash mismatch — this plan's interval "
+        "schedule is not the one the manifest was written for (manifest "
+        "has " + hex64(manifest.plan_hash) + ", this plan hashes to " +
+        hex64(expected) + "); re-plan or use the matching manifest");
+  }
+  // The structure hash covers only manifest fields, so for a plan
+  // reloaded from this very manifest it cannot fail; the checkpoint
+  // POSITIONS are what bind the plan to its sibling files. Every planner
+  // captures interval i at max(start - W, 0) (W = requested warm-up for
+  // modes with a detailed slice, 0 otherwise — trace/sampling.cpp), so a
+  // checkpoint whose `executed` sits elsewhere is a wrong or swapped
+  // .cfirckpt in the manifest directory.
+  const uint64_t w =
+      warm_mode_has_detailed_slice(manifest.warm_mode) ? manifest.warmup : 0;
+  const size_t k =
+      std::min(plan.boundaries.size(), plan.checkpoints.size());
+  for (size_t i = 0; i < k; ++i) {
+    const uint64_t at =
+        plan.boundaries[i] >= w ? plan.boundaries[i] - w : 0;
+    if (plan.checkpoints[i].executed != at) {
+      throw CorruptFileError(
+          "ShardManifest: the checkpoint file for interval " +
+          std::to_string(i) + " was captured at instruction " +
+          std::to_string(plan.checkpoints[i].executed) +
+          " but the schedule expects " + std::to_string(at) +
+          " — wrong or swapped .cfirckpt in the manifest directory; "
+          "re-plan it");
+    }
   }
 }
 

@@ -3,35 +3,55 @@
 // (docs/sharding.md):
 //
 //   plan    — plan_intervals / plan_cluster_intervals build an
-//             IntervalPlan; write_manifest freezes it to disk as one
-//             CFIRMAN1 manifest plus one self-contained CFIRCKP checkpoint
-//             blob per interval (warm state included when the plan's warm
-//             mode has a functional prefix).
+//             IntervalPlan; bind_configs binds the config grid;
+//             write_manifest freezes everything to disk as one CFIRMAN2
+//             manifest, one architectural CFIRCKP checkpoint blob per
+//             interval (shared by every config), and one warm-state
+//             sidecar per (interval, config) when the warm mode has a
+//             functional prefix.
 //   execute — any machine loads the manifest, rebuilds the plan
-//             (plan_from_manifest) and runs a subset of its intervals
-//             (trace/shard.hpp), emitting one CFIRSHD1 result blob.
-//   merge   — the result blobs fold back into the single-process answer
-//             (trace::merge_shard_results / stats::merge_shards).
+//             (plan_from_manifest) and the bindings
+//             (bindings_from_manifest), and runs a subset of its
+//             intervals under every config (trace/shard.hpp), emitting
+//             one CFIRSHD2 result blob.
+//   merge   — the result blobs fold back into one single-process answer
+//             per config (trace::merge_shard_grid / stats::merge_shards).
 //
-// The manifest records a canonical **config hash** — core::CoreConfig
-// digest + workload identity + the plan structure itself — stamped into
-// every shard result, so results produced under a different config or plan
-// are rejected at merge time (ConfigMismatchError) instead of being
-// silently averaged.
+// The experiment point is decomposed into a **config-independent plan**
+// (interval boundaries, lengths, weights, architectural checkpoints —
+// identical for every core configuration of the same workload) and
+// **per-config bindings** (the core to simulate and its functional warm
+// state, whose predictor/cache geometry differs per config). One plan
+// therefore drives a whole bench grid: the manifest records a
+// **plan hash** (plan_structure_hash — workload identity + plan
+// structure) stamped into every shard result, plus one **config hash**
+// (core::CoreConfig::digest()) per grid point, so results produced under
+// a different plan or config are rejected at merge time
+// (ConfigMismatchError) instead of being silently averaged.
 //
-// File format, version 1 (little-endian, shared CRC-32 footer required —
+// File format, version 2 (little-endian, shared CRC-32 footer required —
 // trace/blob.hpp):
-//   magic "CFIRMAN1" | u32 version | u32 reserved
-//   | u64 config_hash
+//   magic "CFIRMAN2" | u32 version | u32 reserved
+//   | u64 plan_hash
 //   | u8 mode | u8 warm_mode | u64 warmup | u64 total_insts
 //   | u64 interval_len | u8 ran_to_halt
 //   | u32 scale | u32 workload_len | workload bytes
+//   | u32 n_configs
+//   | n_configs x (u32 name_len | name bytes | u64 config_hash
+//                  | u32 cfg_len | CoreConfig bytes (core/config.hpp
+//                    X-macro codec))
 //   | u32 n_intervals
 //   | n x (u64 start | u64 length | u64 weight_bits(double)
-//          | u32 file_len | checkpoint file name bytes)
+//          | u32 file_len | checkpoint file name bytes
+//          | n_configs x (u32 file_len | warm sidecar file name bytes,
+//            empty when the config has no warm state for this interval))
 //   | "CRC1" | u32 crc32
-// Checkpoint file names are relative to the manifest's directory, so a
-// manifest and its checkpoints move between machines as one directory.
+// All file names are relative to the manifest's directory, so a manifest,
+// its checkpoints and its warm sidecars move between machines as one
+// directory. Version-1 files ("CFIRMAN1", one combined config hash, warm
+// state embedded in CFIRCKP2 checkpoints) still load, as a 1-config
+// manifest whose config point is not embedded (the executor must supply
+// the config and verify it via verify_manifest_config, as before).
 #pragma once
 
 #include <cstdint>
@@ -40,24 +60,34 @@
 
 #include "core/config.hpp"
 #include "trace/sampling.hpp"
+#include "trace/shard.hpp"
 
 namespace cfir::trace {
 
 inline constexpr char kManifestMagic[8] = {'C', 'F', 'I', 'R',
                                            'M', 'A', 'N', '1'};
-inline constexpr uint32_t kManifestVersion = 1;
+inline constexpr char kManifestMagicV2[8] = {'C', 'F', 'I', 'R',
+                                             'M', 'A', 'N', '2'};
+inline constexpr uint32_t kManifestVersion = 2;
 
 /// `path` minus its final extension (".cfirman" usually) — the stem the
 /// manifest's sibling artifacts are named from: write_manifest puts
-/// checkpoints at `<stem>.ck<i>.cfirckpt` and trace_tool defaults shard
-/// results to `<stem>.shard<i>of<N>.cfirshd`. One definition so the file
-/// layout cannot drift between the planner and the tools.
+/// checkpoints at `<stem>.ck<i>.cfirckpt`, warm sidecars at
+/// `<stem>.ck<i>.cfg<c>.cfirwarm`, and trace_tool defaults shard results
+/// to `<stem>.shard<i>of<N>.cfirshd`. One definition so the file layout
+/// cannot drift between the planner and the tools.
 [[nodiscard]] std::string path_stem(const std::string& path);
 
 struct ShardManifest {
+  /// 2 for manifests this build writes; 1 when loaded from (or to be
+  /// written as) a legacy CFIRMAN1 file. serialize() honours it, so
+  /// loaded v1 manifests round-trip byte-identically.
+  uint32_t version = kManifestVersion;
   std::string workload;  ///< cfir::workloads name — rebuilds the program
   uint32_t scale = 1;
-  uint64_t config_hash = 0;  ///< plan_config_hash at write time
+  /// v2: plan_structure_hash (config-independent). v1: the legacy
+  /// combined plan_config_hash.
+  uint64_t plan_hash = 0;
   SampleMode mode = SampleMode::kUniform;
   WarmMode warm_mode = WarmMode::kDetailed;
   uint64_t warmup = 0;
@@ -65,16 +95,30 @@ struct ShardManifest {
   uint64_t interval_len = 0;  ///< cluster mode: source-window length
   bool ran_to_halt = false;
 
+  /// One config point of the grid this manifest farms.
+  struct ConfigPoint {
+    std::string name;          ///< column label (CoreConfig::label())
+    uint64_t config_hash = 0;  ///< v2: CoreConfig::digest(); v1: plan_hash
+    core::CoreConfig config;   ///< meaningful only when `embedded`
+    bool embedded = false;     ///< v2: config bytes travel in the manifest
+  };
+  std::vector<ConfigPoint> configs;
+
   struct IntervalRef {
     uint64_t start = 0;   ///< first measured instruction index
     uint64_t length = 0;  ///< measured instructions
     double weight = 1.0;  ///< population this interval stands in for
     std::string checkpoint_file;  ///< relative to the manifest's directory
+    /// v2: one warm-sidecar file name per config point (in `configs`
+    /// order; empty string = no warm state). Empty vector on v1 manifests
+    /// (warm state rides inside the CFIRCKP2 checkpoint there).
+    std::vector<std::string> warm_files;
   };
   std::vector<IntervalRef> intervals;
 
   /// Payload bytes (no CRC footer). Deterministic: serialize ∘ deserialize
-  /// is the identity on the bytes (fuzz-locked in tests/test_shard.cpp).
+  /// is the identity on the bytes for either version (fuzz-locked in
+  /// tests/test_shard.cpp).
   [[nodiscard]] std::vector<uint8_t> serialize() const;
   [[nodiscard]] static ShardManifest deserialize(
       const std::vector<uint8_t>& payload);
@@ -83,37 +127,81 @@ struct ShardManifest {
   [[nodiscard]] static ShardManifest load(const std::string& path);
 };
 
-/// The canonical config hash: CoreConfig::digest() + workload identity +
+/// The legacy v1 combined hash: CoreConfig::digest() + workload identity +
 /// the plan's structure (mode, warm mode, boundaries, lengths, weights).
-/// Everything that must agree for two shard results to be mergeable.
+/// Everything that had to agree for two v1 shard results to be mergeable.
+/// Unchanged byte-for-byte from PR 4, so v1 manifests written by older
+/// builds still verify.
 [[nodiscard]] uint64_t plan_config_hash(const core::CoreConfig& config,
                                         const std::string& workload,
                                         uint32_t scale,
                                         const IntervalPlan& plan);
 
-/// Plan layer driver: writes `plan` as `manifest_path` plus one checkpoint
-/// blob per interval next to it (named `<stem>.ck<i>.cfirckpt`), and
-/// returns the manifest. The plan's checkpoints should already carry warm
-/// state when the warm mode needs it (attach_warm_states) so every shard
-/// is self-contained.
+/// The config-independent half of the v1 hash: workload identity + plan
+/// structure only. Two manifests share this iff their checkpoints and
+/// interval schedules are interchangeable — which is exactly what lets one
+/// checkpoint set serve every config of a grid.
+[[nodiscard]] uint64_t plan_structure_hash(const std::string& workload,
+                                           uint32_t scale,
+                                           const IntervalPlan& plan);
+
+/// Plan layer driver, single config (legacy v1 format): writes `plan` as a
+/// CFIRMAN1 manifest plus one checkpoint blob per interval next to it
+/// (named `<stem>.ck<i>.cfirckpt`, warm state embedded as CFIRCKP2 when
+/// attached), and returns the manifest.
 ShardManifest write_manifest(const IntervalPlan& plan,
                              const core::CoreConfig& config,
                              const std::string& workload, uint32_t scale,
                              const std::string& manifest_path);
 
-/// Rebuilds a runnable IntervalPlan from a manifest, loading every
-/// referenced checkpoint relative to the manifest's directory. Cluster
-/// diagnostics (cluster_of, bic_by_k) are not stored and come back empty.
+/// Plan layer driver, config grid (CFIRMAN2): writes `plan` as one
+/// manifest, one **cold** architectural checkpoint per interval (shared by
+/// every config), and one warm sidecar per (interval, config) carrying
+/// that binding's functional warm state. Every binding's config travels in
+/// the manifest, so the execute layer needs no out-of-band preset.
+ShardManifest write_manifest(const IntervalPlan& plan,
+                             const std::vector<ConfigBinding>& bindings,
+                             const std::string& workload, uint32_t scale,
+                             const std::string& manifest_path);
+
+/// Rebuilds a runnable IntervalPlan from a manifest (either version),
+/// loading every referenced checkpoint relative to the manifest's
+/// directory. Cluster diagnostics (cluster_of, bic_by_k) are not stored
+/// and come back empty.
 [[nodiscard]] IntervalPlan plan_from_manifest(const ShardManifest& manifest,
                                               const std::string&
                                                   manifest_path);
 
-/// Recomputes the config hash for (`config`, the manifest's workload, the
-/// reloaded `plan`) and throws ConfigMismatchError when it differs from the
-/// manifest's — i.e. the caller is about to execute or merge under a
-/// different experiment point than the plan was made for.
+/// Rebuilds the config bindings of a v2 manifest, loading each
+/// (interval, config) warm sidecar relative to the manifest's directory.
+/// `shard` (default: the whole plan) limits the sidecar reads to the
+/// intervals that shard executes — a worker of an N-shard farm reads 1/N
+/// of the warm blobs, and the skipped intervals' slots stay empty (which
+/// run_shard never touches for uncovered intervals). Throws VersionError
+/// on v1 manifests (their single config is not embedded — the executor
+/// supplies it and calls verify_manifest_config).
+[[nodiscard]] std::vector<ConfigBinding> bindings_from_manifest(
+    const ShardManifest& manifest, const std::string& manifest_path,
+    ShardSelection shard = {});
+
+/// v1 manifests: recomputes the combined hash for (`config`, the
+/// manifest's workload, the reloaded `plan`) and throws
+/// ConfigMismatchError when it differs from the manifest's — i.e. the
+/// caller is about to execute or merge under a different experiment point
+/// than the plan was made for.
 void verify_manifest_config(const ShardManifest& manifest,
                             const core::CoreConfig& config,
                             const IntervalPlan& plan);
+
+/// v2 manifests: recomputes plan_structure_hash for `plan` (throws
+/// ConfigMismatchError on mismatch — a plan from some other planning run)
+/// and validates that every checkpoint sits at the instruction position
+/// the schedule demands (throws CorruptFileError otherwise — a wrong or
+/// swapped .cfirckpt in the manifest directory). The position check is
+/// the half with teeth for a plan freshly reloaded from this manifest:
+/// the hash covers only manifest fields, but the checkpoints come from
+/// sibling files that can be tampered with independently.
+void verify_manifest_plan(const ShardManifest& manifest,
+                          const IntervalPlan& plan);
 
 }  // namespace cfir::trace

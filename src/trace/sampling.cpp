@@ -158,6 +158,40 @@ void attach_warm_states(IntervalPlan& plan, const core::CoreConfig& config,
   }
 }
 
+std::vector<ConfigBinding> bind_configs(
+    const IntervalPlan& plan,
+    const std::vector<std::pair<std::string, core::CoreConfig>>& points,
+    const isa::Program& program) {
+  if (points.empty()) {
+    throw std::runtime_error("bind_configs: no config points");
+  }
+  std::vector<ConfigBinding> bindings;
+  bindings.reserve(points.size());
+  for (const auto& [name, config] : points) {
+    ConfigBinding b;
+    b.name = name;
+    b.config = config;
+    b.config_hash = config.digest();
+    bindings.push_back(std::move(b));
+  }
+  if (!warm_mode_has_functional_prefix(plan.warm_mode)) return bindings;
+
+  std::vector<uint64_t> targets;
+  targets.reserve(plan.checkpoints.size());
+  for (const Checkpoint& ck : plan.checkpoints) {
+    targets.push_back(ck.executed);
+  }
+  std::vector<core::CoreConfig> configs;
+  configs.reserve(points.size());
+  for (const auto& [name, config] : points) configs.push_back(config);
+  std::vector<std::vector<std::vector<uint8_t>>> blobs =
+      capture_warm_states_grid(configs, program, targets);
+  for (size_t c = 0; c < bindings.size(); ++c) {
+    bindings[c].warm = std::move(blobs[c]);
+  }
+  return bindings;
+}
+
 SampledRun sampled_run(const core::CoreConfig& config,
                        const isa::Program& program, const IntervalPlan& plan,
                        int threads) {

@@ -45,17 +45,22 @@ ShardSelection parse_shard(std::string_view spec) {
 
 std::vector<uint8_t> ShardResult::serialize() const {
   util::ByteWriter out;
-  for (const char c : kShardMagic) out.u8(static_cast<uint8_t>(c));
+  for (const char c : kShardMagicV2) out.u8(static_cast<uint8_t>(c));
   out.u32(kShardVersion);
   out.u32(0);  // reserved
-  out.u64(config_hash);
+  out.u64(plan_hash);
   out.u32(shard_index);
   out.u32(shard_count);
   out.u32(plan_intervals);
   out.u64(total_insts);
   out.boolean(ran_to_halt);
-  out.u64(detailed_insts);
   out.u64(warmed_insts);
+  out.u32(static_cast<uint32_t>(configs.size()));
+  for (const ConfigColumn& cc : configs) {
+    put_string(out, cc.name);
+    out.u64(cc.config_hash);
+    out.u64(cc.detailed_insts);
+  }
   out.u32(static_cast<uint32_t>(intervals.size()));
   for (const Interval& iv : intervals) {
     out.u32(iv.plan_index);
@@ -63,35 +68,62 @@ std::vector<uint8_t> ShardResult::serialize() const {
     out.u64(iv.length);
     out.u64(iv.warmup);
     out.u64(std::bit_cast<uint64_t>(iv.weight));
-    stats::serialize(iv.stats, out);
+    if (iv.stats.size() != configs.size()) {
+      throw std::runtime_error(
+          "ShardResult::serialize: interval stats/config column mismatch");
+    }
+    for (const stats::SimStats& s : iv.stats) stats::serialize(s, out);
   }
   return out.take();
 }
 
 ShardResult ShardResult::deserialize(const std::vector<uint8_t>& payload) {
-  if (payload.size() < sizeof(kShardMagic) ||
-      std::memcmp(payload.data(), kShardMagic, sizeof(kShardMagic)) != 0) {
+  const bool v1 =
+      payload.size() >= sizeof(kShardMagic) &&
+      std::memcmp(payload.data(), kShardMagic, sizeof(kShardMagic)) == 0;
+  const bool v2 =
+      payload.size() >= sizeof(kShardMagicV2) &&
+      std::memcmp(payload.data(), kShardMagicV2, sizeof(kShardMagicV2)) == 0;
+  if (!v1 && !v2) {
     throw BadMagicError("ShardResult: bad magic (not a CFIRSHD file)");
   }
   try {
     util::ByteReader in(payload.data() + sizeof(kShardMagic),
                         payload.size() - sizeof(kShardMagic));
     const uint32_t version = in.u32();
-    if (version != kShardVersion) {
+    if (version != (v1 ? 1u : 2u)) {
       throw VersionError("ShardResult: unsupported version " +
                          std::to_string(version));
     }
     (void)in.u32();  // reserved
 
     ShardResult r;
-    r.config_hash = in.u64();
+    r.plan_hash = in.u64();
     r.shard_index = in.u32();
     r.shard_count = in.u32();
     r.plan_intervals = in.u32();
     r.total_insts = in.u64();
     r.ran_to_halt = in.boolean();
-    r.detailed_insts = in.u64();
-    r.warmed_insts = in.u64();
+    if (v1) {
+      // v1: one implicit config column; its hash was the combined
+      // manifest config hash and detailed_insts preceded warmed_insts.
+      const uint64_t detailed = in.u64();
+      r.warmed_insts = in.u64();
+      r.configs.push_back({std::string(), r.plan_hash, detailed});
+    } else {
+      r.warmed_insts = in.u64();
+      const uint32_t nc = in.u32();
+      if (nc == 0 || nc > 4096) {
+        throw CorruptFileError("ShardResult: corrupt config column count " +
+                               std::to_string(nc));
+      }
+      r.configs.resize(nc);
+      for (ConfigColumn& cc : r.configs) {
+        cc.name = get_string(in, "ShardResult config name");
+        cc.config_hash = in.u64();
+        cc.detailed_insts = in.u64();
+      }
+    }
     const uint32_t n = in.u32();
     r.intervals.resize(n);
     for (Interval& iv : r.intervals) {
@@ -100,7 +132,10 @@ ShardResult ShardResult::deserialize(const std::vector<uint8_t>& payload) {
       iv.length = in.u64();
       iv.warmup = in.u64();
       iv.weight = std::bit_cast<double>(in.u64());
-      iv.stats = stats::deserialize_stats(in);
+      iv.stats.reserve(r.configs.size());
+      for (size_t c = 0; c < r.configs.size(); ++c) {
+        iv.stats.push_back(stats::deserialize_stats(in));
+      }
     }
     if (!in.done()) {
       throw CorruptFileError("ShardResult: trailing bytes after intervals");
@@ -124,28 +159,43 @@ ShardResult ShardResult::load(const std::string& path) {
       read_blob_file(path, "ShardResult", /*require_footer=*/true));
 }
 
-ShardResult run_shard(const core::CoreConfig& config,
+ShardResult run_shard(const std::vector<ConfigBinding>& configs,
                       const isa::Program& program, const IntervalPlan& plan,
-                      ShardSelection shard, int threads,
-                      uint64_t config_hash) {
+                      ShardSelection shard, int threads, uint64_t plan_hash) {
   const size_t k = plan.boundaries.size();
   if (plan.lengths.size() != k || plan.weights.size() != k ||
       plan.checkpoints.size() != k) {
     throw std::runtime_error("run_shard: malformed plan");
+  }
+  if (configs.empty()) {
+    throw std::runtime_error("run_shard: no config bindings");
+  }
+  for (const ConfigBinding& b : configs) {
+    if (!b.warm.empty() && b.warm.size() != k) {
+      throw std::runtime_error(
+          "run_shard: binding '" + b.name +
+          "' carries warm state for a different interval count");
+    }
   }
   if (shard.count == 0 || shard.index >= shard.count) {
     throw std::runtime_error("run_shard: shard " +
                              std::to_string(shard.index) + "/" +
                              std::to_string(shard.count) + " out of range");
   }
+  const size_t nc = configs.size();
 
   ShardResult result;
-  result.config_hash = config_hash;
+  result.plan_hash = plan_hash;
   result.shard_index = shard.index;
   result.shard_count = shard.count;
   result.plan_intervals = static_cast<uint32_t>(k);
   result.total_insts = plan.total_insts;
   result.ran_to_halt = plan.ran_to_halt;
+  result.configs.reserve(nc);
+  for (const ConfigBinding& b : configs) {
+    result.configs.push_back(
+        {b.name, b.config_hash != 0 ? b.config_hash : b.config.digest(), 0});
+  }
 
   // This shard's subset, in plan order.
   std::vector<size_t> mine;
@@ -165,99 +215,156 @@ ShardResult run_shard(const core::CoreConfig& config,
     iv.length = plan.lengths[i];
     iv.weight = plan.weights[i];
     iv.warmup = plan.boundaries[i] - plan.checkpoints[i].executed;
+    iv.stats.resize(nc);
   }
 
-  // Functional warm state: reuse blobs already attached to the plan's
-  // checkpoints (attach_warm_states / CFIRCKP2 / manifest round trip),
-  // otherwise stream the committed prefixes of THIS shard's intervals once
-  // up front — warm state at instruction N is independent of which other
-  // snapshots the pass takes, so a subset capture matches the full one
-  // bit for bit. `warmed_insts` records the coverage.
+  // Functional warm state, per config: prefer the binding's per-interval
+  // blobs (bind_configs / CFIRMAN2 sidecars), then warm state attached to
+  // the plan's checkpoints (CFIRCKP2 / v1 manifest round trip — geometry
+  // checked on restore), and stream the committed prefixes of THIS shard's
+  // intervals for whatever is left — ONE pass fanning the records out to
+  // every remaining config's warmer, because the committed stream is
+  // config-independent. A subset capture matches the full one bit for bit
+  // (warm state at instruction N does not depend on which other snapshots
+  // the pass takes). `warmed_insts` records the coverage once, however
+  // many configs shared the stream.
   const bool functional = warm_mode_has_functional_prefix(plan.warm_mode);
-  std::vector<std::vector<uint8_t>> warm_blobs;  // parallel to `mine`
+  std::vector<int> capture_slot(nc, -1);  // index into `captured`
+  std::vector<std::vector<std::vector<uint8_t>>> captured;  // [slot][j]
+  bool checkpoints_warm = true;
+  for (const size_t i : mine) {
+    checkpoints_warm = checkpoints_warm && plan.checkpoints[i].has_warm();
+  }
   if (functional) {
-    bool attached = true;
-    for (const size_t i : mine) {
-      attached = attached && plan.checkpoints[i].has_warm();
+    std::vector<core::CoreConfig> need;
+    for (size_t c = 0; c < nc; ++c) {
+      if (configs[c].warm.empty() && !checkpoints_warm) {
+        capture_slot[c] = static_cast<int>(need.size());
+        need.push_back(configs[c].config);
+      }
     }
-    if (!attached) {
+    if (!need.empty()) {
       std::vector<uint64_t> targets;
       targets.reserve(mine.size());
       for (const size_t i : mine) {
         targets.push_back(plan.checkpoints[i].executed);
       }
-      warm_blobs = capture_warm_states(config, program, targets);
+      captured = capture_warm_states_grid(need, program, targets);
     }
     for (const size_t i : mine) {
       result.warmed_insts += plan.checkpoints[i].executed;
     }
   }
 
-  // Detailed-simulate the subset in parallel. An interval whose measured
-  // window reaches the end of a halting run executes unbounded so the core
-  // retires HALT and reports `halted` like a monolithic run — even when
-  // the window is empty (a program that halts at instruction 0).
+  // Detailed-simulate the (interval × config) grid in parallel. An
+  // interval whose measured window reaches the end of a halting run
+  // executes unbounded so the core retires HALT and reports `halted` like
+  // a monolithic run — even when the window is empty (a program that
+  // halts at instruction 0).
   sim::parallel_for(
-      mine.size(),
-      [&](size_t j) {
+      mine.size() * nc,
+      [&](size_t p) {
+        const size_t j = p / nc;
+        const size_t c = p % nc;
         const size_t i = mine[j];
         ShardResult::Interval& interval = result.intervals[j];
         const bool run_to_halt =
             plan.ran_to_halt &&
             interval.start_inst + interval.length == plan.total_insts;
         if (interval.length == 0 && !run_to_halt) return;
+        const core::CoreConfig& config = configs[c].config;
         sim::Simulator sim(config, program, plan.checkpoints[i]);
         if (functional) {
+          const std::vector<uint8_t>& blob =
+              !configs[c].warm.empty()
+                  ? configs[c].warm[i]
+                  : (checkpoints_warm ? plan.checkpoints[i].warm
+                                      : captured[capture_slot[c]][j]);
+          if (blob.empty()) {
+            throw std::runtime_error(
+                "run_shard: binding '" + configs[c].name +
+                "' has no warm state for plan interval " +
+                std::to_string(i) +
+                " — were the bindings loaded for a different shard "
+                "selection?");
+          }
           FunctionalWarmer warmer(config, program);
-          warmer.deserialize_state(warm_blobs.empty()
-                                       ? plan.checkpoints[i].warm
-                                       : warm_blobs[j]);
+          warmer.deserialize_state(blob);
           warmer.apply_to(sim);
         }
         stats::SimStats warm_stats;
         if (interval.warmup > 0) warm_stats = sim.run(interval.warmup);
-        interval.stats = sim.run(run_to_halt
-                                     ? UINT64_MAX
-                                     : interval.warmup + interval.length);
-        interval.stats.subtract(warm_stats);
+        stats::SimStats& s = interval.stats[c];
+        s = sim.run(run_to_halt ? UINT64_MAX
+                                : interval.warmup + interval.length);
+        s.subtract(warm_stats);
         // Episode counters are only hierarchical (total >= selected >=
         // reused, a ci::CiMechanism invariant) within one contiguous run.
         // The warm-up boundary can split an episode — selected during the
         // warm-up slice, reused in the measured window — so re-clamp the
         // measured slice: credit that belongs to warm-up state is
         // discarded with the rest of the warm-up.
-        auto& s = interval.stats;
         s.ep_ci_selected = std::min(s.ep_ci_selected, s.ep_total);
         s.ep_ci_reused = std::min(s.ep_ci_reused, s.ep_ci_selected);
       },
       threads);
 
   for (const ShardResult::Interval& interval : result.intervals) {
-    result.detailed_insts += interval.stats.committed + interval.warmup;
+    for (size_t c = 0; c < nc; ++c) {
+      result.configs[c].detailed_insts +=
+          interval.stats[c].committed + interval.warmup;
+    }
   }
   return result;
 }
 
-SampledRun merge_shard_results(const std::vector<ShardResult>& shards) {
+ShardResult run_shard(const core::CoreConfig& config,
+                      const isa::Program& program, const IntervalPlan& plan,
+                      ShardSelection shard, int threads,
+                      uint64_t config_hash) {
+  ConfigBinding binding;
+  binding.name = config.label();
+  binding.config = config;
+  binding.config_hash = config_hash;  // 0 -> digest, else the legacy hash
+  return run_shard(std::vector<ConfigBinding>{std::move(binding)}, program,
+                   plan, shard, threads, config_hash);
+}
+
+MergedGrid merge_shard_grid(const std::vector<ShardResult>& shards) {
   if (shards.empty()) {
-    throw std::runtime_error("merge_shard_results: no shard results");
+    throw std::runtime_error("merge_shard_grid: no shard results");
   }
   const ShardResult& first = shards.front();
+  if (first.configs.empty()) {
+    throw CorruptFileError("merge_shard_grid: shard carries no config columns");
+  }
   for (const ShardResult& s : shards) {
-    if (s.config_hash != first.config_hash) {
+    if (s.plan_hash != first.plan_hash) {
       throw ConfigMismatchError(
-          "merge_shard_results: shard " + std::to_string(s.shard_index) +
-          "/" + std::to_string(s.shard_count) +
-          " was produced under a different config or plan (config hash " +
-          hex64(s.config_hash) + " vs " + hex64(first.config_hash) +
+          "merge_shard_grid: shard " + std::to_string(s.shard_index) + "/" +
+          std::to_string(s.shard_count) +
+          " was produced under a different plan (plan hash " +
+          hex64(s.plan_hash) + " vs " + hex64(first.plan_hash) +
           ") — all shards of one merge must come from the same manifest");
+    }
+    bool same_grid = s.configs.size() == first.configs.size();
+    for (size_t c = 0; same_grid && c < s.configs.size(); ++c) {
+      same_grid = s.configs[c].name == first.configs[c].name &&
+                  s.configs[c].config_hash == first.configs[c].config_hash;
+    }
+    if (!same_grid) {
+      throw ConfigMismatchError(
+          "merge_shard_grid: shard " + std::to_string(s.shard_index) + "/" +
+          std::to_string(s.shard_count) +
+          " carries a different config grid than the other shards — all "
+          "shards of one merge must come from the same manifest");
     }
     if (s.plan_intervals != first.plan_intervals ||
         s.total_insts != first.total_insts ||
         s.ran_to_halt != first.ran_to_halt) {
       throw CorruptFileError(
-          "merge_shard_results: shard " + std::to_string(s.shard_index) +
-          "/" + std::to_string(s.shard_count) +
+          "merge_shard_grid: shard " + std::to_string(s.shard_index) + "/" +
+          std::to_string(s.shard_count) +
           " disagrees with the other shards about the plan shape");
     }
   }
@@ -269,14 +376,20 @@ SampledRun merge_shard_results(const std::vector<ShardResult>& shards) {
     for (const ShardResult::Interval& iv : s.intervals) {
       if (iv.plan_index >= first.plan_intervals) {
         throw CorruptFileError(
-            "merge_shard_results: interval index " +
+            "merge_shard_grid: interval index " +
             std::to_string(iv.plan_index) + " out of range (plan has " +
             std::to_string(first.plan_intervals) + ")");
       }
+      if (iv.stats.size() != first.configs.size()) {
+        throw CorruptFileError(
+            "merge_shard_grid: interval " + std::to_string(iv.plan_index) +
+            " carries " + std::to_string(iv.stats.size()) +
+            " stat columns for " + std::to_string(first.configs.size()) +
+            " configs");
+      }
       if (by_index[iv.plan_index] != nullptr) {
         throw CorruptFileError(
-            "merge_shard_results: interval " +
-            std::to_string(iv.plan_index) +
+            "merge_shard_grid: interval " + std::to_string(iv.plan_index) +
             " appears in more than one shard result — the same shard was "
             "merged twice?");
       }
@@ -286,32 +399,50 @@ SampledRun merge_shard_results(const std::vector<ShardResult>& shards) {
   for (uint32_t i = 0; i < first.plan_intervals; ++i) {
     if (by_index[i] == nullptr) {
       throw CorruptFileError(
-          "merge_shard_results: interval " + std::to_string(i) +
+          "merge_shard_grid: interval " + std::to_string(i) +
           " is covered by no shard result — merge needs every shard of the "
           "plan (0/N through N-1/N) exactly once");
     }
   }
 
-  SampledRun run;
-  run.total_insts = first.total_insts;
-  run.intervals.reserve(first.plan_intervals);
-  std::vector<stats::WeightedStats> parts;
-  parts.reserve(first.plan_intervals);
-  for (uint32_t i = 0; i < first.plan_intervals; ++i) {
-    const ShardResult::Interval& iv = *by_index[i];
-    run.intervals.push_back({iv.start_inst, iv.length, iv.warmup, iv.weight,
-                             iv.stats});
-    parts.push_back({iv.stats, iv.weight});
+  MergedGrid grid;
+  grid.configs.resize(first.configs.size());
+  for (size_t c = 0; c < first.configs.size(); ++c) {
+    MergedGrid::ConfigRun& column = grid.configs[c];
+    column.name = first.configs[c].name;
+    column.config_hash = first.configs[c].config_hash;
+    SampledRun& run = column.run;
+    run.total_insts = first.total_insts;
+    run.intervals.reserve(first.plan_intervals);
+    std::vector<stats::WeightedStats> parts;
+    parts.reserve(first.plan_intervals);
+    for (uint32_t i = 0; i < first.plan_intervals; ++i) {
+      const ShardResult::Interval& iv = *by_index[i];
+      run.intervals.push_back(
+          {iv.start_inst, iv.length, iv.warmup, iv.weight, iv.stats[c]});
+      parts.push_back({iv.stats[c], iv.weight});
+    }
+    for (const ShardResult& s : shards) {
+      run.detailed_insts += s.configs[c].detailed_insts;
+      run.warmed_insts += s.warmed_insts;
+    }
+    run.aggregate = stats::merge_shards(parts);
+    // In cluster mode the window containing HALT need not be a
+    // representative; the plan still knows the run halted.
+    run.aggregate.halted = run.aggregate.halted || first.ran_to_halt;
   }
-  for (const ShardResult& s : shards) {
-    run.detailed_insts += s.detailed_insts;
-    run.warmed_insts += s.warmed_insts;
+  return grid;
+}
+
+SampledRun merge_shard_results(const std::vector<ShardResult>& shards) {
+  MergedGrid grid = merge_shard_grid(shards);
+  if (grid.configs.size() != 1) {
+    throw std::runtime_error(
+        "merge_shard_results: expected a single config column, got " +
+        std::to_string(grid.configs.size()) +
+        " — use merge_shard_grid for multi-config manifests");
   }
-  run.aggregate = stats::merge_shards(parts);
-  // In cluster mode the window containing HALT need not be a
-  // representative; the plan still knows the run halted.
-  run.aggregate.halted = run.aggregate.halted || first.ran_to_halt;
-  return run;
+  return std::move(grid.configs.front().run);
 }
 
 }  // namespace cfir::trace

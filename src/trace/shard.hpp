@@ -5,25 +5,37 @@
 // A ShardSelection names the subset of a plan's intervals one worker runs:
 // shard i of N takes every interval whose plan index ≡ i (mod N), so
 // consecutive (expensive) intervals spread across shards. run_shard
-// executes that subset — in-process on the sim::parallel_for pool — and
-// returns a ShardResult: the per-interval measured stats plus everything
-// the merge layer needs to validate and fold them. Results serialize as
-// CFIRSHD1 blobs, so N workers on N machines can each run one shard and
-// ship one small file back; merge_shard_results folds any complete set of
-// them into a SampledRun **bit-identical** to the single-process
-// trace::sampled_run (which is itself implemented as run_shard of the
-// whole plan + merge — there is exactly one orchestration code path).
+// executes that subset for a whole grid of ConfigBindings — the plan's
+// intervals and checkpoints are config-independent, so one shard simulates
+// every bound config per interval, streaming each functional-warming gap
+// ONCE and fanning the committed records out to every config's Warmable
+// components (warming cost O(gap), not O(gap × configs)). The result is a
+// ShardResult: per-interval stats with one column per config, plus
+// everything the merge layer needs to validate and fold them. Results
+// serialize as CFIRSHD2 blobs, so N workers on N machines each run one
+// shard of the whole grid and ship one small file back;
+// merge_shard_grid folds any complete set of them into per-config
+// SampledRuns, each **bit-identical** to that config's single-config
+// trace::sampled_run (which is itself run_shard of the whole plan + merge
+// — there is exactly one orchestration code path).
 //
-// File format, version 1 (little-endian, shared CRC-32 footer required —
+// File format, version 2 (little-endian, shared CRC-32 footer required —
 // trace/blob.hpp):
-//   magic "CFIRSHD1" | u32 version | u32 reserved
-//   | u64 config_hash | u32 shard_index | u32 shard_count
+//   magic "CFIRSHD2" | u32 version | u32 reserved
+//   | u64 plan_hash | u32 shard_index | u32 shard_count
 //   | u32 plan_intervals | u64 total_insts | u8 ran_to_halt
-//   | u64 detailed_insts | u64 warmed_insts
+//   | u64 warmed_insts            (shared streaming cost, counted once)
+//   | u32 n_configs
+//   | n_configs x (u32 name_len | name bytes | u64 config_hash
+//                  | u64 detailed_insts)
 //   | u32 n_intervals
 //   | n x (u32 plan_index | u64 start | u64 length | u64 warmup
-//          | u64 weight_bits(double) | SimStats (stats::serialize))
+//          | u64 weight_bits(double) | n_configs x SimStats
+//            (stats::serialize))
 //   | "CRC1" | u32 crc32
+// Version-1 files ("CFIRSHD1", one implicit config column whose hash was
+// the manifest's combined config hash) still load; save() always writes
+// version 2.
 #pragma once
 
 #include <cstdint>
@@ -40,7 +52,9 @@ namespace cfir::trace {
 
 inline constexpr char kShardMagic[8] = {'C', 'F', 'I', 'R',
                                         'S', 'H', 'D', '1'};
-inline constexpr uint32_t kShardVersion = 1;
+inline constexpr char kShardMagicV2[8] = {'C', 'F', 'I', 'R',
+                                          'S', 'H', 'D', '2'};
+inline constexpr uint32_t kShardVersion = 2;
 
 /// Shard `index` of `count`: the intervals whose plan index ≡ index
 /// (mod count). The default selection {0, 1} is the whole plan.
@@ -58,14 +72,27 @@ struct ShardSelection {
 [[nodiscard]] ShardSelection parse_shard(std::string_view spec);
 
 struct ShardResult {
-  uint64_t config_hash = 0;   ///< stamped from the manifest (0 in-process)
+  /// Stamped from the manifest (0 in-process): the plan-structure hash for
+  /// v2 manifests, the combined config hash for legacy v1 ones. Merge
+  /// rejects mixtures either way.
+  uint64_t plan_hash = 0;
   uint32_t shard_index = 0;
   uint32_t shard_count = 1;
   uint32_t plan_intervals = 0;  ///< intervals in the whole plan (coverage)
   uint64_t total_insts = 0;     ///< instructions the plan covers
   bool ran_to_halt = false;
-  uint64_t detailed_insts = 0;  ///< this shard's detailed-simulation cost
-  uint64_t warmed_insts = 0;    ///< this shard's functionally warmed insts
+  /// This shard's functionally warmed instructions. Counted ONCE per
+  /// interval regardless of how many configs share the stream — the
+  /// amortization the grid path exists for (locked in tests/test_shard.cpp).
+  uint64_t warmed_insts = 0;
+
+  /// One config column of the grid this shard executed.
+  struct ConfigColumn {
+    std::string name;
+    uint64_t config_hash = 0;
+    uint64_t detailed_insts = 0;  ///< this column's detailed-simulation cost
+  };
+  std::vector<ConfigColumn> configs;
 
   struct Interval {
     uint32_t plan_index = 0;  ///< position in the plan (coverage + ordering)
@@ -73,7 +100,9 @@ struct ShardResult {
     uint64_t length = 0;
     uint64_t warmup = 0;
     double weight = 1.0;
-    stats::SimStats stats;  ///< measured slice only (warm-up subtracted)
+    /// Measured slice only (warm-up subtracted), one entry per config
+    /// column, in `configs` order.
+    std::vector<stats::SimStats> stats;
   };
   std::vector<Interval> intervals;
 
@@ -87,14 +116,27 @@ struct ShardResult {
   [[nodiscard]] static ShardResult load(const std::string& path);
 };
 
-/// Execute layer: detail-simulates `shard`'s subset of `plan`'s intervals
-/// in parallel under `config` (`threads` <= 0 picks CFIR_THREADS /
-/// hardware concurrency), warming each interval per the plan's WarmMode —
-/// functional prefixes reuse warm state already attached to the plan's
-/// checkpoints (CFIRCKP2) and are captured in one streaming pass
-/// otherwise. `config_hash` is stamped into the result for merge-time
-/// validation; pass the manifest's hash when executing a manifest-derived
-/// plan.
+/// Execute layer, grid form: detail-simulates `shard`'s subset of `plan`'s
+/// intervals under EVERY binding in `configs`, in parallel over
+/// (interval × config) pairs (`threads` <= 0 picks CFIR_THREADS / hardware
+/// concurrency), warming per the plan's WarmMode. Functional warm state
+/// comes, per config, from the binding's per-interval blobs
+/// (bind_configs / CFIRMAN2 warm sidecars), else from warm state attached
+/// to the plan's checkpoints (CFIRCKP2 — single-config plans only), else
+/// from ONE shared streaming pass fanning the committed gap records out to
+/// all remaining configs' warmers. `plan_hash` is stamped into the result
+/// for merge-time validation; pass the manifest's hash when executing a
+/// manifest-derived plan.
+[[nodiscard]] ShardResult run_shard(const std::vector<ConfigBinding>& configs,
+                                    const isa::Program& program,
+                                    const IntervalPlan& plan,
+                                    ShardSelection shard = {},
+                                    int threads = 0,
+                                    uint64_t plan_hash = 0);
+
+/// Single-config convenience: one binding named by the config's label,
+/// with `config_hash` (when non-zero) stamped as both the plan hash and
+/// the column hash — the legacy v1-manifest contract.
 [[nodiscard]] ShardResult run_shard(const core::CoreConfig& config,
                                     const isa::Program& program,
                                     const IntervalPlan& plan,
@@ -102,12 +144,29 @@ struct ShardResult {
                                     int threads = 0,
                                     uint64_t config_hash = 0);
 
+/// One config column of a merged grid: the per-interval + aggregate run
+/// this config would have produced single-config (bit-identical to it).
+struct MergedGrid {
+  struct ConfigRun {
+    std::string name;
+    uint64_t config_hash = 0;
+    SampledRun run;
+  };
+  std::vector<ConfigRun> configs;
+};
+
 /// Merge layer: folds a complete set of shard results back into one
-/// SampledRun. Validates that every result carries the same config hash
-/// (ConfigMismatchError otherwise) and that the results cover every plan
-/// interval exactly once (CorruptFileError otherwise). The aggregate is
-/// bit-identical to the single-process sampled_run of the same plan,
+/// SampledRun per config column. Validates that every result carries the
+/// same plan hash and the same config column set (ConfigMismatchError
+/// otherwise) and that the results cover every plan interval exactly once
+/// (CorruptFileError otherwise). Each column's aggregate is bit-identical
+/// to the single-config, single-process sampled_run of the same plan,
 /// regardless of shard count or merge order (stats::merge_shards).
+[[nodiscard]] MergedGrid merge_shard_grid(
+    const std::vector<ShardResult>& shards);
+
+/// Single-config convenience over merge_shard_grid: requires exactly one
+/// config column and returns its run.
 [[nodiscard]] SampledRun merge_shard_results(
     const std::vector<ShardResult>& shards);
 

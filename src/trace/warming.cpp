@@ -198,4 +198,56 @@ std::vector<std::vector<uint8_t>> capture_warm_states(
   return out;
 }
 
+std::vector<std::vector<std::vector<uint8_t>>> capture_warm_states_grid(
+    const std::vector<core::CoreConfig>& configs, const isa::Program& program,
+    const std::vector<uint64_t>& targets) {
+  if (configs.empty()) {
+    throw std::runtime_error("capture_warm_states_grid: no configs");
+  }
+  std::vector<std::unique_ptr<FunctionalWarmer>> warmers;
+  warmers.reserve(configs.size());
+  for (const core::CoreConfig& config : configs) {
+    warmers.push_back(std::make_unique<FunctionalWarmer>(config, program));
+  }
+
+  // One reference-interpreter pass; the observers assemble the same
+  // TraceRecord stream FunctionalWarmer::advance_to feeds itself, so the
+  // fanned-out blobs match solo captures bit for bit.
+  mem::MainMemory memory;
+  isa::load_data_image(program, memory);
+  isa::Interpreter interp(program, memory);
+  TraceRecord pending;
+  interp.on_branch = [&](uint64_t, bool taken, uint64_t target) {
+    pending.kind = RecordKind::kBranch;
+    pending.taken = taken;
+    pending.next_pc = target;
+  };
+  interp.on_mem = [&](uint64_t, uint64_t addr, int bytes, bool is_store) {
+    pending.kind = is_store ? RecordKind::kStore : RecordKind::kLoad;
+    pending.addr = addr;
+    pending.size = static_cast<uint8_t>(bytes);
+  };
+  interp.on_step = [&](uint64_t pc, uint64_t) {
+    pending.pc = pc;
+    for (auto& warmer : warmers) warmer->on_record(pending);
+    pending = TraceRecord{};
+  };
+
+  std::vector<std::vector<std::vector<uint8_t>>> out(configs.size());
+  for (auto& per_config : out) per_config.reserve(targets.size());
+  uint64_t prev = 0;
+  for (const uint64_t target : targets) {
+    if (target < prev) {
+      throw std::runtime_error("capture_warm_states_grid: targets not sorted");
+    }
+    prev = target;
+    while (interp.executed() < target && interp.step()) {
+    }
+    for (size_t c = 0; c < warmers.size(); ++c) {
+      out[c].push_back(warmers[c]->serialize_state());
+    }
+  }
+  return out;
+}
+
 }  // namespace cfir::trace

@@ -137,4 +137,17 @@ class FunctionalWarmer {
     const core::CoreConfig& config, const isa::Program& program,
     const std::vector<uint64_t>& targets);
 
+/// The multi-config variant behind config-grid sharding (docs/sharding.md):
+/// ONE streaming interpreter pass fans every committed record out to one
+/// FunctionalWarmer per config, so warming a whole grid costs O(prefix)
+/// architectural execution instead of O(prefix × configs) — the committed
+/// stream is config-independent; only the trained components differ.
+/// Result[c][i] is the blob for config c warmed over [0, targets[i]), and
+/// each blob is bit-identical to the one a solo capture_warm_states pass
+/// under that config produces (same records, same training calls).
+[[nodiscard]] std::vector<std::vector<std::vector<uint8_t>>>
+capture_warm_states_grid(const std::vector<core::CoreConfig>& configs,
+                         const isa::Program& program,
+                         const std::vector<uint64_t>& targets);
+
 }  // namespace cfir::trace

@@ -7,17 +7,23 @@
 //    typed errors trace_tool maps to exit codes;
 //  - running a plan's intervals as N shards and merging the results is
 //    bit-identical to the single-process trace::sampled_run, for any N,
-//    any merge order, and through the full manifest-file round trip —
-//    the acceptance matrix covers bzip2/parser/twolf s8 under functional
-//    warming;
-//  - mismatched configs and incomplete/duplicate shard sets are rejected
-//    at merge time instead of silently skewing the aggregate.
+//    any merge order, and through the full manifest-file round trip;
+//  - a config GRID bound to one plan (CFIRMAN2: shared checkpoints,
+//    per-(interval, config) warm state) merges to per-config columns each
+//    bit-identical to that config's single-config sampled_run — the
+//    acceptance matrix covers bzip2/parser/twolf s8 under functional
+//    warming for a 3-point register grid — while the shared streaming
+//    pass keeps grid warming cost within 1.1x of a single config's;
+//  - legacy v1 manifests still load (as 1-config manifests) and verify;
+//  - mismatched plans/configs and incomplete/duplicate shard sets are
+//    rejected at merge time instead of silently skewing the aggregate.
 #include <gtest/gtest.h>
 
 #include <algorithm>
 #include <cstdio>
 #include <random>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "helpers.hpp"
@@ -42,8 +48,8 @@ class TempFile {
   std::string path_;
 };
 
-/// A manifest written by write_manifest plus its checkpoint blobs, all
-/// removed on destruction.
+/// A manifest written by either write_manifest overload plus its
+/// checkpoint blobs and warm sidecars, all removed on destruction.
 class TempManifest {
  public:
   TempManifest(const IntervalPlan& plan, const core::CoreConfig& config,
@@ -51,12 +57,20 @@ class TempManifest {
                const std::string& tag)
       : path_(::testing::TempDir() + "cfir_man_" + tag + ".cfirman"),
         manifest_(write_manifest(plan, config, workload, scale, path_)) {}
+  TempManifest(const IntervalPlan& plan,
+               const std::vector<ConfigBinding>& bindings,
+               const std::string& workload, uint32_t scale,
+               const std::string& tag)
+      : path_(::testing::TempDir() + "cfir_man_" + tag + ".cfirman"),
+        manifest_(write_manifest(plan, bindings, workload, scale, path_)) {}
   ~TempManifest() {
     std::remove(path_.c_str());
-    const std::string dir =
-        path_.substr(0, path_.find_last_of('/') + 1);
+    const std::string dir = path_.substr(0, path_.find_last_of('/') + 1);
     for (const auto& iv : manifest_.intervals) {
       std::remove((dir + iv.checkpoint_file).c_str());
+      for (const std::string& wf : iv.warm_files) {
+        if (!wf.empty()) std::remove((dir + wf).c_str());
+      }
     }
   }
   [[nodiscard]] const std::string& path() const { return path_; }
@@ -67,18 +81,36 @@ class TempManifest {
   ShardManifest manifest_;
 };
 
+core::CoreConfig random_config(std::mt19937_64& gen) {
+  core::CoreConfig cfg = sim::presets::ci(
+      static_cast<uint32_t>(gen() % 2 + 1),
+      static_cast<uint32_t>(128u << (gen() % 3)));
+  cfg.gshare_history_bits = static_cast<uint32_t>(gen() % 8 + 8);
+  cfg.replicas = static_cast<uint32_t>(gen() % 8 + 1);
+  cfg.watchdog_cycles = gen() % 100000 + 1;
+  return cfg;
+}
+
 ShardManifest random_manifest(uint64_t seed) {
   std::mt19937_64 gen(seed);
   ShardManifest m;
   m.workload = "wl" + std::to_string(gen() % 1000);
   m.scale = static_cast<uint32_t>(gen() % 16 + 1);
-  m.config_hash = gen();
+  m.plan_hash = gen();
   m.mode = (gen() & 1) != 0 ? SampleMode::kCluster : SampleMode::kUniform;
   m.warm_mode = static_cast<WarmMode>(gen() % 4);
   m.warmup = gen() % 100000;
   m.total_insts = gen();
   m.interval_len = gen() % 100000;
   m.ran_to_halt = (gen() & 1) != 0;
+  const size_t nc = gen() % 3 + 1;
+  m.configs.resize(nc);
+  for (size_t c = 0; c < nc; ++c) {
+    m.configs[c].name = "cfg" + std::to_string(c);
+    m.configs[c].config_hash = gen();
+    m.configs[c].config = random_config(gen);
+    m.configs[c].embedded = true;
+  }
   const size_t n = gen() % 8;
   m.intervals.resize(n);
   for (size_t i = 0; i < n; ++i) {
@@ -87,6 +119,13 @@ ShardManifest random_manifest(uint64_t seed) {
     m.intervals[i].weight =
         static_cast<double>(gen() % 10000) / 16.0;  // exact in binary
     m.intervals[i].checkpoint_file = "ck" + std::to_string(i) + ".cfirckpt";
+    m.intervals[i].warm_files.resize(nc);
+    for (size_t c = 0; c < nc; ++c) {
+      if ((gen() & 1) != 0) {
+        m.intervals[i].warm_files[c] = "ck" + std::to_string(i) + ".cfg" +
+                                       std::to_string(c) + ".cfirwarm";
+      }
+    }
   }
   return m;
 }
@@ -94,14 +133,20 @@ ShardManifest random_manifest(uint64_t seed) {
 ShardResult random_shard_result(uint64_t seed) {
   std::mt19937_64 gen(seed);
   ShardResult r;
-  r.config_hash = gen();
+  r.plan_hash = gen();
   r.shard_count = static_cast<uint32_t>(gen() % 7 + 1);
   r.shard_index = static_cast<uint32_t>(gen() % r.shard_count);
   r.plan_intervals = static_cast<uint32_t>(gen() % 16 + 1);
   r.total_insts = gen();
   r.ran_to_halt = (gen() & 1) != 0;
-  r.detailed_insts = gen() % 1000000;
   r.warmed_insts = gen() % 1000000;
+  const size_t nc = gen() % 3 + 1;
+  r.configs.resize(nc);
+  for (size_t c = 0; c < nc; ++c) {
+    r.configs[c].name = "cfg" + std::to_string(c);
+    r.configs[c].config_hash = gen();
+    r.configs[c].detailed_insts = gen() % 1000000;
+  }
   const size_t n = gen() % 5;
   r.intervals.resize(n);
   for (size_t i = 0; i < n; ++i) {
@@ -110,7 +155,10 @@ ShardResult random_shard_result(uint64_t seed) {
     r.intervals[i].length = gen();
     r.intervals[i].warmup = gen() % 10000;
     r.intervals[i].weight = static_cast<double>(gen() % 10000) / 16.0;
-    r.intervals[i].stats = cfir::testing::random_sim_stats(gen);
+    r.intervals[i].stats.resize(nc);
+    for (size_t c = 0; c < nc; ++c) {
+      r.intervals[i].stats[c] = cfir::testing::random_sim_stats(gen);
+    }
   }
   return r;
 }
@@ -124,12 +172,59 @@ TEST(ShardManifestBlob, FuzzSerializeDeserializeReserializeStable) {
     const ShardManifest m = random_manifest(seed);
     const std::vector<uint8_t> first = m.serialize();
     const ShardManifest loaded = ShardManifest::deserialize(first);
+    EXPECT_EQ(loaded.version, kManifestVersion) << "seed " << seed;
     EXPECT_EQ(loaded.workload, m.workload) << "seed " << seed;
-    EXPECT_EQ(loaded.config_hash, m.config_hash) << "seed " << seed;
+    EXPECT_EQ(loaded.plan_hash, m.plan_hash) << "seed " << seed;
+    ASSERT_EQ(loaded.configs.size(), m.configs.size()) << "seed " << seed;
+    for (size_t c = 0; c < m.configs.size(); ++c) {
+      EXPECT_EQ(loaded.configs[c].name, m.configs[c].name);
+      EXPECT_EQ(loaded.configs[c].config_hash, m.configs[c].config_hash);
+      EXPECT_TRUE(loaded.configs[c].embedded);
+      EXPECT_EQ(loaded.configs[c].config.digest(),
+                m.configs[c].config.digest())
+          << "seed " << seed << " config " << c;
+    }
     EXPECT_EQ(loaded.intervals.size(), m.intervals.size())
         << "seed " << seed;
     EXPECT_EQ(loaded.serialize(), first) << "seed " << seed;
   }
+}
+
+TEST(ShardManifestBlob, V1LayoutRoundTripsByteStable) {
+  // A ShardManifest loaded from a legacy CFIRMAN1 file keeps version 1 and
+  // re-serializes to the same bytes — v1 artifacts survive tooling passes.
+  std::mt19937_64 gen(11);
+  ShardManifest m;
+  m.version = 1;
+  m.workload = "bzip2";
+  m.scale = 8;
+  m.plan_hash = gen();
+  m.mode = SampleMode::kCluster;
+  m.warm_mode = WarmMode::kFunctional;
+  m.warmup = 300;
+  m.total_insts = gen();
+  m.interval_len = 1000;
+  m.ran_to_halt = true;
+  ShardManifest::ConfigPoint cp;
+  cp.config_hash = m.plan_hash;
+  m.configs.push_back(cp);
+  m.intervals.resize(3);
+  for (size_t i = 0; i < 3; ++i) {
+    m.intervals[i].start = gen();
+    m.intervals[i].length = gen();
+    m.intervals[i].weight = static_cast<double>(gen() % 100) / 4.0;
+    m.intervals[i].checkpoint_file = "ck" + std::to_string(i) + ".cfirckpt";
+  }
+  const std::vector<uint8_t> first = m.serialize();
+  ASSERT_GE(first.size(), 8u);
+  EXPECT_EQ(std::string(first.begin(), first.begin() + 8), "CFIRMAN1");
+  const ShardManifest loaded = ShardManifest::deserialize(first);
+  EXPECT_EQ(loaded.version, 1u);
+  ASSERT_EQ(loaded.configs.size(), 1u);
+  EXPECT_EQ(loaded.configs[0].config_hash, m.plan_hash);
+  EXPECT_FALSE(loaded.configs[0].embedded);
+  EXPECT_TRUE(loaded.intervals[0].warm_files.empty());
+  EXPECT_EQ(loaded.serialize(), first);
 }
 
 TEST(ShardManifestBlob, FileRoundTripVerifiesCrc) {
@@ -140,7 +235,6 @@ TEST(ShardManifestBlob, FileRoundTripVerifiesCrc) {
   EXPECT_EQ(loaded.serialize(), m.serialize());
 
   // Flip one payload byte: the CRC footer must catch it.
-  std::vector<uint8_t> bytes = m.serialize();
   {
     std::FILE* f = std::fopen(file.path().c_str(), "rb+");
     ASSERT_NE(f, nullptr);
@@ -183,13 +277,22 @@ TEST(ShardResultBlob, FuzzSerializeDeserializeReserializeStable) {
     const ShardResult r = random_shard_result(seed);
     const std::vector<uint8_t> first = r.serialize();
     const ShardResult loaded = ShardResult::deserialize(first);
-    EXPECT_EQ(loaded.config_hash, r.config_hash) << "seed " << seed;
-    EXPECT_EQ(loaded.intervals.size(), r.intervals.size())
+    EXPECT_EQ(loaded.plan_hash, r.plan_hash) << "seed " << seed;
+    ASSERT_EQ(loaded.configs.size(), r.configs.size()) << "seed " << seed;
+    for (size_t c = 0; c < r.configs.size(); ++c) {
+      EXPECT_EQ(loaded.configs[c].name, r.configs[c].name);
+      EXPECT_EQ(loaded.configs[c].config_hash, r.configs[c].config_hash);
+      EXPECT_EQ(loaded.configs[c].detailed_insts,
+                r.configs[c].detailed_insts);
+    }
+    ASSERT_EQ(loaded.intervals.size(), r.intervals.size())
         << "seed " << seed;
     for (size_t i = 0; i < r.intervals.size(); ++i) {
-      EXPECT_EQ(stats::to_json(loaded.intervals[i].stats),
-                stats::to_json(r.intervals[i].stats))
-          << "seed " << seed << " interval " << i;
+      for (size_t c = 0; c < r.configs.size(); ++c) {
+        EXPECT_EQ(stats::to_json(loaded.intervals[i].stats[c]),
+                  stats::to_json(r.intervals[i].stats[c]))
+            << "seed " << seed << " interval " << i << " config " << c;
+      }
     }
     EXPECT_EQ(loaded.serialize(), first) << "seed " << seed;
   }
@@ -202,8 +305,12 @@ TEST(ShardResultBlob, WrongKindAndVersionRejected) {
   wrong[3] = 'Z';
   EXPECT_THROW((void)ShardResult::deserialize(wrong), BadMagicError);
   std::vector<uint8_t> vers = payload;
-  vers[8] = 2;
+  vers[8] = 99;
   EXPECT_THROW((void)ShardResult::deserialize(vers), VersionError);
+  // A CFIRSHD1 magic claiming version 2 is inconsistent, and vice versa.
+  std::vector<uint8_t> mixed = payload;
+  mixed[7] = '1';
+  EXPECT_THROW((void)ShardResult::deserialize(mixed), VersionError);
   payload.resize(payload.size() / 2);
   EXPECT_THROW((void)ShardResult::deserialize(payload), CorruptFileError);
 }
@@ -268,7 +375,7 @@ TEST(ShardedRun, AnyShardCountMergesBitIdentical) {
 }
 
 TEST(ShardedRun, SerializedShardsMergeBitIdentical) {
-  // The full wire path: each shard result passes through its CFIRSHD1 blob
+  // The full wire path: each shard result passes through its CFIRSHD2 blob
   // before merging, as it would between machines.
   const core::CoreConfig config = sim::presets::ci(2, 512);
   const isa::Program program = workloads::build("parser", 1);
@@ -294,11 +401,12 @@ TEST(ShardedRun, SerializedShardsMergeBitIdentical) {
   expect_same_run(merge_shard_results(shards), reference, "wire");
 }
 
-TEST(ShardedRun, ManifestRoundTripRunsBitIdentical) {
-  // Plan layer to disk and back: a plan reloaded from its manifest (with
-  // warm state riding in the CFIRCKP2 checkpoints) must reproduce the
-  // in-memory plan's sampled run exactly, and the config hash must accept
-  // the planning config and reject others.
+TEST(ShardedRun, V1ManifestRoundTripRunsBitIdentical) {
+  // Legacy plan layer to disk and back: a plan reloaded from a v1 manifest
+  // (warm state riding in the CFIRCKP2 checkpoints, config supplied by the
+  // executor) must reproduce the in-memory plan's sampled run exactly, and
+  // the combined config hash must accept the planning config and reject
+  // others — the "v1 manifests still load" contract.
   const core::CoreConfig config = sim::presets::ci(2, 512);
   const isa::Program program = workloads::build("twolf", 1);
 
@@ -314,8 +422,14 @@ TEST(ShardedRun, ManifestRoundTripRunsBitIdentical) {
   const SampledRun reference = sampled_run(config, program, plan);
 
   TempManifest tm(plan, config, "twolf", 1, "roundtrip");
+  EXPECT_EQ(tm.manifest().version, 1u);
   const ShardManifest manifest = ShardManifest::load(tm.path());
-  EXPECT_EQ(manifest.config_hash, tm.manifest().config_hash);
+  EXPECT_EQ(manifest.version, 1u);
+  EXPECT_EQ(manifest.plan_hash, tm.manifest().plan_hash);
+  ASSERT_EQ(manifest.configs.size(), 1u);
+  EXPECT_FALSE(manifest.configs[0].embedded);
+  EXPECT_THROW((void)bindings_from_manifest(manifest, tm.path()),
+               VersionError);
 
   const IntervalPlan reloaded = plan_from_manifest(manifest, tm.path());
   verify_manifest_config(manifest, config, reloaded);  // must not throw
@@ -329,7 +443,7 @@ TEST(ShardedRun, ManifestRoundTripRunsBitIdentical) {
   for (uint32_t i = 0; i < 2; ++i) {
     shards.push_back(run_shard(config, program, reloaded,
                                ShardSelection{i, 2}, /*threads=*/0,
-                               manifest.config_hash));
+                               manifest.plan_hash));
   }
   expect_same_run(merge_shard_results(shards), reference, "manifest");
 }
@@ -347,19 +461,137 @@ TEST(ShardedRun, MergeRejectsIncompleteDuplicateAndMismatched) {
   EXPECT_THROW((void)merge_shard_results({s0}), CorruptFileError);       // missing
   EXPECT_THROW((void)merge_shard_results({s0, s0}), CorruptFileError);   // dup
   ShardResult tampered = s1;
-  tampered.config_hash = 0xDEADBEEF;
+  tampered.plan_hash = 0xDEADBEEF;
   EXPECT_THROW((void)merge_shard_results({s0, tampered}), ConfigMismatchError);
+  ShardResult wrong_grid = s1;
+  wrong_grid.configs[0].config_hash ^= 1;
+  EXPECT_THROW((void)merge_shard_results({s0, wrong_grid}),
+               ConfigMismatchError);
   EXPECT_NO_THROW((void)merge_shard_results({s0, s1}));
   EXPECT_NO_THROW((void)merge_shard_results({s1, s0}));  // any order
 }
 
 // ---------------------------------------------------------------------------
-// Acceptance: the ISSUE 4 matrix — bzip2/parser/twolf s8, functional
-// warming, sharded pipeline bit-identical to single-process sampled_run.
+// Config grids: one plan, one checkpoint set, per-config columns
 // ---------------------------------------------------------------------------
 
-void expect_acceptance(const std::string& workload) {
-  const core::CoreConfig config = sim::presets::ci(2, 512);
+std::vector<std::pair<std::string, core::CoreConfig>> register_grid() {
+  std::vector<std::pair<std::string, core::CoreConfig>> points;
+  for (const uint32_t regs : {128u, 256u, 512u}) {
+    core::CoreConfig config = sim::presets::ci(2, regs);
+    points.emplace_back(config.label(), config);
+  }
+  return points;
+}
+
+TEST(ConfigGrid, SharedWarmingIsAmortizedAcrossConfigs) {
+  // The acceptance bound: warming a 3-config grid must cost at most 1.1x
+  // the warmed instructions of a single config — the streaming pass is
+  // shared, so the counts are in fact equal.
+  const isa::Program program = workloads::build("bzip2", 1);
+  const IntervalPlan plan =
+      plan_intervals(program, 4, /*max_insts=*/30000, /*warmup=*/0,
+                     WarmMode::kFunctional, /*detail_len=*/1000);
+  const auto points = register_grid();
+
+  const ShardResult single =
+      run_shard(points[0].second, program, plan);
+  ASSERT_GT(single.warmed_insts, 0u);
+
+  const ShardResult grid = run_shard(bind_configs(plan, points, program),
+                                     program, plan);
+  ASSERT_EQ(grid.configs.size(), 3u);
+  EXPECT_LE(static_cast<double>(grid.warmed_insts),
+            1.1 * static_cast<double>(single.warmed_insts));
+
+  // And when warming is deferred to execute time (no pre-bound blobs),
+  // run_shard's one shared capture pass keeps the same bound.
+  std::vector<ConfigBinding> cold;
+  for (const auto& [name, config] : points) {
+    ConfigBinding b;
+    b.name = name;
+    b.config = config;
+    cold.push_back(std::move(b));
+  }
+  const ShardResult deferred = run_shard(cold, program, plan);
+  EXPECT_LE(static_cast<double>(deferred.warmed_insts),
+            1.1 * static_cast<double>(single.warmed_insts));
+}
+
+TEST(ConfigGrid, GridColumnsMatchSingleConfigRuns) {
+  // Bound or deferred, every grid column must be bit-identical to the
+  // single-config run of the same plan.
+  const isa::Program program = workloads::build("parser", 1);
+  const IntervalPlan plan =
+      plan_intervals(program, 4, /*max_insts=*/30000, /*warmup=*/0,
+                     WarmMode::kFunctional, /*detail_len=*/1000);
+  const auto points = register_grid();
+
+  const ShardResult grid = run_shard(bind_configs(plan, points, program),
+                                     program, plan);
+  const MergedGrid merged = merge_shard_grid({grid});
+  ASSERT_EQ(merged.configs.size(), points.size());
+  for (size_t c = 0; c < points.size(); ++c) {
+    EXPECT_EQ(merged.configs[c].name, points[c].first);
+    EXPECT_EQ(merged.configs[c].config_hash, points[c].second.digest());
+    expect_same_run(merged.configs[c].run,
+                    sampled_run(points[c].second, program, plan),
+                    "column " + points[c].first);
+  }
+}
+
+TEST(ConfigGrid, VerifyManifestPlanCatchesSwappedCheckpointFiles) {
+  // The plan hash covers only manifest fields, so the checkpoint POSITION
+  // check is what catches a .cfirckpt overwritten with one from a
+  // different interval — before a shard silently simulates the wrong
+  // slice of the run.
+  const isa::Program program = workloads::build("bzip2", 1);
+  const IntervalPlan plan = plan_intervals(program, 4, 20000);
+  const auto bindings = bind_configs(plan, register_grid(), program);
+  TempManifest tm(plan, bindings, "bzip2", 1, "swap");
+  const ShardManifest manifest = ShardManifest::load(tm.path());
+
+  const IntervalPlan ok = plan_from_manifest(manifest, tm.path());
+  EXPECT_NO_THROW(verify_manifest_plan(manifest, ok));
+
+  // Overwrite interval 0's checkpoint with interval 2's.
+  const std::string dir = tm.path().substr(0, tm.path().find_last_of('/') + 1);
+  const Checkpoint moved =
+      Checkpoint::load(dir + manifest.intervals[2].checkpoint_file);
+  moved.save(dir + manifest.intervals[0].checkpoint_file);
+  const IntervalPlan swapped = plan_from_manifest(manifest, tm.path());
+  EXPECT_THROW(verify_manifest_plan(manifest, swapped), CorruptFileError);
+}
+
+TEST(ConfigGrid, MergeRejectsColumnMixtures) {
+  const isa::Program program = workloads::build("bzip2", 1);
+  const IntervalPlan plan = plan_intervals(program, 4, 20000);
+  const auto points = register_grid();
+  const auto bindings = bind_configs(plan, points, program);
+
+  const ShardResult s0 = run_shard(bindings, program, plan,
+                                   ShardSelection{0, 2});
+  ShardResult s1 = run_shard(bindings, program, plan, ShardSelection{1, 2});
+  EXPECT_NO_THROW((void)merge_shard_grid({s0, s1}));
+
+  // A shard that ran a different column set cannot fold into this grid.
+  ShardResult renamed = s1;
+  renamed.configs[1].name = "imposter";
+  EXPECT_THROW((void)merge_shard_grid({s0, renamed}), ConfigMismatchError);
+  ShardResult dropped = s1;
+  dropped.configs.pop_back();
+  for (auto& iv : dropped.intervals) iv.stats.pop_back();
+  EXPECT_THROW((void)merge_shard_grid({s0, dropped}), ConfigMismatchError);
+}
+
+// ---------------------------------------------------------------------------
+// Acceptance: bzip2/parser/twolf s8, functional warming, a 3-point
+// register grid (128/256/512 phys regs) farmed from ONE CFIRMAN2 manifest
+// — every merged column bit-identical to that config's single-config
+// sampled_run.
+// ---------------------------------------------------------------------------
+
+void expect_grid_acceptance(const std::string& workload) {
   const isa::Program program = workloads::build(workload, 8);
 
   ClusterPlanOptions opts;
@@ -367,30 +599,49 @@ void expect_acceptance(const std::string& workload) {
   opts.max_k = 4;
   opts.warm_mode = WarmMode::kFunctional;
   opts.detail_len = 2000;
-  IntervalPlan plan = plan_cluster_intervals(program, opts);
-  attach_warm_states(plan, config, program);
-  const SampledRun reference = sampled_run(config, program, plan);
+  const IntervalPlan plan = plan_cluster_intervals(program, opts);
+  const auto points = register_grid();
+  const auto bindings = bind_configs(plan, points, program);
 
-  TempManifest tm(plan, config, workload, 8, "acc_" + workload);
+  TempManifest tm(plan, bindings, workload, 8, "grid_" + workload);
   const ShardManifest manifest = ShardManifest::load(tm.path());
-  const IntervalPlan reloaded = plan_from_manifest(manifest, tm.path());
-  verify_manifest_config(manifest, config, reloaded);
+  EXPECT_EQ(manifest.version, kManifestVersion);
+  ASSERT_EQ(manifest.configs.size(), points.size());
+  for (size_t c = 0; c < points.size(); ++c) {
+    EXPECT_EQ(manifest.configs[c].name, points[c].first);
+    EXPECT_EQ(manifest.configs[c].config_hash, points[c].second.digest());
+    EXPECT_TRUE(manifest.configs[c].embedded);
+  }
 
+  const IntervalPlan reloaded = plan_from_manifest(manifest, tm.path());
+  verify_manifest_plan(manifest, reloaded);  // must not throw
+  const std::vector<ConfigBinding> reloaded_bindings =
+      bindings_from_manifest(manifest, tm.path());
+  ASSERT_EQ(reloaded_bindings.size(), points.size());
+
+  // Two shards, each through its CFIRSHD2 wire format, merged in reverse.
   std::vector<ShardResult> shards;
   for (uint32_t i = 0; i < 2; ++i) {
-    const ShardResult r = run_shard(config, program, reloaded,
-                                    ShardSelection{i, 2}, /*threads=*/0,
-                                    manifest.config_hash);
-    TempFile file("acc_" + workload + std::to_string(i));
+    const ShardResult r =
+        run_shard(reloaded_bindings, program, reloaded, ShardSelection{i, 2},
+                  /*threads=*/0, manifest.plan_hash);
+    TempFile file("grid_" + workload + std::to_string(i));
     r.save(file.path());
     shards.push_back(ShardResult::load(file.path()));
   }
-  expect_same_run(merge_shard_results(shards), reference, workload + " s8");
+  std::reverse(shards.begin(), shards.end());
+  const MergedGrid merged = merge_shard_grid(shards);
+  ASSERT_EQ(merged.configs.size(), points.size());
+  for (size_t c = 0; c < points.size(); ++c) {
+    expect_same_run(merged.configs[c].run,
+                    sampled_run(points[c].second, program, plan),
+                    workload + " s8 column " + points[c].first);
+  }
 }
 
-TEST(ShardAcceptance, Bzip2S8Functional) { expect_acceptance("bzip2"); }
-TEST(ShardAcceptance, ParserS8Functional) { expect_acceptance("parser"); }
-TEST(ShardAcceptance, TwolfS8Functional) { expect_acceptance("twolf"); }
+TEST(GridAcceptance, Bzip2S8Functional) { expect_grid_acceptance("bzip2"); }
+TEST(GridAcceptance, ParserS8Functional) { expect_grid_acceptance("parser"); }
+TEST(GridAcceptance, TwolfS8Functional) { expect_grid_acceptance("twolf"); }
 
 }  // namespace
 }  // namespace cfir::trace

@@ -101,6 +101,44 @@ TEST(Sweep, SampledSpecsExposePhasesAndShardsPartition) {
   EXPECT_TRUE(run_all({mono}, 1)[0].phases.empty());
 }
 
+TEST(Sweep, SharedPlanGridMatchesPerColumnRunsAndReportsSavings) {
+  // Config columns sharing one plan execute as a single multi-config
+  // run_shard; each column must be bit-identical to running the spec
+  // alone, and the savings accounting must show the plan (and the
+  // functional-warming stream) amortized across the columns.
+  std::vector<RunSpec> grid;
+  for (const uint32_t regs : {128u, 256u, 512u}) {
+    RunSpec s;
+    s.workload = "bzip2";
+    s.config_name = "ci2p/" + std::to_string(regs) + "r";
+    s.config = presets::ci(2, regs);
+    s.max_insts = 30000;
+    s.intervals = 4;
+    s.warm_mode = trace::WarmMode::kFunctional;
+    s.detail_len = 500;
+    grid.push_back(std::move(s));
+  }
+  SweepSavings savings;
+  const auto together = run_all(grid, 2, &savings);
+  ASSERT_EQ(together.size(), 3u);
+  EXPECT_EQ(savings.sampled_points, 3u);
+  EXPECT_EQ(savings.plans, 1u);
+  EXPECT_EQ(savings.checkpoints_per_column, savings.checkpoints * 3);
+  ASSERT_GT(savings.warmed_insts, 0u);
+  // The warming stream is shared: the per-column cost would be 3x.
+  EXPECT_EQ(savings.warmed_insts_per_column, savings.warmed_insts * 3);
+
+  for (size_t i = 0; i < grid.size(); ++i) {
+    const auto alone = run_all({grid[i]}, 1);
+    EXPECT_EQ(alone[0].stats.cycles, together[i].stats.cycles) << i;
+    EXPECT_EQ(alone[0].stats.committed, together[i].stats.committed) << i;
+    EXPECT_EQ(alone[0].stats.reused_committed,
+              together[i].stats.reused_committed)
+        << i;
+    ASSERT_EQ(alone[0].phases.size(), together[i].phases.size()) << i;
+  }
+}
+
 TEST(Sweep, EnvShardParsesSpec) {
   ASSERT_EQ(setenv("CFIR_SHARD", "1/3", 1), 0);
   const trace::ShardSelection sel = env_shard();

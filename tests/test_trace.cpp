@@ -11,6 +11,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <random>
 #include <string>
@@ -146,6 +147,29 @@ TEST(TraceFormat, LegacyFooterlessFileStillLoads) {
   uint64_t n = 0;
   while (reader.next(rec)) ++n;
   EXPECT_EQ(n, r.executed);
+}
+
+TEST(TraceFormat, StrictBlobsRejectsLegacyFooterlessFiles) {
+  // CFIR_STRICT_BLOBS=1 turns the one-time legacy warning into a hard
+  // CorruptFileError — a fleet of post-CRC artifacts treats a missing
+  // footer as truncation, not as age.
+  const isa::Program program = cfir::testing::figure1_program(64, 50, 7);
+  TempFile file("strict");
+  TraceMeta meta;
+  meta.workload = "figure1";
+  (void)record_interpreter(program, file.path(), meta);
+
+  std::vector<uint8_t> bytes = file_bytes(file.path());
+  bytes.resize(bytes.size() - 8);  // drop "CRC1" + u32
+  {
+    std::ofstream out(file.path(), std::ios::binary | std::ios::trunc);
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+  }
+  ASSERT_EQ(setenv("CFIR_STRICT_BLOBS", "1", 1), 0);
+  EXPECT_THROW(TraceReader{file.path()}, CorruptFileError);
+  ASSERT_EQ(unsetenv("CFIR_STRICT_BLOBS"), 0);
+  EXPECT_NO_THROW(TraceReader{file.path()});
 }
 
 TEST(TraceFormat, RandomProgramsRoundTrip) {
