@@ -9,6 +9,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/tracer.hpp"
 #include "sim/presets.hpp"
 #include "sim/sweep.hpp"
 #include "stats/table.hpp"
@@ -59,10 +61,18 @@ inline void dump_savings_json(const sim::SweepSavings& savings) {
 inline void dump_json(const std::vector<sim::RunOutcome>& outcomes) {
   if (!json_requested()) return;
   for (const sim::RunOutcome& o : outcomes) {
+    // wall_ms / insts_per_sec are host telemetry: nondeterministic by
+    // nature, so nothing may byte-diff CFIR_JSON output across runs (the
+    // simulated `stats` blob remains deterministic and diffable on its
+    // own).
+    const double secs = o.wall_ms / 1000.0;
+    const double ips =
+        secs > 0 ? static_cast<double>(o.detailed_insts) / secs : 0.0;
     std::printf("{\"workload\":\"%s\",\"config\":\"%s\",\"scale\":%u,"
-                "\"intervals\":%u,\"stats\":%s",
+                "\"intervals\":%u,\"wall_ms\":%.3f,\"insts_per_sec\":%.0f,"
+                "\"stats\":%s",
                 o.spec.workload.c_str(), o.spec.config_name.c_str(),
-                o.spec.scale, o.spec.intervals,
+                o.spec.scale, o.spec.intervals, o.wall_ms, ips,
                 stats::to_json(o.stats).c_str());
     // Sampled runs also expose the per-phase columns (one row per measured
     // interval / cluster representative): position, population weight, and
@@ -72,16 +82,37 @@ inline void dump_json(const std::vector<sim::RunOutcome>& outcomes) {
       for (size_t p = 0; p < o.phases.size(); ++p) {
         const sim::PhaseOutcome& ph = o.phases[p];
         std::printf("%s{\"start\":%llu,\"length\":%llu,\"weight\":%g,"
-                    "\"ipc\":%g,\"ci_reuse\":%g}",
+                    "\"ipc\":%g,\"ci_reuse\":%g,\"wall_ms\":%.3f}",
                     p == 0 ? "" : ",",
                     static_cast<unsigned long long>(ph.start_inst),
                     static_cast<unsigned long long>(ph.length), ph.weight,
-                    ph.stats.ipc(), ph.stats.reuse_fraction());
+                    ph.stats.ipc(), ph.stats.reuse_fraction(), ph.wall_ms);
       }
       std::printf("]");
     }
     std::printf("}\n");
   }
+}
+
+/// One machine-readable `telemetry` line: total detailed-simulation wall
+/// and throughput for the whole figure plus a snapshot of every
+/// obs::Registry instrument. Telemetry is host-side (nondeterministic), so
+/// it rides in its own line that diff-based consumers can drop.
+inline void dump_telemetry_json(const std::vector<sim::RunOutcome>& outcomes) {
+  if (!json_requested()) return;
+  double wall_ms = 0;
+  unsigned long long insts = 0;
+  for (const sim::RunOutcome& o : outcomes) {
+    wall_ms += o.wall_ms;
+    insts += o.detailed_insts;
+  }
+  const double secs = wall_ms / 1000.0;
+  std::printf("{\"telemetry\":true,\"wall_ms\":%.3f,"
+              "\"detailed_insts\":%llu,\"insts_per_sec\":%.0f,"
+              "\"metrics\":%s}\n",
+              wall_ms, insts,
+              secs > 0 ? static_cast<double>(insts) / secs : 0.0,
+              obs::Registry::instance().to_json().c_str());
 }
 
 /// Runs all workloads under all configs and prints one row per workload and
@@ -94,6 +125,7 @@ inline void run_figure(const std::string& title,
                        bool harmonic_summary = true,
                        const std::vector<std::string>& workload_names =
                            workloads::names()) {
+  obs::init_from_env();  // CFIR_TRACE=<file> flight-records this figure
   const uint32_t scale = sim::env_scale();
   const uint64_t max_insts = default_max_insts();
   const uint32_t intervals = sim::env_intervals();
@@ -158,6 +190,7 @@ inline void run_figure(const std::string& title,
   std::printf("%s\n", table.to_text().c_str());
   dump_json(outcomes);
   dump_savings_json(savings);
+  dump_telemetry_json(outcomes);
 }
 
 /// Variant keyed by register count instead of workload: one row per sweep
@@ -167,6 +200,7 @@ inline void run_register_sweep(
     const std::string& title,
     const std::function<std::vector<NamedConfig>(uint32_t regs)>& make_configs,
     int precision = 2) {
+  obs::init_from_env();  // CFIR_TRACE=<file> flight-records this figure
   const uint32_t scale = sim::env_scale();
   const uint64_t max_insts = default_max_insts();
   const auto regs_sweep = sim::presets::register_sweep();
@@ -220,6 +254,7 @@ inline void run_register_sweep(
   std::printf("%s\n", table.to_text().c_str());
   dump_json(outcomes);
   dump_savings_json(savings);
+  dump_telemetry_json(outcomes);
 }
 
 }  // namespace cfir::bench

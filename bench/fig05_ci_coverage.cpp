@@ -7,6 +7,7 @@
 int main() {
   using namespace cfir;
   using namespace cfir::bench;
+  obs::init_from_env();  // CFIR_TRACE=<file> flight-records this figure
   const uint32_t scale = sim::env_scale();
   const uint64_t max_insts = default_max_insts();
 
@@ -60,5 +61,7 @@ int main() {
   std::printf("paper reference (INT): ~49%% reuse, ~21%% selected-no-reuse, "
               "~30%% not found\n\n%s\n",
               table.to_text().c_str());
+  dump_json(out);
+  dump_telemetry_json(out);
   return 0;
 }

@@ -35,6 +35,7 @@ int main() {
               sizes.to_text().c_str());
 
   // --- register pressure with/without DAEC (section 2.4.2) -----------------
+  obs::init_from_env();  // CFIR_TRACE=<file> flight-records the sweep
   const uint64_t max_insts = default_max_insts();
   const uint32_t scale = sim::env_scale();
   std::vector<sim::RunSpec> specs;
@@ -85,5 +86,7 @@ int main() {
                      : 0.0,
               static_cast<unsigned long long>(stores));
   (void)checks;
+  dump_json(out);
+  dump_telemetry_json(out);
   return 0;
 }

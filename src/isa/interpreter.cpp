@@ -1,5 +1,7 @@
 #include "isa/interpreter.hpp"
 
+#include "obs/metrics.hpp"
+
 namespace cfir::isa {
 
 Interpreter::Interpreter(const Program& program, mem::MainMemory& memory)
@@ -61,9 +63,18 @@ bool Interpreter::step() {
 
 uint64_t Interpreter::run(uint64_t max_insts) {
   const uint64_t start = executed_;
+  const obs::Stopwatch clock;
   while (executed_ - start < max_insts && step()) {
   }
-  return executed_ - start;
+  const uint64_t ran = executed_ - start;
+  // Telemetry once per run() call, never per instruction — run() is the
+  // throughput backbone of planning, warming and trace capture.
+  if (ran > 0) {
+    obs::Registry& reg = obs::Registry::instance();
+    reg.counter("interp.insts").add(ran);
+    reg.histogram("interp.run_us").observe(clock.elapsed_us());
+  }
+  return ran;
 }
 
 void load_data_image(const Program& program, mem::MainMemory& memory) {

@@ -1,0 +1,79 @@
+#include "obs/log.hpp"
+
+#include <cstdio>
+#include <map>
+#include <mutex>
+
+namespace cfir::obs {
+
+namespace {
+
+struct KeyCounts {
+  uint64_t seen = 0;
+  uint64_t emitted = 0;
+};
+
+struct LogState {
+  std::mutex mu;
+  std::map<std::string, KeyCounts> keys;
+
+  static LogState& get() {
+    static LogState state;
+    return state;
+  }
+};
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kWarn: return "warning";
+    case LogLevel::kError: return "error";
+  }
+  return "info";
+}
+
+}  // namespace
+
+bool log(LogLevel level, const std::string& key, const std::string& message,
+         uint64_t limit) {
+  LogState& state = LogState::get();
+  std::lock_guard<std::mutex> lk(state.mu);
+  KeyCounts& counts = state.keys[key];
+  ++counts.seen;
+  if (counts.seen > limit) {
+    // First suppressed call announces the suppression; later ones are
+    // silent (counted only).
+    if (counts.seen == limit + 1) {
+      std::fprintf(stderr, "cfir: note: further '%s' messages suppressed\n",
+                   key.c_str());
+      std::fflush(stderr);
+    }
+    return false;
+  }
+  std::fprintf(stderr, "cfir: %s: %s\n", level_name(level), message.c_str());
+  ++counts.emitted;
+  std::fflush(stderr);
+  return true;
+}
+
+uint64_t log_emitted(const std::string& key) {
+  LogState& state = LogState::get();
+  std::lock_guard<std::mutex> lk(state.mu);
+  const auto it = state.keys.find(key);
+  return it == state.keys.end() ? 0 : it->second.emitted;
+}
+
+uint64_t log_seen(const std::string& key) {
+  LogState& state = LogState::get();
+  std::lock_guard<std::mutex> lk(state.mu);
+  const auto it = state.keys.find(key);
+  return it == state.keys.end() ? 0 : it->second.seen;
+}
+
+void log_reset_for_tests() {
+  LogState& state = LogState::get();
+  std::lock_guard<std::mutex> lk(state.mu);
+  state.keys.clear();
+}
+
+}  // namespace cfir::obs

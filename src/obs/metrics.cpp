@@ -1,0 +1,187 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <locale>
+#include <sstream>
+#include <stdexcept>
+
+namespace cfir::obs {
+
+namespace {
+
+/// Bucket index for Histogram::observe: 0 for v == 0, else 1 + floor(log2).
+size_t bucket_index(uint64_t v) {
+  if (v == 0) return 0;
+  const size_t log2 = 63u - static_cast<size_t>(__builtin_clzll(v));
+  return std::min<size_t>(log2 + 1, Histogram::kBuckets - 1);
+}
+
+void atomic_min(std::atomic<uint64_t>& slot, uint64_t v) {
+  uint64_t cur = slot.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !slot.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_max(std::atomic<uint64_t>& slot, uint64_t v) {
+  uint64_t cur = slot.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !slot.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+/// Formats a double the way the stats JSON does: plain, shortest-ish,
+/// locale-independent.
+std::string json_double(double v) {
+  std::ostringstream os;
+  os.imbue(std::locale::classic());
+  os << v;
+  return os.str();
+}
+
+}  // namespace
+
+void Histogram::observe(uint64_t v) {
+  buckets_[bucket_index(v)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+  atomic_min(min_, v);
+  atomic_max(max_, v);
+}
+
+uint64_t Histogram::min() const {
+  const uint64_t m = min_.load(std::memory_order_relaxed);
+  return m == UINT64_MAX ? 0 : m;
+}
+
+uint64_t Histogram::max() const {
+  return max_.load(std::memory_order_relaxed);
+}
+
+double Histogram::mean() const {
+  const uint64_t n = count();
+  return n == 0 ? 0.0 : static_cast<double>(sum()) / static_cast<double>(n);
+}
+
+void Histogram::reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(UINT64_MAX, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+Registry& Registry::instance() {
+  static Registry* registry = new Registry();  // leaked: outlive atexit hooks
+  return *registry;
+}
+
+Registry::Entry& Registry::entry(const std::string& name, Kind kind) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto [it, inserted] = entries_.try_emplace(name);
+  if (inserted) {
+    it->second.kind = kind;
+  } else if (it->second.kind != kind) {
+    throw std::logic_error("obs::Registry: instrument '" + name +
+                           "' requested with two different kinds");
+  }
+  return it->second;
+}
+
+Counter& Registry::counter(const std::string& name) {
+  return entry(name, Kind::kCounter).counter;
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  return entry(name, Kind::kGauge).gauge;
+}
+
+Histogram& Registry::histogram(const std::string& name) {
+  return entry(name, Kind::kHistogram).histogram;
+}
+
+std::vector<MetricSample> Registry::snapshot() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<MetricSample> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, e] : entries_) {  // std::map: already sorted
+    MetricSample s;
+    s.name = name;
+    switch (e.kind) {
+      case Kind::kCounter:
+        s.kind = MetricSample::Kind::kCounter;
+        s.count = e.counter.value();
+        break;
+      case Kind::kGauge:
+        s.kind = MetricSample::Kind::kGauge;
+        s.value = e.gauge.value();
+        break;
+      case Kind::kHistogram:
+        s.kind = MetricSample::Kind::kHistogram;
+        s.count = e.histogram.count();
+        s.sum = e.histogram.sum();
+        s.min = e.histogram.min();
+        s.max = e.histogram.max();
+        s.value = e.histogram.mean();
+        break;
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+std::string Registry::to_json() const {
+  const std::vector<MetricSample> samples = snapshot();
+  std::string out = "{";
+  bool first = true;
+  for (const MetricSample& s : samples) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + s.name + "\":";
+    switch (s.kind) {
+      case MetricSample::Kind::kCounter:
+        out += "{\"count\":" + std::to_string(s.count) + "}";
+        break;
+      case MetricSample::Kind::kGauge:
+        out += "{\"value\":" + json_double(s.value) + "}";
+        break;
+      case MetricSample::Kind::kHistogram:
+        out += "{\"count\":" + std::to_string(s.count) +
+               ",\"sum\":" + std::to_string(s.sum) +
+               ",\"min\":" + std::to_string(s.min) +
+               ",\"max\":" + std::to_string(s.max) +
+               ",\"mean\":" + json_double(s.value) + "}";
+        break;
+    }
+  }
+  out += "}";
+  return out;
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (auto& [name, e] : entries_) {
+    (void)name;
+    e.counter.reset();
+    e.gauge.reset();
+    e.histogram.reset();
+  }
+}
+
+namespace {
+int64_t mono_us() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+}  // namespace
+
+Stopwatch::Stopwatch() : start_us_(mono_us()) {}
+
+uint64_t Stopwatch::elapsed_us() const {
+  const int64_t d = mono_us() - start_us_;
+  return d < 0 ? 0 : static_cast<uint64_t>(d);
+}
+
+}  // namespace cfir::obs

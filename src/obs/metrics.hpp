@@ -1,0 +1,182 @@
+// Metrics registry: named counters, gauges and histograms shared by every
+// layer of the pipeline. Unlike the tracer (obs/tracer.hpp), the registry
+// is always on — each instrument is a handful of relaxed atomics updated
+// at coarse granularity (once per warming pass, per detail unit, per trace
+// decode), never per instruction, so the cost is unmeasurable and there is
+// no mode in which telemetry silently disappears.
+//
+// Usage pattern: look an instrument up once (the returned reference is
+// stable for the life of the process), then update it lock-free:
+//
+//   static obs::Counter& insts = obs::Registry::instance()
+//       .counter("warming.insts");
+//   insts.add(n);
+//
+// Lookup takes a mutex (instrument creation is rare); updates never do.
+// Snapshots (`to_json`, `snapshot`) are taken with relaxed loads — they
+// are a telemetry read, not a synchronization point, and the pipeline
+// only snapshots after its worker pools have joined anyway.
+//
+// Naming convention: dot-separated `<subsystem>.<what>[_<unit>]`, e.g.
+// `warming.insts`, `trace.decode_bytes`, `checkpoint.load_us`,
+// `shard.detail_cycles`. docs/observability.md lists the instruments the
+// pipeline registers.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace cfir::obs {
+
+/// Monotonic event count (total instructions warmed, bytes decoded, ...).
+class Counter {
+ public:
+  void add(uint64_t n) { value_.fetch_add(n, std::memory_order_relaxed); }
+  void increment() { add(1); }
+  [[nodiscard]] uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Last-write-wins level (threads in flight, current shard index, ...).
+/// Stored as a double so rates and ratios fit too.
+class Gauge {
+ public:
+  void set(double v) {
+    bits_.store(to_bits(v), std::memory_order_relaxed);
+  }
+  [[nodiscard]] double value() const {
+    return from_bits(bits_.load(std::memory_order_relaxed));
+  }
+  void reset() { set(0.0); }
+
+ private:
+  static uint64_t to_bits(double v) {
+    uint64_t b = 0;
+    static_assert(sizeof(b) == sizeof(v));
+    __builtin_memcpy(&b, &v, sizeof(b));
+    return b;
+  }
+  static double from_bits(uint64_t b) {
+    double v = 0;
+    __builtin_memcpy(&v, &b, sizeof(v));
+    return v;
+  }
+  std::atomic<uint64_t> bits_{0};
+};
+
+/// Power-of-two bucketed distribution (checkpoint load micros, per-unit
+/// detail cycles, ...). Bucket i counts observations in [2^(i-1), 2^i)
+/// (bucket 0 counts zeros); count/sum/min/max are exact, the shape is
+/// 2x-resolution — plenty for "where does the time go" telemetry at a
+/// fixed 64 x 8-byte footprint per instrument.
+class Histogram {
+ public:
+  static constexpr size_t kBuckets = 64;
+
+  void observe(uint64_t v);
+
+  [[nodiscard]] uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] uint64_t sum() const {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] uint64_t min() const;  ///< 0 when empty
+  [[nodiscard]] uint64_t max() const;  ///< 0 when empty
+  /// count() ? sum()/count() : 0 — the mean most summaries want.
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] uint64_t bucket(size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  void reset();
+
+ private:
+  std::atomic<uint64_t> buckets_[kBuckets]{};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> min_{UINT64_MAX};
+  std::atomic<uint64_t> max_{0};
+};
+
+/// One value snapshotted out of the registry (see Registry::snapshot).
+struct MetricSample {
+  enum class Kind { kCounter, kGauge, kHistogram };
+  std::string name;
+  Kind kind = Kind::kCounter;
+  uint64_t count = 0;  ///< counter value, or histogram count
+  double value = 0;    ///< gauge value, or histogram mean
+  uint64_t sum = 0;    ///< histogram only
+  uint64_t min = 0;    ///< histogram only
+  uint64_t max = 0;    ///< histogram only
+};
+
+class Registry {
+ public:
+  /// The process-wide registry all pipeline instruments live in.
+  static Registry& instance();
+
+  // Find-or-create by name. The returned reference never moves or dies
+  // (map-backed), so call sites cache it in a static. A name is one kind
+  // forever: asking for `counter("x")` after `gauge("x")` throws
+  // std::logic_error — that is an instrumentation bug, not runtime input.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  /// All instruments, sorted by name — the stable order `to_json` and the
+  /// telemetry blocks print in.
+  [[nodiscard]] std::vector<MetricSample> snapshot() const;
+
+  /// `{"name":{...},...}` object, sorted by name: counters as
+  /// `{"count":N}`, gauges as `{"value":X}`, histograms as
+  /// `{"count":N,"sum":S,"min":m,"max":M,"mean":X}`. Embedded by the
+  /// bench `telemetry` block and `trace_tool merge --per-phase`.
+  [[nodiscard]] std::string to_json() const;
+
+  /// Zeroes every registered instrument (references stay valid) — lets
+  /// tests and back-to-back bench figures take deltas.
+  void reset();
+
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+ private:
+  Registry() = default;
+
+  enum class Kind { kCounter, kGauge, kHistogram };
+  struct Entry {
+    Kind kind;
+    Counter counter;
+    Gauge gauge;
+    Histogram histogram;
+  };
+
+  Entry& entry(const std::string& name, Kind kind);
+
+  mutable std::mutex mu_;
+  std::map<std::string, Entry> entries_;
+};
+
+/// Microsecond stopwatch for feeding wall-time histograms/fields:
+///   obs::Stopwatch sw; ...work...; hist.observe(sw.elapsed_us());
+class Stopwatch {
+ public:
+  Stopwatch();
+  /// Microseconds since construction (monotonic clock).
+  [[nodiscard]] uint64_t elapsed_us() const;
+
+ private:
+  int64_t start_us_ = 0;
+};
+
+}  // namespace cfir::obs

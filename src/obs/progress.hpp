@@ -1,0 +1,96 @@
+// Live shard progress: run_shard appends heartbeat records to a
+// `.cfirprog` sidecar (and optionally mirrors them to stderr) while it
+// executes, so a farm operator — or `trace_tool watch` — can see grid
+// completion without waiting for the CFIRSHD2 blob to land. This is the
+// monitoring surface the planned cfir_served dispatcher reuses.
+//
+// Record format (docs/observability.md): one flat JSON object per line,
+// append-only, e.g.
+//
+//   {"cfirprog":1,"t_ms":412,"phase":"detail","shard":"0/2","done":5,
+//    "total":12,"intervals_done":2,"plan_intervals":6,"configs":2,
+//    "warmed_insts":120000,"detailed_insts":50000,"eta_ms":577}
+//
+// `phase` is "warm" while functional warm states are being produced,
+// "detail" during detailed simulation (done/total count
+// interval x config units), "done" exactly once when the shard finishes.
+// A reader only ever needs the *last* line per file; earlier lines give
+// history. Heartbeats are rate-limited (~100 ms) except phase
+// transitions and the final record, which always flush.
+//
+// Everything defaults off: the writer is a no-op until configure() runs
+// (trace_tool wires it from CFIR_PROGRESS), so library callers pay one
+// relaxed load per heartbeat site.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace cfir::obs {
+
+struct Heartbeat {
+  std::string phase;         ///< "warm" | "detail" | "done"
+  uint32_t shard_index = 0;
+  uint32_t shard_count = 1;
+  uint64_t done = 0;         ///< detail units finished (interval x config)
+  uint64_t total = 0;        ///< detail units this shard will run
+  uint64_t intervals_done = 0;
+  uint64_t plan_intervals = 0;  ///< whole plan, not just this shard
+  uint32_t configs = 1;
+  uint64_t warmed_insts = 0;
+  uint64_t detailed_insts = 0;
+  int64_t eta_ms = -1;  ///< estimated remaining wall ms; -1 = unknown
+  /// Writer stamps this; parse() recovers it. Milliseconds since the
+  /// writing process started.
+  int64_t t_ms = 0;
+
+  /// One-line flat JSON record (no trailing newline).
+  [[nodiscard]] std::string to_json() const;
+
+  /// Parses a record line written by to_json (tolerant of unknown keys,
+  /// rejects lines without the `"cfirprog":1` tag). Returns false on
+  /// malformed input — watch skips such lines instead of dying on a
+  /// torn tail write.
+  static bool parse(const std::string& line, Heartbeat* out);
+};
+
+class Progress {
+ public:
+  /// The process-wide progress writer run_shard emits through.
+  static Progress& global();
+
+  /// Starts writing: heartbeats append to `sidecar_path` (empty = no
+  /// file) and, when `mirror_stderr`, also print to stderr as JSONL.
+  /// Truncates an existing sidecar — each shard run owns its file.
+  void configure(const std::string& sidecar_path, bool mirror_stderr);
+
+  /// Back to no-op mode (flushes nothing further; the file keeps what
+  /// was written).
+  void disable();
+
+  /// One relaxed load — the cost of a heartbeat site while disabled.
+  [[nodiscard]] bool enabled() const {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Appends `hb` (t_ms stamped here). Rate-limited to one record per
+  /// ~100 ms per process unless `force` — callers force phase
+  /// transitions and the final "done" record.
+  void emit(Heartbeat hb, bool force = false);
+
+  Progress(const Progress&) = delete;
+  Progress& operator=(const Progress&) = delete;
+
+ private:
+  Progress() = default;
+
+  std::atomic<bool> enabled_{false};
+};
+
+/// CFIR_PROGRESS: unset/empty/"0" = off; "stderr" = sidecar + stderr
+/// mirror; anything else ("1") = sidecar only.
+[[nodiscard]] bool progress_requested();
+[[nodiscard]] bool progress_stderr_requested();
+
+}  // namespace cfir::obs

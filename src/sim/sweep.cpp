@@ -11,6 +11,8 @@
 #include <thread>
 #include <tuple>
 
+#include "obs/metrics.hpp"
+#include "obs/tracer.hpp"
 #include "sim/simulator.hpp"
 #include "trace/sampling.hpp"
 #include "workloads/workloads.hpp"
@@ -74,7 +76,12 @@ void parallel_for(size_t n, const std::function<void(size_t)>& fn,
   std::exception_ptr first_error;
   std::mutex error_mu;
 
-  auto worker = [&] {
+  auto worker = [&](int lane) {
+    // Label this worker's lane in the trace viewer. Lane -1 is the
+    // calling thread (inline path), which keeps whatever name it has.
+    if (lane >= 0 && obs::Tracer::enabled()) {
+      obs::Tracer::set_thread_name("worker-" + std::to_string(lane));
+    }
     for (;;) {
       const size_t i = next.fetch_add(1);
       if (i >= n || failed.load()) break;
@@ -89,11 +96,21 @@ void parallel_for(size_t n, const std::function<void(size_t)>& fn,
   };
 
   if (threads <= 1) {
-    worker();
+    worker(-1);
   } else {
     std::vector<std::thread> pool;
     pool.reserve(static_cast<size_t>(threads));
-    for (int t = 0; t < threads; ++t) pool.emplace_back(worker);
+    try {
+      for (int t = 0; t < threads; ++t) pool.emplace_back(worker, t);
+    } catch (...) {
+      // Thread creation failed mid-pool (e.g. resource exhaustion).
+      // Without this join, the vector's destructor would run on joinable
+      // threads and std::terminate the whole process; instead stop
+      // handing out work, join what exists, and surface the error.
+      failed.store(true);
+      for (auto& th : pool) th.join();
+      throw;
+    }
     for (auto& th : pool) th.join();
   }
   if (first_error) std::rethrow_exception(first_error);
@@ -101,6 +118,7 @@ void parallel_for(size_t n, const std::function<void(size_t)>& fn,
 
 std::vector<RunOutcome> run_all(const std::vector<RunSpec>& specs,
                                 int threads, SweepSavings* savings) {
+  obs::Span run_all_span("run_all", specs.size());
   // Interval plans depend only on (workload, scale, cap, k), never on the
   // core config, so capture each unique plan once up front (interpreter
   // passes are ~50x cheaper than detailed simulation) and share it across
@@ -132,6 +150,7 @@ std::vector<RunOutcome> run_all(const std::vector<RunSpec>& specs,
         [&](size_t i) {
           const auto& [workload, scale, max_insts, intervals, mode, warmup,
                        warm_mode, detail_len] = slots[i]->first;
+          obs::Span plan_span("plan", i);
           try {
             const isa::Program program = workloads::build(workload, scale);
             if (static_cast<trace::SampleMode>(mode) ==
@@ -175,7 +194,17 @@ std::vector<RunOutcome> run_all(const std::vector<RunSpec>& specs,
           const uint64_t cap =
               spec.max_insts == 0 ? UINT64_MAX : spec.max_insts;
           Simulator sim(spec.config, std::move(program));
-          out[i].stats = sim.run(cap);
+          const obs::Stopwatch clock;
+          {
+            obs::Span detail_span("detail", i);
+            out[i].stats = sim.run(cap);
+          }
+          const uint64_t wall_us = clock.elapsed_us();
+          out[i].wall_ms = static_cast<double>(wall_us) / 1000.0;
+          out[i].detailed_insts = out[i].stats.committed;
+          obs::Registry& reg = obs::Registry::instance();
+          reg.histogram("sweep.mono_us").observe(wall_us);
+          reg.counter("shard.detail_insts").add(out[i].stats.committed);
         } catch (const std::exception& e) {
           throw std::runtime_error(std::string("run '") + spec.workload +
                                    "/" + spec.config_name +
@@ -230,9 +259,13 @@ std::vector<RunOutcome> run_all(const std::vector<RunSpec>& specs,
         o.phases.reserve(result.intervals.size());
         for (const trace::ShardResult::Interval& iv : result.intervals) {
           parts.push_back({iv.stats[c], iv.weight});
-          o.phases.push_back(
-              {iv.start_inst, iv.length, iv.weight, iv.stats[c]});
+          const uint64_t wall_us = iv.wall_us.empty() ? 0 : iv.wall_us[c];
+          o.phases.push_back({iv.start_inst, iv.length, iv.weight,
+                              iv.stats[c],
+                              static_cast<double>(wall_us) / 1000.0});
+          o.wall_ms += static_cast<double>(wall_us) / 1000.0;
         }
+        o.detailed_insts = result.configs[c].detailed_insts;
         o.stats = stats::merge_shards(parts);
         if (shard.count == 1) {
           // Complete coverage: report `halted` like a monolithic run even

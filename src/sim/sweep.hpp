@@ -49,6 +49,10 @@ struct PhaseOutcome {
   uint64_t length = 0;
   double weight = 1.0;
   stats::SimStats stats;
+  /// Host wall-clock spent detail-simulating this interval under this
+  /// config (telemetry only — never part of the simulated result; 0 when
+  /// unknown, e.g. merged from pre-telemetry shard blobs).
+  double wall_ms = 0.0;
 };
 
 struct RunOutcome {
@@ -57,6 +61,12 @@ struct RunOutcome {
   /// Per-interval stats when the spec sampled (`intervals > 1`); empty for
   /// monolithic runs.
   std::vector<PhaseOutcome> phases;
+  /// Host wall-clock spent in detailed simulation for this grid point
+  /// (mono: the whole run; sampled: sum of this column's interval walls).
+  double wall_ms = 0.0;
+  /// Instructions the detailed core actually committed — with wall_ms this
+  /// yields the insts/sec throughput the bench JSON reports.
+  uint64_t detailed_insts = 0;
 };
 
 /// What sharing one plan (and one warming stream) across the config

@@ -1,12 +1,11 @@
 #include "trace/blob.hpp"
 
 #include <algorithm>
-#include <atomic>
-#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 
+#include "obs/log.hpp"
 #include "trace/errors.hpp"
 #include "util/crc32.hpp"
 
@@ -23,9 +22,10 @@ bool strict_blobs() {
 }
 
 /// A pre-CRC CFIRTRC1/CFIRCKP blob was accepted without integrity
-/// checking: warn once per process (the first file names the problem; a
-/// directory of old blobs should not flood stderr), or reject under
-/// CFIR_STRICT_BLOBS=1.
+/// checking: warn once per process through the rate-limited obs::log
+/// channel (the first file names the problem; a directory of old blobs
+/// should not flood stderr, and CFIR_JSON stdout stays clean either way),
+/// or reject under CFIR_STRICT_BLOBS=1.
 void note_legacy_blob(const char* what, const std::string& path) {
   if (strict_blobs()) {
     throw CorruptFileError(
@@ -34,16 +34,11 @@ void note_legacy_blob(const char* what, const std::string& path) {
         "rejects footer-less files — re-record the artifact to add the "
         "footer");
   }
-  static std::atomic<bool> warned{false};
-  if (!warned.exchange(true)) {
-    std::fprintf(
-        stderr,
-        "cfir: warning: %s %s has no CRC footer (legacy pre-CRC blob); "
-        "loading without integrity checking. Re-record it to add the "
-        "footer, or set CFIR_STRICT_BLOBS=1 to reject such files. "
-        "(warning printed once per process)\n",
-        what, path.c_str());
-  }
+  obs::log(obs::LogLevel::kWarn, "legacy-blob",
+           std::string(what) + " " + path +
+               " has no CRC footer (legacy pre-CRC blob); loading without "
+               "integrity checking. Re-record it to add the footer, or set "
+               "CFIR_STRICT_BLOBS=1 to reject such files.");
 }
 
 /// Opens `path` positioned at the end and returns its size; rejects

@@ -6,6 +6,8 @@
 #include <stdexcept>
 
 #include "isa/interpreter.hpp"
+#include "obs/metrics.hpp"
+#include "obs/tracer.hpp"
 #include "trace/blob.hpp"
 #include "trace/errors.hpp"
 #include "trace/io.hpp"
@@ -35,6 +37,8 @@ Checkpoint snapshot(const isa::Interpreter& interp,
 }  // namespace
 
 void Checkpoint::save(const std::string& path, bool include_warm) const {
+  obs::Span span("checkpoint.save");
+  const obs::Stopwatch clock;
   // Stream pages straight to the file (memory images can be large) and
   // append the CRC footer with the chunked helper afterwards, like
   // TraceWriter::finish — never the whole payload in one buffer.
@@ -73,9 +77,14 @@ void Checkpoint::save(const std::string& path, bool include_warm) const {
   out.close();
   if (!out) throw std::runtime_error("Checkpoint: write failed for " + path);
   append_crc_footer(path);
+  obs::Registry::instance()
+      .histogram("checkpoint.save_us")
+      .observe(clock.elapsed_us());
 }
 
 Checkpoint Checkpoint::load(const std::string& path) {
+  obs::Span span("checkpoint.load");
+  const obs::Stopwatch clock;
   const std::vector<uint8_t> bytes =
       read_blob_file(path, "Checkpoint", /*require_footer=*/false);
   if (bytes.size() < sizeof(kCheckpointMagic)) {
@@ -120,6 +129,9 @@ Checkpoint Checkpoint::load(const std::string& path) {
       ck.warm.resize(warm_size);
       in.bytes(ck.warm.data(), warm_size);
     }
+    obs::Registry::instance()
+        .histogram("checkpoint.load_us")
+        .observe(clock.elapsed_us());
     return ck;
   } catch (const VersionError&) {
     throw;
@@ -132,6 +144,7 @@ Checkpoint Checkpoint::load(const std::string& path) {
 }
 
 Checkpoint fast_forward(const isa::Program& program, uint64_t n_insts) {
+  obs::Span span("checkpoint.capture", n_insts);
   mem::MainMemory memory;
   isa::load_data_image(program, memory);
   isa::Interpreter interp(program, memory);
@@ -141,6 +154,7 @@ Checkpoint fast_forward(const isa::Program& program, uint64_t n_insts) {
 
 std::vector<Checkpoint> interval_checkpoints(
     const isa::Program& program, const std::vector<uint64_t>& boundaries) {
+  obs::Span span("checkpoint.capture", boundaries.size());
   if (!std::is_sorted(boundaries.begin(), boundaries.end())) {
     throw std::runtime_error("interval_checkpoints: boundaries not sorted");
   }

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "isa/interpreter.hpp"
+#include "obs/tracer.hpp"
 #include "trace/bbv.hpp"
 #include "trace/cluster.hpp"
 #include "trace/shard.hpp"
@@ -56,6 +57,7 @@ void capture_checkpoints(IntervalPlan& plan, const isa::Program& program) {
 IntervalPlan plan_intervals(const isa::Program& program, uint32_t k,
                             uint64_t max_insts, uint64_t warmup,
                             WarmMode warm_mode, uint64_t detail_len) {
+  obs::Span span("plan.uniform", k);
   const uint64_t cap = max_insts == 0 ? UINT64_MAX : max_insts;
 
   IntervalPlan plan;
@@ -86,6 +88,7 @@ IntervalPlan plan_intervals(const isa::Program& program, uint32_t k,
 
 IntervalPlan plan_cluster_intervals(const isa::Program& program,
                                     const ClusterPlanOptions& opts) {
+  obs::Span span("plan.cluster", opts.n_intervals);
   const uint64_t cap = opts.max_insts == 0 ? UINT64_MAX : opts.max_insts;
 
   IntervalPlan plan;

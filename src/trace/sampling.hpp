@@ -64,6 +64,9 @@ struct SampledRun {
     uint64_t warmup = 0;      ///< instructions warm-simulated before start
     double weight = 1.0;      ///< population this interval stands in for
     stats::SimStats stats;    ///< measured slice only (warm-up subtracted)
+    /// Host wall-clock of this interval's detail simulation (telemetry —
+    /// never part of the simulated result; 0 from pre-v3 shard blobs).
+    uint64_t wall_us = 0;
   };
   std::vector<Interval> intervals;
   uint64_t total_insts = 0;    ///< instructions the plan covers
@@ -71,6 +74,10 @@ struct SampledRun {
                                ///< (measured + detailed warm-up; the cost)
   uint64_t warmed_insts = 0;   ///< instructions functionally warmed
                                ///< (interpreter-speed; ~free by comparison)
+  /// Host wall-clock telemetry: summed per-interval detail wall, and the
+  /// warm-capture pass wall (shared across a grid's columns).
+  uint64_t wall_us = 0;
+  uint64_t warm_wall_us = 0;
   stats::SimStats aggregate;   ///< weighted merge of every interval
 };
 

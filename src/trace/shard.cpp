@@ -1,10 +1,15 @@
 #include "trace/shard.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <bit>
 #include <cstring>
+#include <memory>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/progress.hpp"
+#include "obs/tracer.hpp"
 #include "sim/simulator.hpp"
 #include "sim/sweep.hpp"
 #include "trace/blob.hpp"
@@ -55,6 +60,7 @@ std::vector<uint8_t> ShardResult::serialize() const {
   out.u64(total_insts);
   out.boolean(ran_to_halt);
   out.u64(warmed_insts);
+  out.u64(warm_wall_us);
   out.u32(static_cast<uint32_t>(configs.size()));
   for (const ConfigColumn& cc : configs) {
     put_string(out, cc.name);
@@ -72,7 +78,14 @@ std::vector<uint8_t> ShardResult::serialize() const {
       throw std::runtime_error(
           "ShardResult::serialize: interval stats/config column mismatch");
     }
+    if (!iv.wall_us.empty() && iv.wall_us.size() != configs.size()) {
+      throw std::runtime_error(
+          "ShardResult::serialize: interval wall/config column mismatch");
+    }
     for (const stats::SimStats& s : iv.stats) stats::serialize(s, out);
+    for (size_t c = 0; c < configs.size(); ++c) {
+      out.u64(iv.wall_us.empty() ? 0 : iv.wall_us[c]);
+    }
   }
   return out.take();
 }
@@ -91,10 +104,14 @@ ShardResult ShardResult::deserialize(const std::vector<uint8_t>& payload) {
     util::ByteReader in(payload.data() + sizeof(kShardMagic),
                         payload.size() - sizeof(kShardMagic));
     const uint32_t version = in.u32();
-    if (version != (v1 ? 1u : 2u)) {
+    const bool versioned_ok =
+        v1 ? version == 1u
+           : (version >= kShardVersionNoWall && version <= kShardVersion);
+    if (!versioned_ok) {
       throw VersionError("ShardResult: unsupported version " +
                          std::to_string(version));
     }
+    const bool has_wall = !v1 && version >= 3u;
     (void)in.u32();  // reserved
 
     ShardResult r;
@@ -112,6 +129,7 @@ ShardResult ShardResult::deserialize(const std::vector<uint8_t>& payload) {
       r.configs.push_back({std::string(), r.plan_hash, detailed});
     } else {
       r.warmed_insts = in.u64();
+      if (has_wall) r.warm_wall_us = in.u64();
       const uint32_t nc = in.u32();
       if (nc == 0 || nc > 4096) {
         throw CorruptFileError("ShardResult: corrupt config column count " +
@@ -136,6 +154,10 @@ ShardResult ShardResult::deserialize(const std::vector<uint8_t>& payload) {
       for (size_t c = 0; c < r.configs.size(); ++c) {
         iv.stats.push_back(stats::deserialize_stats(in));
       }
+      iv.wall_us.assign(r.configs.size(), 0);
+      if (has_wall) {
+        for (uint64_t& w : iv.wall_us) w = in.u64();
+      }
     }
     if (!in.done()) {
       throw CorruptFileError("ShardResult: trailing bytes after intervals");
@@ -158,6 +180,44 @@ ShardResult ShardResult::load(const std::string& path) {
   return deserialize(
       read_blob_file(path, "ShardResult", /*require_footer=*/true));
 }
+
+namespace {
+
+/// Telemetry sidecar of one run_shard call: progress heartbeats and the
+/// shared metric instruments, all optional-cost (heartbeats are one
+/// relaxed load when CFIR_PROGRESS is off; metrics are relaxed adds).
+struct ShardTelemetry {
+  obs::Stopwatch clock;
+  std::atomic<uint64_t> units_done{0};
+  std::atomic<uint64_t> detailed_insts{0};
+  uint64_t units_total = 0;
+  uint64_t warmed_insts = 0;
+  ShardSelection shard;
+  uint32_t plan_intervals = 0;
+  uint32_t nc = 1;
+
+  [[nodiscard]] obs::Heartbeat heartbeat(const char* phase) const {
+    obs::Heartbeat hb;
+    hb.phase = phase;
+    hb.shard_index = shard.index;
+    hb.shard_count = shard.count;
+    hb.done = units_done.load(std::memory_order_relaxed);
+    hb.total = units_total;
+    hb.intervals_done = nc == 0 ? 0 : hb.done / nc;
+    hb.plan_intervals = plan_intervals;
+    hb.configs = nc;
+    hb.warmed_insts = warmed_insts;
+    hb.detailed_insts = detailed_insts.load(std::memory_order_relaxed);
+    const uint64_t elapsed_ms = clock.elapsed_us() / 1000;
+    hb.eta_ms = hb.done == 0
+                    ? -1
+                    : static_cast<int64_t>(elapsed_ms * (hb.total - hb.done) /
+                                           hb.done);
+    return hb;
+  }
+};
+
+}  // namespace
 
 ShardResult run_shard(const std::vector<ConfigBinding>& configs,
                       const isa::Program& program, const IntervalPlan& plan,
@@ -183,6 +243,7 @@ ShardResult run_shard(const std::vector<ConfigBinding>& configs,
                              std::to_string(shard.count) + " out of range");
   }
   const size_t nc = configs.size();
+  obs::Span shard_span("run_shard", shard.index);
 
   ShardResult result;
   result.plan_hash = plan_hash;
@@ -216,7 +277,15 @@ ShardResult run_shard(const std::vector<ConfigBinding>& configs,
     iv.weight = plan.weights[i];
     iv.warmup = plan.boundaries[i] - plan.checkpoints[i].executed;
     iv.stats.resize(nc);
+    iv.wall_us.assign(nc, 0);
   }
+
+  ShardTelemetry telemetry;
+  telemetry.units_total = mine.size() * nc;
+  telemetry.shard = shard;
+  telemetry.plan_intervals = static_cast<uint32_t>(k);
+  telemetry.nc = static_cast<uint32_t>(nc);
+  obs::Progress& progress = obs::Progress::global();
 
   // Functional warm state, per config: prefer the binding's per-interval
   // blobs (bind_configs / CFIRMAN2 sidecars), then warm state attached to
@@ -244,16 +313,28 @@ ShardResult run_shard(const std::vector<ConfigBinding>& configs,
       }
     }
     if (!need.empty()) {
+      if (progress.enabled()) {
+        progress.emit(telemetry.heartbeat("warm"), /*force=*/true);
+      }
       std::vector<uint64_t> targets;
       targets.reserve(mine.size());
       for (const size_t i : mine) {
         targets.push_back(plan.checkpoints[i].executed);
       }
+      const obs::Stopwatch warm_clock;
       captured = capture_warm_states_grid(need, program, targets);
+      result.warm_wall_us = warm_clock.elapsed_us();
+      obs::Registry::instance()
+          .histogram("shard.warm_capture_us")
+          .observe(result.warm_wall_us);
     }
     for (const size_t i : mine) {
       result.warmed_insts += plan.checkpoints[i].executed;
     }
+  }
+  telemetry.warmed_insts = result.warmed_insts;
+  if (progress.enabled()) {
+    progress.emit(telemetry.heartbeat("detail"), /*force=*/true);
   }
 
   // Detailed-simulate the (interval × config) grid in parallel. An
@@ -272,8 +353,15 @@ ShardResult run_shard(const std::vector<ConfigBinding>& configs,
             plan.ran_to_halt &&
             interval.start_inst + interval.length == plan.total_insts;
         if (interval.length == 0 && !run_to_halt) return;
+        const obs::Stopwatch unit_clock;
         const core::CoreConfig& config = configs[c].config;
-        sim::Simulator sim(config, program, plan.checkpoints[i]);
+        std::unique_ptr<sim::Simulator> sim;
+        {
+          obs::Span restore_span("checkpoint.restore",
+                                 static_cast<uint64_t>(i));
+          sim = std::make_unique<sim::Simulator>(config, program,
+                                                 plan.checkpoints[i]);
+        }
         if (functional) {
           const std::vector<uint8_t>& blob =
               !configs[c].warm.empty()
@@ -288,15 +376,22 @@ ShardResult run_shard(const std::vector<ConfigBinding>& configs,
                 " — were the bindings loaded for a different shard "
                 "selection?");
           }
+          obs::Span warm_span("warming", static_cast<uint64_t>(i));
           FunctionalWarmer warmer(config, program);
           warmer.deserialize_state(blob);
-          warmer.apply_to(sim);
+          warmer.apply_to(*sim);
         }
         stats::SimStats warm_stats;
-        if (interval.warmup > 0) warm_stats = sim.run(interval.warmup);
+        if (interval.warmup > 0) {
+          obs::Span warm_span("warming", static_cast<uint64_t>(i));
+          warm_stats = sim->run(interval.warmup);
+        }
         stats::SimStats& s = interval.stats[c];
-        s = sim.run(run_to_halt ? UINT64_MAX
-                                : interval.warmup + interval.length);
+        {
+          obs::Span detail_span("detail", static_cast<uint64_t>(i));
+          s = sim->run(run_to_halt ? UINT64_MAX
+                                   : interval.warmup + interval.length);
+        }
         s.subtract(warm_stats);
         // Episode counters are only hierarchical (total >= selected >=
         // reused, a ci::CiMechanism invariant) within one contiguous run.
@@ -306,6 +401,21 @@ ShardResult run_shard(const std::vector<ConfigBinding>& configs,
         // discarded with the rest of the warm-up.
         s.ep_ci_selected = std::min(s.ep_ci_selected, s.ep_total);
         s.ep_ci_reused = std::min(s.ep_ci_reused, s.ep_ci_selected);
+
+        // Telemetry for this (interval, config) unit. wall_us is written
+        // by exactly one worker (this unit's), so no lock is needed.
+        const uint64_t unit_us = unit_clock.elapsed_us();
+        interval.wall_us[c] = unit_us;
+        obs::Registry& reg = obs::Registry::instance();
+        reg.histogram("shard.unit_us").observe(unit_us);
+        reg.counter("shard.detail_units").increment();
+        reg.counter("shard.detail_insts").add(s.committed + interval.warmup);
+        if (progress.enabled()) {
+          telemetry.detailed_insts.fetch_add(s.committed + interval.warmup,
+                                             std::memory_order_relaxed);
+          telemetry.units_done.fetch_add(1, std::memory_order_relaxed);
+          progress.emit(telemetry.heartbeat("detail"));
+        }
       },
       threads);
 
@@ -314,6 +424,11 @@ ShardResult run_shard(const std::vector<ConfigBinding>& configs,
       result.configs[c].detailed_insts +=
           interval.stats[c].committed + interval.warmup;
     }
+  }
+  if (progress.enabled()) {
+    telemetry.units_done.store(telemetry.units_total,
+                               std::memory_order_relaxed);
+    progress.emit(telemetry.heartbeat("done"), /*force=*/true);
   }
   return result;
 }
@@ -418,13 +533,16 @@ MergedGrid merge_shard_grid(const std::vector<ShardResult>& shards) {
     parts.reserve(first.plan_intervals);
     for (uint32_t i = 0; i < first.plan_intervals; ++i) {
       const ShardResult::Interval& iv = *by_index[i];
-      run.intervals.push_back(
-          {iv.start_inst, iv.length, iv.warmup, iv.weight, iv.stats[c]});
+      const uint64_t wall_us = iv.wall_us.empty() ? 0 : iv.wall_us[c];
+      run.intervals.push_back({iv.start_inst, iv.length, iv.warmup,
+                               iv.weight, iv.stats[c], wall_us});
+      run.wall_us += wall_us;
       parts.push_back({iv.stats[c], iv.weight});
     }
     for (const ShardResult& s : shards) {
       run.detailed_insts += s.configs[c].detailed_insts;
       run.warmed_insts += s.warmed_insts;
+      run.warm_wall_us += s.warm_wall_us;
     }
     run.aggregate = stats::merge_shards(parts);
     // In cluster mode the window containing HALT need not be a

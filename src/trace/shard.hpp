@@ -19,23 +19,29 @@
 // trace::sampled_run (which is itself run_shard of the whole plan + merge
 // — there is exactly one orchestration code path).
 //
-// File format, version 2 (little-endian, shared CRC-32 footer required —
+// File format, version 3 (little-endian, shared CRC-32 footer required —
 // trace/blob.hpp):
 //   magic "CFIRSHD2" | u32 version | u32 reserved
 //   | u64 plan_hash | u32 shard_index | u32 shard_count
 //   | u32 plan_intervals | u64 total_insts | u8 ran_to_halt
 //   | u64 warmed_insts            (shared streaming cost, counted once)
+//   | u64 warm_wall_us            (v3: host wall of the warm capture pass)
 //   | u32 n_configs
 //   | n_configs x (u32 name_len | name bytes | u64 config_hash
 //                  | u64 detailed_insts)
 //   | u32 n_intervals
 //   | n x (u32 plan_index | u64 start | u64 length | u64 warmup
 //          | u64 weight_bits(double) | n_configs x SimStats
-//            (stats::serialize))
+//            (stats::serialize)
+//          | n_configs x u64 wall_us   (v3: per-column detail wall))
 //   | "CRC1" | u32 crc32
-// Version-1 files ("CFIRSHD1", one implicit config column whose hash was
-// the manifest's combined config hash) still load; save() always writes
-// version 2.
+// The v3 wall fields are host telemetry riding next to the simulated
+// stats — merge surfaces them (`merge --per-phase`) but they never enter
+// SimStats, so merged results stay bit-identical to pre-telemetry runs.
+// Version-2 files (no wall fields — they load as zeros) and version-1
+// files ("CFIRSHD1", one implicit config column whose hash was the
+// manifest's combined config hash) still load; save() always writes
+// version 3 under the "CFIRSHD2" magic.
 #pragma once
 
 #include <cstdint>
@@ -54,7 +60,10 @@ inline constexpr char kShardMagic[8] = {'C', 'F', 'I', 'R',
                                         'S', 'H', 'D', '1'};
 inline constexpr char kShardMagicV2[8] = {'C', 'F', 'I', 'R',
                                           'S', 'H', 'D', '2'};
-inline constexpr uint32_t kShardVersion = 2;
+inline constexpr uint32_t kShardVersion = 3;
+/// Oldest "CFIRSHD2"-magic version load() still accepts (v2 blobs predate
+/// the wall-time telemetry fields, which deserialize as zeros).
+inline constexpr uint32_t kShardVersionNoWall = 2;
 
 /// Shard `index` of `count`: the intervals whose plan index ≡ index
 /// (mod count). The default selection {0, 1} is the whole plan.
@@ -85,6 +94,9 @@ struct ShardResult {
   /// interval regardless of how many configs share the stream — the
   /// amortization the grid path exists for (locked in tests/test_shard.cpp).
   uint64_t warmed_insts = 0;
+  /// Host wall-clock of the shared warm-capture pass (telemetry; 0 when
+  /// warm state came precomputed or from a pre-v3 blob).
+  uint64_t warm_wall_us = 0;
 
   /// One config column of the grid this shard executed.
   struct ConfigColumn {
@@ -103,6 +115,10 @@ struct ShardResult {
     /// Measured slice only (warm-up subtracted), one entry per config
     /// column, in `configs` order.
     std::vector<stats::SimStats> stats;
+    /// Host wall-clock of each column's detail simulation of this
+    /// interval (telemetry), in `configs` order. Empty (= all zero) on
+    /// results loaded from pre-v3 blobs; serialize treats empty as zeros.
+    std::vector<uint64_t> wall_us;
   };
   std::vector<Interval> intervals;
 

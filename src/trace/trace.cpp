@@ -1,11 +1,15 @@
 #include "trace/trace.hpp"
 
+#include <algorithm>
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
 #include <sstream>
 #include <stdexcept>
 
 #include "mem/main_memory.hpp"
+#include "obs/metrics.hpp"
+#include "obs/tracer.hpp"
 #include "trace/blob.hpp"
 #include "trace/errors.hpp"
 #include "trace/io.hpp"
@@ -176,6 +180,9 @@ TraceReader::TraceReader(const std::string& path)
   in_.read(meta_.workload.data(), name_len);
   if (!in_) throw std::runtime_error("TraceReader: truncated header");
   prev_pc_ = meta_.base_pc;
+  open_us_ = std::chrono::duration_cast<std::chrono::microseconds>(
+                 std::chrono::steady_clock::now().time_since_epoch())
+                 .count();
 }
 
 uint64_t TraceReader::get_varint() {
@@ -195,7 +202,27 @@ uint64_t TraceReader::get_varint() {
 }
 
 bool TraceReader::next(TraceRecord& out) {
-  if (read_ >= record_count_) return false;
+  if (read_ >= record_count_) {
+    // Decode-throughput telemetry, settled once per fully drained stream
+    // (never per record — next() is the replay hot path).
+    if (!telemetry_done_) {
+      telemetry_done_ = true;
+      const int64_t now_us =
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              std::chrono::steady_clock::now().time_since_epoch())
+              .count();
+      const auto pos = in_.tellg();
+      obs::Registry& reg = obs::Registry::instance();
+      reg.counter("trace.decode_records").add(record_count_);
+      if (pos > 0) {
+        reg.counter("trace.decode_bytes").add(static_cast<uint64_t>(pos));
+      }
+      reg.histogram("trace.decode_us")
+          .observe(static_cast<uint64_t>(std::max<int64_t>(
+              0, now_us - open_us_)));
+    }
+    return false;
+  }
   const int tag_c = in_.get();
   if (tag_c == std::char_traits<char>::eof()) {
     throw std::runtime_error("TraceReader: truncated record stream");
@@ -271,6 +298,7 @@ isa::InterpResult record_interpreter(const isa::Program& program,
                                      const std::string& path,
                                      const TraceMeta& meta,
                                      uint64_t max_insts) {
+  obs::Span span("trace.record");
   TraceMeta m = meta;
   m.base_pc = program.base();
   TraceWriter writer(path, m);
@@ -298,6 +326,7 @@ ReplayResult replay_trace(const isa::Program& program,
 }
 
 ReplayResult replay_trace(const isa::Program& program, TraceReader& reader) {
+  obs::Span span("trace.replay");
   ReplayResult result;
   std::ostringstream why;
 

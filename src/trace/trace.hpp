@@ -138,6 +138,8 @@ class TraceReader {
   uint64_t prev_pc_ = 0;
   bool have_prev_ = false;
   uint64_t last_addr_ = 0;
+  int64_t open_us_ = 0;     ///< decode-throughput telemetry epoch
+  bool telemetry_done_ = false;
 };
 
 /// Runs the reference interpreter over `program` (fresh memory, data image

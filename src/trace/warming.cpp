@@ -3,6 +3,8 @@
 #include <stdexcept>
 
 #include "ci/mechanism.hpp"
+#include "obs/metrics.hpp"
+#include "obs/tracer.hpp"
 #include "sim/simulator.hpp"
 #include "util/warmable.hpp"
 
@@ -183,6 +185,8 @@ void FunctionalWarmer::deserialize_state(const std::vector<uint8_t>& blob) {
 std::vector<std::vector<uint8_t>> capture_warm_states(
     const core::CoreConfig& config, const isa::Program& program,
     const std::vector<uint64_t>& targets) {
+  obs::Span span("warming.capture", targets.size());
+  const obs::Stopwatch clock;
   std::vector<std::vector<uint8_t>> out;
   out.reserve(targets.size());
   FunctionalWarmer warmer(config, program);
@@ -195,6 +199,9 @@ std::vector<std::vector<uint8_t>> capture_warm_states(
     warmer.advance_to(target);
     out.push_back(warmer.serialize_state());
   }
+  obs::Registry& reg = obs::Registry::instance();
+  reg.counter("warming.insts").add(prev);
+  reg.histogram("warming.capture_us").observe(clock.elapsed_us());
   return out;
 }
 
@@ -233,6 +240,8 @@ std::vector<std::vector<std::vector<uint8_t>>> capture_warm_states_grid(
     pending = TraceRecord{};
   };
 
+  obs::Span span("warming.capture", targets.size());
+  const obs::Stopwatch clock;
   std::vector<std::vector<std::vector<uint8_t>>> out(configs.size());
   for (auto& per_config : out) per_config.reserve(targets.size());
   uint64_t prev = 0;
@@ -247,6 +256,11 @@ std::vector<std::vector<std::vector<uint8_t>>> capture_warm_states_grid(
       out[c].push_back(warmers[c]->serialize_state());
     }
   }
+  // The streamed prefix is counted once however many configs fanned out —
+  // the same convention ShardResult::warmed_insts uses.
+  obs::Registry& reg = obs::Registry::instance();
+  reg.counter("warming.insts").add(interp.executed());
+  reg.histogram("warming.capture_us").observe(clock.elapsed_us());
   return out;
 }
 

@@ -20,6 +20,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <bit>
 #include <cstdio>
 #include <random>
 #include <string>
@@ -28,6 +29,7 @@
 
 #include "helpers.hpp"
 #include "sim/presets.hpp"
+#include "trace/blob.hpp"
 #include "trace/errors.hpp"
 #include "trace/manifest.hpp"
 #include "trace/sampling.hpp"
@@ -140,6 +142,7 @@ ShardResult random_shard_result(uint64_t seed) {
   r.total_insts = gen();
   r.ran_to_halt = (gen() & 1) != 0;
   r.warmed_insts = gen() % 1000000;
+  r.warm_wall_us = gen() % 1000000;
   const size_t nc = gen() % 3 + 1;
   r.configs.resize(nc);
   for (size_t c = 0; c < nc; ++c) {
@@ -156,8 +159,10 @@ ShardResult random_shard_result(uint64_t seed) {
     r.intervals[i].warmup = gen() % 10000;
     r.intervals[i].weight = static_cast<double>(gen() % 10000) / 16.0;
     r.intervals[i].stats.resize(nc);
+    r.intervals[i].wall_us.resize(nc);
     for (size_t c = 0; c < nc; ++c) {
       r.intervals[i].stats[c] = cfir::testing::random_sim_stats(gen);
+      r.intervals[i].wall_us[c] = gen() % 10000000;
     }
   }
   return r;
@@ -285,6 +290,7 @@ TEST(ShardResultBlob, FuzzSerializeDeserializeReserializeStable) {
       EXPECT_EQ(loaded.configs[c].detailed_insts,
                 r.configs[c].detailed_insts);
     }
+    EXPECT_EQ(loaded.warm_wall_us, r.warm_wall_us) << "seed " << seed;
     ASSERT_EQ(loaded.intervals.size(), r.intervals.size())
         << "seed " << seed;
     for (size_t i = 0; i < r.intervals.size(); ++i) {
@@ -292,9 +298,60 @@ TEST(ShardResultBlob, FuzzSerializeDeserializeReserializeStable) {
         EXPECT_EQ(stats::to_json(loaded.intervals[i].stats[c]),
                   stats::to_json(r.intervals[i].stats[c]))
             << "seed " << seed << " interval " << i << " config " << c;
+        EXPECT_EQ(loaded.intervals[i].wall_us[c], r.intervals[i].wall_us[c])
+            << "seed " << seed << " interval " << i << " config " << c;
       }
     }
     EXPECT_EQ(loaded.serialize(), first) << "seed " << seed;
+  }
+}
+
+// A version-2 blob (pre wall-telemetry) must still load, with every wall
+// field zero: hosts in a farm upgrade at different times, and the merged
+// SimStats never depended on the wall fields anyway.
+TEST(ShardResultBlob, Version2BlobLoadsWithZeroWallFields) {
+  const ShardResult r = random_shard_result(7);
+  util::ByteWriter out;
+  for (const char c : kShardMagicV2) out.u8(static_cast<uint8_t>(c));
+  out.u32(kShardVersionNoWall);
+  out.u32(0);  // reserved
+  out.u64(r.plan_hash);
+  out.u32(r.shard_index);
+  out.u32(r.shard_count);
+  out.u32(r.plan_intervals);
+  out.u64(r.total_insts);
+  out.boolean(r.ran_to_halt);
+  out.u64(r.warmed_insts);
+  // v2 layout: no warm_wall_us here.
+  out.u32(static_cast<uint32_t>(r.configs.size()));
+  for (const auto& cc : r.configs) {
+    put_string(out, cc.name);
+    out.u64(cc.config_hash);
+    out.u64(cc.detailed_insts);
+  }
+  out.u32(static_cast<uint32_t>(r.intervals.size()));
+  for (const auto& iv : r.intervals) {
+    out.u32(iv.plan_index);
+    out.u64(iv.start_inst);
+    out.u64(iv.length);
+    out.u64(iv.warmup);
+    out.u64(std::bit_cast<uint64_t>(iv.weight));
+    for (const stats::SimStats& st : iv.stats) stats::serialize(st, out);
+    // v2 layout: no per-(interval, config) wall_us here.
+  }
+
+  const ShardResult loaded = ShardResult::deserialize(out.take());
+  EXPECT_EQ(loaded.plan_hash, r.plan_hash);
+  EXPECT_EQ(loaded.warmed_insts, r.warmed_insts);
+  EXPECT_EQ(loaded.warm_wall_us, 0u);
+  ASSERT_EQ(loaded.intervals.size(), r.intervals.size());
+  for (size_t i = 0; i < r.intervals.size(); ++i) {
+    ASSERT_EQ(loaded.intervals[i].wall_us.size(), r.configs.size());
+    for (const uint64_t w : loaded.intervals[i].wall_us) EXPECT_EQ(w, 0u);
+    for (size_t c = 0; c < r.configs.size(); ++c) {
+      EXPECT_EQ(stats::to_json(loaded.intervals[i].stats[c]),
+                stats::to_json(r.intervals[i].stats[c]));
+    }
   }
 }
 

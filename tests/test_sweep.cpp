@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdlib>
+#include <stdexcept>
 
 #include "sim/presets.hpp"
 
@@ -51,6 +53,40 @@ TEST(Sweep, ParallelEqualsSerial) {
               parallel[i].stats.reused_committed)
         << i;
   }
+}
+
+// Worker exceptions must reach the caller: a sweep that swallowed them
+// would report zeroed outcomes as if the grid point ran. The first thrown
+// error is rethrown on the calling thread after the pool joins, for both
+// the inline (threads <= 1) and the threaded path.
+TEST(Sweep, ParallelForRethrowsWorkerException) {
+  for (const int threads : {1, 4}) {
+    std::atomic<size_t> ran{0};
+    try {
+      parallel_for(
+          8,
+          [&](size_t i) {
+            ran.fetch_add(1);
+            if (i == 3) throw std::runtime_error("task 3 exploded");
+          },
+          threads);
+      FAIL() << "parallel_for swallowed the worker exception (threads="
+             << threads << ")";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "task 3 exploded") << "threads=" << threads;
+    }
+    // Failure stops the pool handing out further work, so not every task
+    // necessarily ran — but the throwing one did.
+    EXPECT_GE(ran.load(), 4u) << "threads=" << threads;
+    EXPECT_LE(ran.load(), 8u) << "threads=" << threads;
+  }
+}
+
+// Every task completed => no exception, all indices visited exactly once.
+TEST(Sweep, ParallelForRunsEachIndexOnce) {
+  std::vector<std::atomic<int>> hits(64);
+  parallel_for(hits.size(), [&](size_t i) { hits[i].fetch_add(1); }, 4);
+  for (size_t i = 0; i < hits.size(); ++i) EXPECT_EQ(hits[i].load(), 1) << i;
 }
 
 TEST(Sweep, UnknownWorkloadReportsError) {
