@@ -113,6 +113,8 @@ int usage() {
       "                         tail shard .cfirprog sidecars\n"
       "any verb: [--trace-out=<file> (Chrome trace-event flight record)]\n"
       "env: CFIR_TRACE_DIR (output dir), CFIR_THREADS (sample/run-shard),\n"
+      "     CFIR_ENGINE=cached|switch (functional engine for record/plan/\n"
+      "     warming passes; identical output bytes, cached is ~3-4x faster),\n"
       "     CFIR_STRICT_BLOBS (reject legacy footer-less blobs),\n"
       "     CFIR_TRACE=<file> (same as --trace-out),\n"
       "     CFIR_PROGRESS=1|stderr (.cfirprog heartbeats)\n"

@@ -7,7 +7,8 @@ namespace cfir::isa {
 Interpreter::Interpreter(const Program& program, mem::MainMemory& memory)
     : program_(program), mem_(memory), pc_(program.base()) {}
 
-bool Interpreter::step() {
+template <bool Observed>
+bool Interpreter::step_impl() {
   if (halted_) return false;
   const Instruction* inst = program_.try_at(pc_);
   if (inst == nullptr) {
@@ -36,17 +37,23 @@ bool Interpreter::step() {
       if (is_cond_branch(op)) {
         const bool taken = eval_branch(op, regs_[inst->rs1], regs_[inst->rs2]);
         if (taken) next_pc = static_cast<uint64_t>(inst->imm);
-        if (on_branch) on_branch(pc_, taken, next_pc);
+        if constexpr (Observed) {
+          if (on_branch) on_branch(pc_, taken, next_pc);
+        }
       } else if (is_load(op)) {
         const uint64_t addr = regs_[inst->rs1] + static_cast<uint64_t>(inst->imm);
         const int bytes = mem_bytes(op);
         regs_[inst->rd] = mem_.read(addr, bytes);
-        if (on_mem) on_mem(pc_, addr, bytes, /*is_store=*/false);
+        if constexpr (Observed) {
+          if (on_mem) on_mem(pc_, addr, bytes, /*is_store=*/false);
+        }
       } else if (is_store(op)) {
         const uint64_t addr = regs_[inst->rs1] + static_cast<uint64_t>(inst->imm);
         const int bytes = mem_bytes(op);
         mem_.write(addr, regs_[inst->rs2], bytes);
-        if (on_mem) on_mem(pc_, addr, bytes, /*is_store=*/true);
+        if constexpr (Observed) {
+          if (on_mem) on_mem(pc_, addr, bytes, /*is_store=*/true);
+        }
       } else {
         // ALU.
         regs_[inst->rd] =
@@ -55,16 +62,31 @@ bool Interpreter::step() {
       break;
     }
   }
-  if (on_step) on_step(pc_, next_pc);
+  if constexpr (Observed) {
+    if (on_step) on_step(pc_, next_pc);
+  }
   pc_ = next_pc;
   ++executed_;
   return true;
 }
 
+bool Interpreter::step() { return step_impl<true>(); }
+
 uint64_t Interpreter::run(uint64_t max_insts) {
   const uint64_t start = executed_;
+  // Saturating target so `max_insts == UINT64_MAX` ("run to HALT") cannot
+  // overflow once `executed_` is nonzero.
+  const uint64_t target =
+      max_insts > UINT64_MAX - start ? UINT64_MAX : start + max_insts;
   const obs::Stopwatch clock;
-  while (executed_ - start < max_insts && step()) {
+  // Bind the observer check once: with no observers attached the loop runs
+  // the specialization with every `if (on_*)` compiled out.
+  if (on_step || on_branch || on_mem) {
+    while (executed_ < target && step_impl<true>()) {
+    }
+  } else {
+    while (executed_ < target && step_impl<false>()) {
+    }
   }
   const uint64_t ran = executed_ - start;
   // Telemetry once per run() call, never per instruction — run() is the

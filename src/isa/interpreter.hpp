@@ -49,6 +49,12 @@ class Interpreter {
   std::function<void(uint64_t pc, uint64_t next_pc)> on_step;
 
  private:
+  /// Shared step body; `Observed` compiles the observer checks in or out so
+  /// run() can bind "any observers attached?" once instead of re-testing
+  /// three std::functions per instruction.
+  template <bool Observed>
+  bool step_impl();
+
   const Program& program_;
   mem::MainMemory& mem_;
   std::array<uint64_t, kNumLogicalRegs> regs_{};

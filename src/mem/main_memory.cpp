@@ -47,6 +47,15 @@ void MainMemory::write(uint64_t addr, uint64_t value, int bytes) {
   }
 }
 
+const uint8_t* MainMemory::page_data(uint64_t addr) const {
+  const Page* p = find_page(addr);
+  return p ? p->data() : nullptr;
+}
+
+uint8_t* MainMemory::mutable_page_data(uint64_t addr) {
+  return touch_page(addr).data();
+}
+
 void MainMemory::write_block(uint64_t addr, const uint8_t* data, size_t n) {
   for (size_t i = 0; i < n; ++i) write8(addr + i, data[i]);
 }

@@ -24,6 +24,15 @@ class MainMemory {
 
   void write_block(uint64_t addr, const uint8_t* data, size_t n);
 
+  /// Stable pointer to the 4 KiB page backing `addr`, or nullptr when the
+  /// page was never written (reads of absent pages are zero). Pages are
+  /// heap-allocated and never freed or moved while the MainMemory lives,
+  /// so callers may cache the pointer across calls — the superblock
+  /// engine's load/store fast path (isa/engine.cpp) does.
+  [[nodiscard]] const uint8_t* page_data(uint64_t addr) const;
+  /// Same, but creates the page when absent (store fast path).
+  [[nodiscard]] uint8_t* mutable_page_data(uint64_t addr);
+
   /// Number of resident pages (host-memory footprint check).
   [[nodiscard]] size_t resident_pages() const { return pages_.size(); }
 

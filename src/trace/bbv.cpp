@@ -2,7 +2,7 @@
 
 #include <stdexcept>
 
-#include "isa/interpreter.hpp"
+#include "isa/engine.hpp"
 #include "isa/isa.hpp"
 #include "trace/trace.hpp"
 
@@ -67,11 +67,15 @@ BbvSet bbv_from_program(const isa::Program& program, uint64_t interval_len,
   BbvBuilder builder(interval_len);
   mem::MainMemory memory;
   isa::load_data_image(program, memory);
-  isa::Interpreter interp(program, memory);
-  interp.on_step = [&](uint64_t pc, uint64_t) {
-    builder.step(pc, isa::is_cond_branch(program.at(pc).op));
-  };
-  interp.run(max_insts == 0 ? UINT64_MAX : max_insts);
+  // kBranch events are exactly the conditional branches, so the engine's
+  // event stream carries the is_cond_branch flag without a program lookup.
+  isa::FunctionalEngine engine(program, memory);
+  engine.set_sink([&](uint64_t, const isa::StepEvent* ev, size_t n) {
+    for (size_t i = 0; i < n; ++i) {
+      builder.step(ev[i].pc, ev[i].kind == isa::EventKind::kBranch);
+    }
+  });
+  engine.run(max_insts == 0 ? UINT64_MAX : max_insts);
   return builder.finish();
 }
 

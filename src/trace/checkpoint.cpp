@@ -5,7 +5,7 @@
 #include <fstream>
 #include <stdexcept>
 
-#include "isa/interpreter.hpp"
+#include "isa/engine.hpp"
 #include "obs/metrics.hpp"
 #include "obs/tracer.hpp"
 #include "trace/blob.hpp"
@@ -24,12 +24,12 @@ bool all_zero(const uint8_t* data, size_t n) {
   return true;
 }
 
-Checkpoint snapshot(const isa::Interpreter& interp,
+Checkpoint snapshot(const isa::FunctionalEngine& engine,
                     const mem::MainMemory& memory) {
   Checkpoint ck;
-  ck.pc = interp.pc();
-  ck.executed = interp.executed();
-  ck.regs = interp.regs();
+  ck.pc = engine.pc();
+  ck.executed = engine.executed();
+  ck.regs = engine.regs();
   ck.memory = memory.clone();
   return ck;
 }
@@ -147,9 +147,11 @@ Checkpoint fast_forward(const isa::Program& program, uint64_t n_insts) {
   obs::Span span("checkpoint.capture", n_insts);
   mem::MainMemory memory;
   isa::load_data_image(program, memory);
-  isa::Interpreter interp(program, memory);
-  interp.run(n_insts);
-  return snapshot(interp, memory);
+  // Pure architectural fast-forward: no sink attached, so the cached
+  // engine runs its no-collection loop.
+  isa::FunctionalEngine engine(program, memory);
+  engine.run(n_insts);
+  return snapshot(engine, memory);
 }
 
 std::vector<Checkpoint> interval_checkpoints(
@@ -160,14 +162,13 @@ std::vector<Checkpoint> interval_checkpoints(
   }
   mem::MainMemory memory;
   isa::load_data_image(program, memory);
-  isa::Interpreter interp(program, memory);
+  isa::FunctionalEngine engine(program, memory);
 
   std::vector<Checkpoint> out;
   out.reserve(boundaries.size());
   for (const uint64_t boundary : boundaries) {
-    while (interp.executed() < boundary && interp.step()) {
-    }
-    out.push_back(snapshot(interp, memory));
+    engine.run_to(boundary);
+    out.push_back(snapshot(engine, memory));
   }
   return out;
 }

@@ -62,13 +62,13 @@ struct Checkpoint {
   [[nodiscard]] static Checkpoint load(const std::string& path);
 };
 
-/// Runs the reference interpreter `n_insts` instructions from program start
+/// Runs the functional engine `n_insts` instructions from program start
 /// (fresh memory, data image applied) and snapshots the result. Stops early
 /// at HALT; check `executed` when exactness matters.
 [[nodiscard]] Checkpoint fast_forward(const isa::Program& program,
                                       uint64_t n_insts);
 
-/// One interpreter pass capturing a checkpoint at every boundary (sorted,
+/// One engine pass capturing a checkpoint at every boundary (sorted,
 /// strictly increasing instruction counts; 0 snapshots the initial state).
 /// Returns one checkpoint per boundary; boundaries past HALT repeat the
 /// final state.

@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
-#include "isa/interpreter.hpp"
+#include "isa/engine.hpp"
 #include "obs/tracer.hpp"
 #include "trace/bbv.hpp"
 #include "trace/cluster.hpp"
@@ -13,14 +13,14 @@ namespace cfir::trace {
 
 namespace {
 
-/// Pass 1 of every plan: measure the run length with the reference
-/// interpreter.
+/// Pass 1 of every plan: measure the run length with the functional engine
+/// (no sink — pure execution speed).
 uint64_t measure_run(const isa::Program& program, uint64_t cap) {
   mem::MainMemory memory;
   isa::load_data_image(program, memory);
-  isa::Interpreter interp(program, memory);
-  interp.run(cap);
-  return interp.executed();
+  isa::FunctionalEngine engine(program, memory);
+  engine.run(cap);
+  return engine.executed();
 }
 
 /// Applies the SMARTS measured-slice cap: shortens every interval's

@@ -303,17 +303,22 @@ isa::InterpResult record_interpreter(const isa::Program& program,
   m.base_pc = program.base();
   TraceWriter writer(path, m);
 
+  // Capture runs on the CFIR_ENGINE-selected functional engine; the cached
+  // engine emits the identical record stream per-block instead of
+  // per-instruction, so the trace bytes match the switch oracle exactly
+  // (CI byte-diffs the two).
   mem::MainMemory memory;
   isa::load_data_image(program, memory);
-  isa::Interpreter interp(program, memory);
-  StepRecorder recorder(interp);
-  recorder.sink = [&](const TraceRecord& rec) { writer.append(rec); };
-  interp.run(max_insts);
+  isa::FunctionalEngine engine(program, memory);
+  engine.set_sink([&](uint64_t, const isa::StepEvent* ev, size_t n) {
+    for (size_t i = 0; i < n; ++i) writer.append(to_trace_record(ev[i]));
+  });
+  engine.run(max_insts);
 
   isa::InterpResult r;
-  r.executed = interp.executed();
-  r.halted = interp.halted();
-  r.regs = interp.regs();
+  r.executed = engine.executed();
+  r.halted = engine.halted();
+  r.regs = engine.regs();
   r.mem_digest = memory.digest();
   writer.finish(r.regs, r.mem_digest);
   return r;
@@ -330,6 +335,9 @@ ReplayResult replay_trace(const isa::Program& program, TraceReader& reader) {
   ReplayResult result;
   std::ostringstream why;
 
+  // Replay stays on the reference Interpreter deliberately: verification
+  // must stop at the exact diverging instruction (the run cap below counts
+  // consumed records), which a block-batched engine cannot guarantee.
   mem::MainMemory memory;
   isa::load_data_image(program, memory);
   isa::Interpreter interp(program, memory);

@@ -37,6 +37,7 @@
 #include <fstream>
 #include <string>
 
+#include "isa/engine.hpp"
 #include "isa/interpreter.hpp"
 #include "isa/program.hpp"
 
@@ -70,6 +71,28 @@ struct TraceRecord {
 
   bool operator==(const TraceRecord&) const = default;
 };
+
+// The engine's retired-instruction events and trace records are the same
+// data; the enum values line up by design so conversion is a cast.
+static_assert(static_cast<int>(RecordKind::kPlain) ==
+              static_cast<int>(isa::EventKind::kPlain));
+static_assert(static_cast<int>(RecordKind::kBranch) ==
+              static_cast<int>(isa::EventKind::kBranch));
+static_assert(static_cast<int>(RecordKind::kLoad) ==
+              static_cast<int>(isa::EventKind::kLoad));
+static_assert(static_cast<int>(RecordKind::kStore) ==
+              static_cast<int>(isa::EventKind::kStore));
+
+[[nodiscard]] inline TraceRecord to_trace_record(const isa::StepEvent& ev) {
+  TraceRecord rec;
+  rec.pc = ev.pc;
+  rec.kind = static_cast<RecordKind>(ev.kind);
+  rec.taken = ev.taken;
+  rec.next_pc = ev.next_pc;
+  rec.addr = ev.addr;
+  rec.size = ev.size;
+  return rec;
+}
 
 /// Workload identity stored in the header so `replay` / `info` can rebuild
 /// the program without out-of-band knowledge.

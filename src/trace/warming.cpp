@@ -37,9 +37,11 @@ WarmMode parse_warm_mode(std::string_view name) {
 }
 
 FunctionalWarmer::FunctionalWarmer(const core::CoreConfig& config,
-                                   const isa::Program& program)
+                                   const isa::Program& program,
+                                   isa::EngineKind engine_kind)
     : program_(program),
       policy_(config.policy),
+      engine_kind_(engine_kind),
       l1i_line_bytes_(config.memory.l1i.line_bytes),
       gshare_(config.gshare_entries, config.gshare_history_bits),
       mbs_(config.mbs_sets, config.mbs_ways),
@@ -100,36 +102,25 @@ void FunctionalWarmer::on_record(const TraceRecord& rec) {
   ++warmed_;
 }
 
-void FunctionalWarmer::ensure_interpreter() {
-  if (interp_ != nullptr) return;
-  interp_mem_ = std::make_unique<mem::MainMemory>();
-  isa::load_data_image(program_, *interp_mem_);
-  interp_ = std::make_unique<isa::Interpreter>(program_, *interp_mem_);
+void FunctionalWarmer::ensure_engine() {
+  if (engine_ != nullptr) return;
+  engine_mem_ = std::make_unique<mem::MainMemory>();
+  isa::load_data_image(program_, *engine_mem_);
+  engine_ = std::make_unique<isa::FunctionalEngine>(program_, *engine_mem_,
+                                                    engine_kind_);
   // A warmer restored from a serialized blob already holds the state of
-  // [0, warmed_): fast-skip the interpreter there with the observers still
-  // unset so the prefix is not streamed (and trained) a second time.
-  if (warmed_ > 0) interp_->run(warmed_);
-  interp_->on_branch = [this](uint64_t, bool taken, uint64_t target) {
-    pending_.kind = RecordKind::kBranch;
-    pending_.taken = taken;
-    pending_.next_pc = target;
-  };
-  interp_->on_mem = [this](uint64_t, uint64_t addr, int bytes, bool is_store) {
-    pending_.kind = is_store ? RecordKind::kStore : RecordKind::kLoad;
-    pending_.addr = addr;
-    pending_.size = static_cast<uint8_t>(bytes);
-  };
-  interp_->on_step = [this](uint64_t pc, uint64_t) {
-    pending_.pc = pc;
-    on_record(pending_);
-    pending_ = TraceRecord{};
-  };
+  // [0, warmed_): fast-skip the engine there with the sink still unset so
+  // the prefix is architecturally executed but not streamed (and trained)
+  // a second time.
+  if (warmed_ > 0) engine_->run(warmed_);
+  engine_->set_sink([this](uint64_t, const isa::StepEvent* ev, size_t n) {
+    for (size_t i = 0; i < n; ++i) on_record(to_trace_record(ev[i]));
+  });
 }
 
 void FunctionalWarmer::advance_to(uint64_t n_insts) {
-  ensure_interpreter();
-  while (interp_->executed() < n_insts && interp_->step()) {
-  }
+  ensure_engine();
+  engine_->run_to(n_insts);
 }
 
 void FunctionalWarmer::apply_to(sim::Simulator& sim) const {
@@ -167,11 +158,11 @@ void FunctionalWarmer::deserialize_state(const std::vector<uint8_t>& blob) {
   }
   warmed_ = in.u64();
   last_fetch_line_ = in.u64();
-  // Drop any live interpreter: it sits at the pre-restore position, and
-  // the next advance_to() must resume from warmed_ (ensure_interpreter
-  // fast-skips the restored prefix).
-  interp_.reset();
-  interp_mem_.reset();
+  // Drop any live engine: it sits at the pre-restore position, and the
+  // next advance_to() must resume from warmed_ (ensure_engine fast-skips
+  // the restored prefix).
+  engine_.reset();
+  engine_mem_.reset();
   gshare_.deserialize(in);
   mbs_.deserialize(in);
   ras_.deserialize(in);
@@ -217,28 +208,18 @@ std::vector<std::vector<std::vector<uint8_t>>> capture_warm_states_grid(
     warmers.push_back(std::make_unique<FunctionalWarmer>(config, program));
   }
 
-  // One reference-interpreter pass; the observers assemble the same
-  // TraceRecord stream FunctionalWarmer::advance_to feeds itself, so the
-  // fanned-out blobs match solo captures bit for bit.
+  // One functional-engine pass; the sink delivers the same TraceRecord
+  // stream FunctionalWarmer::advance_to feeds itself, so the fanned-out
+  // blobs match solo captures bit for bit.
   mem::MainMemory memory;
   isa::load_data_image(program, memory);
-  isa::Interpreter interp(program, memory);
-  TraceRecord pending;
-  interp.on_branch = [&](uint64_t, bool taken, uint64_t target) {
-    pending.kind = RecordKind::kBranch;
-    pending.taken = taken;
-    pending.next_pc = target;
-  };
-  interp.on_mem = [&](uint64_t, uint64_t addr, int bytes, bool is_store) {
-    pending.kind = is_store ? RecordKind::kStore : RecordKind::kLoad;
-    pending.addr = addr;
-    pending.size = static_cast<uint8_t>(bytes);
-  };
-  interp.on_step = [&](uint64_t pc, uint64_t) {
-    pending.pc = pc;
-    for (auto& warmer : warmers) warmer->on_record(pending);
-    pending = TraceRecord{};
-  };
+  isa::FunctionalEngine engine(program, memory);
+  engine.set_sink([&](uint64_t, const isa::StepEvent* ev, size_t n) {
+    for (size_t i = 0; i < n; ++i) {
+      const TraceRecord rec = to_trace_record(ev[i]);
+      for (auto& warmer : warmers) warmer->on_record(rec);
+    }
+  });
 
   obs::Span span("warming.capture", targets.size());
   const obs::Stopwatch clock;
@@ -250,8 +231,7 @@ std::vector<std::vector<std::vector<uint8_t>>> capture_warm_states_grid(
       throw std::runtime_error("capture_warm_states_grid: targets not sorted");
     }
     prev = target;
-    while (interp.executed() < target && interp.step()) {
-    }
+    engine.run_to(target);
     for (size_t c = 0; c < warmers.size(); ++c) {
       out[c].push_back(warmers[c]->serialize_state());
     }
@@ -259,7 +239,7 @@ std::vector<std::vector<std::vector<uint8_t>>> capture_warm_states_grid(
   // The streamed prefix is counted once however many configs fanned out —
   // the same convention ShardResult::warmed_insts uses.
   obs::Registry& reg = obs::Registry::instance();
-  reg.counter("warming.insts").add(interp.executed());
+  reg.counter("warming.insts").add(engine.executed());
   reg.histogram("warming.capture_us").observe(clock.elapsed_us());
   return out;
 }

@@ -1,7 +1,7 @@
 // SMARTS-style functional warming (Wunderlich et al., ISCA'03 — see
 // docs/sampling.md "Functional warming"): stream the committed-instruction
 // records of the gap before a detailed interval through the predictors and
-// caches *only*, at reference-interpreter speed, so the detailed interval
+// caches *only*, at functional-engine speed, so the detailed interval
 // starts with warm microarchitectural state without paying detailed
 // simulation for the warm-up.
 //
@@ -29,6 +29,7 @@
 #include "branch/ras.hpp"
 #include "ci/stride_predictor.hpp"
 #include "core/config.hpp"
+#include "isa/engine.hpp"
 #include "isa/interpreter.hpp"
 #include "isa/program.hpp"
 #include "mem/hierarchy.hpp"
@@ -69,17 +70,21 @@ class FunctionalWarmer {
  public:
   /// Components are sized from `config` exactly as the detailed core sizes
   /// its own; `program` must outlive the warmer (opcode lookup for RAS
-  /// call/ret handling and the streaming interpreter both reference it).
-  FunctionalWarmer(const core::CoreConfig& config, const isa::Program& program);
+  /// call/ret handling and the streaming engine both reference it).
+  /// `engine_kind` selects the functional core advance_to() streams from
+  /// (defaults to the CFIR_ENGINE knob; the event stream — and therefore
+  /// every trained component — is bit-identical either way).
+  FunctionalWarmer(const core::CoreConfig& config, const isa::Program& program,
+                   isa::EngineKind engine_kind = isa::engine_kind_from_env());
 
   /// Feeds one committed instruction, in commit order. Callers replaying a
   /// stored CFIRTRC1 trace drive this directly; advance_to() drives it from
-  /// the built-in interpreter.
+  /// the built-in functional engine.
   void on_record(const TraceRecord& rec);
 
   /// Streams committed instructions from the warmer's current position up
   /// to (program-global) instruction count `n_insts` through on_record(),
-  /// using the reference interpreter. Monotonic: calling with a target at
+  /// using the functional engine. Monotonic: calling with a target at
   /// or below the current position is a no-op, so one warmer can snapshot
   /// several sorted interval boundaries in a single pass. After
   /// deserialize_state() the position is the blob's warmed(): the restored
@@ -113,6 +118,7 @@ class FunctionalWarmer {
  private:
   const isa::Program& program_;
   core::Policy policy_;
+  isa::EngineKind engine_kind_;
   uint32_t l1i_line_bytes_;
 
   branch::Gshare gshare_;
@@ -122,15 +128,14 @@ class FunctionalWarmer {
   mem::CacheHierarchy hier_;
   uint64_t last_fetch_line_ = ~uint64_t{0};
   uint64_t warmed_ = 0;
-  TraceRecord pending_;  ///< record under construction by the observers
 
-  // Streaming interpreter (lazily started by advance_to).
-  std::unique_ptr<mem::MainMemory> interp_mem_;
-  std::unique_ptr<isa::Interpreter> interp_;
-  void ensure_interpreter();
+  // Streaming functional engine (lazily started by advance_to).
+  std::unique_ptr<mem::MainMemory> engine_mem_;
+  std::unique_ptr<isa::FunctionalEngine> engine_;
+  void ensure_engine();
 };
 
-/// One streaming interpreter pass capturing the serialized warm state at
+/// One streaming engine pass capturing the serialized warm state at
 /// each target instruction count (`targets` must be non-decreasing —
 /// interval plans are). Element i is the blob for warming [0, targets[i]).
 [[nodiscard]] std::vector<std::vector<uint8_t>> capture_warm_states(
@@ -138,7 +143,7 @@ class FunctionalWarmer {
     const std::vector<uint64_t>& targets);
 
 /// The multi-config variant behind config-grid sharding (docs/sharding.md):
-/// ONE streaming interpreter pass fans every committed record out to one
+/// ONE streaming engine pass fans every committed record out to one
 /// FunctionalWarmer per config, so warming a whole grid costs O(prefix)
 /// architectural execution instead of O(prefix × configs) — the committed
 /// stream is config-independent; only the trained components differ.

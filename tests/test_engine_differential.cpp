@@ -1,0 +1,459 @@
+// Differential fuzz harness for the superblock-caching functional engine
+// (docs/functional-engine.md): the reference Interpreter is the oracle, and
+// FastEngine must match it bit for bit — final architectural state (pc,
+// executed, halted, registers, memory digest) AND the ordered retired-event
+// stream (branch outcomes/targets, load/store addresses/sizes) — over
+// hundreds of adversarial random programs plus hand-built block-boundary
+// edge cases. Warming digests, trace bytes and sampled stats are all
+// derived from this stream, so stream equality here is what makes
+// CFIR_ENGINE=cached safe everywhere else.
+#include <cstdlib>
+#include <random>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "helpers.hpp"
+#include "isa/assembler.hpp"
+#include "isa/engine.hpp"
+#include "isa/interpreter.hpp"
+#include "mem/main_memory.hpp"
+
+namespace cfir {
+namespace {
+
+using isa::EngineKind;
+using isa::EventKind;
+using isa::StepEvent;
+
+struct RunTrace {
+  uint64_t executed = 0;
+  bool halted = false;
+  uint64_t pc = 0;
+  std::array<uint64_t, isa::kNumLogicalRegs> regs{};
+  uint64_t mem_digest = 0;
+  std::vector<StepEvent> events;
+};
+
+/// Runs `program` on the reference Interpreter, assembling the event stream
+/// from the three per-instruction observers exactly as the trace recorder
+/// does.
+RunTrace run_interpreter(const isa::Program& program,
+                         uint64_t max_insts = UINT64_MAX) {
+  RunTrace out;
+  mem::MainMemory memory;
+  isa::load_data_image(program, memory);
+  isa::Interpreter interp(program, memory);
+  StepEvent pending;
+  interp.on_branch = [&](uint64_t, bool taken, uint64_t target) {
+    pending.kind = EventKind::kBranch;
+    pending.taken = taken;
+    pending.next_pc = target;
+  };
+  interp.on_mem = [&](uint64_t, uint64_t addr, int bytes, bool is_store) {
+    pending.kind = is_store ? EventKind::kStore : EventKind::kLoad;
+    pending.addr = addr;
+    pending.size = static_cast<uint8_t>(bytes);
+  };
+  interp.on_step = [&](uint64_t pc, uint64_t) {
+    pending.pc = pc;
+    out.events.push_back(pending);
+    pending = StepEvent{};
+  };
+  interp.run(max_insts);
+  out.executed = interp.executed();
+  out.halted = interp.halted();
+  out.pc = interp.pc();
+  out.regs = interp.regs();
+  out.mem_digest = memory.digest();
+  return out;
+}
+
+/// Runs `program` on FastEngine, collecting the per-block event spans.
+RunTrace run_fast(const isa::Program& program,
+                  uint64_t max_insts = UINT64_MAX) {
+  RunTrace out;
+  mem::MainMemory memory;
+  isa::load_data_image(program, memory);
+  isa::FastEngine engine(program, memory);
+  engine.on_block = [&](uint64_t, const StepEvent* ev, size_t n) {
+    out.events.insert(out.events.end(), ev, ev + n);
+  };
+  engine.run(max_insts);
+  out.executed = engine.executed();
+  out.halted = engine.halted();
+  out.pc = engine.pc();
+  out.regs = engine.regs();
+  out.mem_digest = memory.digest();
+  return out;
+}
+
+void expect_identical(const RunTrace& ref, const RunTrace& fast,
+                      const std::string& what) {
+  EXPECT_EQ(ref.executed, fast.executed) << what;
+  EXPECT_EQ(ref.halted, fast.halted) << what;
+  EXPECT_EQ(ref.pc, fast.pc) << what;
+  EXPECT_EQ(ref.mem_digest, fast.mem_digest) << what;
+  for (int r = 0; r < isa::kNumLogicalRegs; ++r) {
+    ASSERT_EQ(ref.regs[static_cast<size_t>(r)],
+              fast.regs[static_cast<size_t>(r)])
+        << what << ": register r" << r;
+  }
+  ASSERT_EQ(ref.events.size(), fast.events.size()) << what;
+  for (size_t i = 0; i < ref.events.size(); ++i) {
+    const StepEvent& a = ref.events[i];
+    const StepEvent& b = fast.events[i];
+    ASSERT_TRUE(a == b) << what << ": event " << i << " differs (ref pc=0x"
+                        << std::hex << a.pc << " kind="
+                        << static_cast<int>(a.kind) << ", fast pc=0x" << b.pc
+                        << " kind=" << static_cast<int>(b.kind) << std::dec
+                        << ")";
+  }
+}
+
+void expect_program_identical(const isa::Program& program,
+                              const std::string& what,
+                              uint64_t max_insts = UINT64_MAX) {
+  expect_identical(run_interpreter(program, max_insts),
+                   run_fast(program, max_insts), what);
+}
+
+/// Call/ret-heavy generator complementing testing::random_program: a set of
+/// leaf/branchy subroutines invoked from a main sequence (and one level of
+/// nesting), exercising the link register, RET's indirect targets, and
+/// call/ret block chaining. Always terminates.
+isa::Program random_call_program(uint64_t seed) {
+  isa::Assembler as;
+  std::mt19937_64 gen(seed);
+  auto pick = [&](int lo, int hi) {
+    return static_cast<int>(lo + gen() % static_cast<uint64_t>(hi - lo + 1));
+  };
+  const uint64_t scratch = as.reserve("scratch", 4096);
+  for (int i = 0; i < 16; ++i) {
+    as.init_word(scratch + 8 * static_cast<uint64_t>(i), gen());
+  }
+  for (int r = 1; r <= 10; ++r) {
+    as.movi(r, static_cast<int64_t>(gen() % 1000));
+  }
+  as.movi(13, static_cast<int64_t>(scratch));
+
+  const int n_subs = pick(2, 4);
+  // Main: a short counted loop of calls, then fall into the halt. The
+  // subroutine bodies live after the halt so they only run when called.
+  const int calls = pick(3, 8);
+  for (int c = 0; c < calls; ++c) {
+    as.call("sub" + std::to_string(pick(0, n_subs - 1)));
+    const int rd = pick(1, 10);
+    as.addi(rd, rd, pick(-8, 8));
+  }
+  as.halt();
+
+  // r12 saves the link register across the nested call in sub0.
+  for (int s = 0; s < n_subs; ++s) {
+    as.label("sub" + std::to_string(s));
+    const int body = pick(1, 4);
+    for (int i = 0; i < body; ++i) {
+      const int rd = pick(1, 10), ra = pick(1, 10), rb = pick(1, 10);
+      switch (pick(0, 3)) {
+        case 0: as.add(rd, ra, rb); break;
+        case 1: as.mul(rd, ra, rb); break;
+        case 2:
+          as.andi(15, ra, 4088);
+          as.add(15, 15, 13);
+          as.ld(rd, 15, 0, 8);
+          break;
+        default: {
+          const std::string skip =
+              "s" + std::to_string(s) + "_" + std::to_string(i);
+          as.beq(ra, rb, skip);
+          as.sub(rd, ra, rb);
+          as.label(skip);
+          break;
+        }
+      }
+    }
+    if (s == 0 && n_subs > 1) {
+      // One level of nesting: save/restore the link register around it.
+      as.mov(12, isa::kLinkReg);
+      as.call("sub" + std::to_string(n_subs - 1));
+      as.mov(isa::kLinkReg, 12);
+    }
+    as.ret();
+  }
+  return as.assemble();
+}
+
+// --- differential fuzz over random programs -------------------------------
+
+TEST(EngineDifferential, RandomProgramsFullRun) {
+  for (uint64_t seed = 0; seed < 140; ++seed) {
+    expect_program_identical(testing::random_program(seed),
+                             "random_program seed " + std::to_string(seed));
+  }
+}
+
+TEST(EngineDifferential, RandomCallProgramsFullRun) {
+  for (uint64_t seed = 0; seed < 60; ++seed) {
+    expect_program_identical(
+        random_call_program(seed),
+        "random_call_program seed " + std::to_string(seed));
+  }
+}
+
+TEST(EngineDifferential, Figure1AcrossBranchDifficulty) {
+  for (const int p : {0, 25, 50, 75, 100}) {
+    expect_program_identical(testing::figure1_program(256, p, 7),
+                             "figure1 p_zero=" + std::to_string(p));
+  }
+}
+
+// max_insts expiring at arbitrary points — including inside a block — must
+// leave identical state and an identical event prefix.
+TEST(EngineDifferential, BudgetExpiresInsideBlocks) {
+  const isa::Program program = testing::random_program(99);
+  const uint64_t full = run_interpreter(program).executed;
+  ASSERT_GT(full, 16u);
+  for (const uint64_t cap :
+       {uint64_t{1}, uint64_t{2}, uint64_t{3}, uint64_t{7}, uint64_t{13},
+        full / 2, full - 1, full, full + 100}) {
+    expect_program_identical(program, "cap " + std::to_string(cap), cap);
+  }
+}
+
+TEST(EngineDifferential, ResumeAfterBudgetMatchesStraightRun) {
+  const isa::Program program = testing::random_program(3);
+  const RunTrace straight = run_fast(program);
+  // Same program run in many small installments on one engine.
+  RunTrace chunked;
+  mem::MainMemory memory;
+  isa::load_data_image(program, memory);
+  isa::FastEngine engine(program, memory);
+  engine.on_block = [&](uint64_t, const StepEvent* ev, size_t n) {
+    chunked.events.insert(chunked.events.end(), ev, ev + n);
+  };
+  while (engine.run(17) > 0) {
+  }
+  chunked.executed = engine.executed();
+  chunked.halted = engine.halted();
+  chunked.pc = engine.pc();
+  chunked.regs = engine.regs();
+  chunked.mem_digest = memory.digest();
+  expect_identical(straight, chunked, "17-instruction installments");
+}
+
+// --- hand-built block-boundary edge cases ---------------------------------
+
+// A one-instruction block whose branch targets itself.
+TEST(EngineDifferential, SelfLoop) {
+  isa::Assembler as;
+  as.movi(1, 5);
+  as.movi(2, 0);
+  as.label("spin");
+  as.addi(1, 1, -1);
+  as.bne(1, 2, "spin");
+  as.halt();
+  expect_program_identical(as.assemble(), "self-loop");
+}
+
+// Branching into the middle of an already-decoded block must create a
+// second block keyed at that entry PC with identical semantics.
+TEST(EngineDifferential, BranchIntoBlockMiddle) {
+  // First pass enters at "entry" (mid-region); the loop back through
+  // "head" then decodes the full region from its true start, overlapping
+  // the earlier block. The r2 flip makes the second beq fall through.
+  isa::Assembler as;
+  as.movi(1, 0);
+  as.movi(2, 1);
+  as.movi(3, 1);
+  as.jmp("entry");
+  as.label("head");
+  as.addi(1, 1, 10);
+  as.movi(2, 0);       // second pass: beq falls through to halt
+  as.label("entry");   // first entry lands mid-region
+  as.addi(1, 1, 1);
+  as.addi(1, 1, 2);
+  as.beq(2, 3, "head");
+  as.halt();
+  expect_program_identical(as.assemble(), "branch into block middle");
+}
+
+// HALT in the middle of a straight-line region: the fall-through of the
+// preceding block runs into a block that halts immediately; the halt must
+// not retire or emit an event.
+TEST(EngineDifferential, HaltMidStraightLine) {
+  isa::Assembler as;
+  as.movi(1, 1);
+  as.addi(1, 1, 1);
+  as.halt();
+  as.addi(1, 1, 100);  // dead code after the halt
+  as.halt();
+  expect_program_identical(as.assemble(), "halt mid straight line");
+}
+
+// Conditional branch whose taken target is the halt: taken/not-taken edges
+// chain to different blocks.
+TEST(EngineDifferential, BothBranchArms) {
+  for (const int64_t a : {int64_t{0}, int64_t{1}}) {
+    isa::Assembler as;
+    as.movi(1, a);
+    as.movi(2, 0);
+    as.beq(1, 2, "done");
+    as.addi(3, 3, 7);
+    as.label("done");
+    as.halt();
+    expect_program_identical(as.assemble(),
+                             "branch arm a=" + std::to_string(a));
+  }
+}
+
+// Running off the end of the code image (no halt) must halt both engines at
+// the same pc with the same count.
+TEST(EngineDifferential, RunsOffImageEdge) {
+  isa::Assembler as;
+  as.movi(1, 42);
+  as.addi(1, 1, 1);  // no halt: execution falls off the image
+  expect_program_identical(as.assemble(), "image edge");
+}
+
+// RET to a garbage address: the indirect target leaves the image.
+TEST(EngineDifferential, RetToInvalidPc) {
+  isa::Assembler as;
+  as.movi(isa::kLinkReg, 0x12345);  // unaligned garbage
+  as.ret();
+  as.halt();
+  expect_program_identical(as.assemble(), "ret to invalid pc");
+}
+
+// --- FastEngine-specific behaviour ----------------------------------------
+
+TEST(FastEngine, SetPcRedirectsAndClearsHalt) {
+  isa::Assembler as;
+  as.label("a");
+  as.movi(1, 1);
+  as.halt();
+  as.label("b");
+  as.movi(1, 2);
+  as.halt();
+  const isa::Program program = as.assemble();
+
+  mem::MainMemory memory;
+  isa::load_data_image(program, memory);
+  isa::FastEngine engine(program, memory);
+  engine.run();
+  EXPECT_TRUE(engine.halted());
+  EXPECT_EQ(engine.reg(1), 1u);
+  engine.set_pc(program.base() + 2 * isa::kInstBytes);  // label b
+  EXPECT_FALSE(engine.halted());
+  engine.run();
+  EXPECT_TRUE(engine.halted());
+  EXPECT_EQ(engine.reg(1), 2u);
+}
+
+TEST(FastEngine, InvalidateCodeBumpsEpochAndRedecodes) {
+  const isa::Program program = testing::figure1_program(64);
+  mem::MainMemory memory;
+  isa::load_data_image(program, memory);
+  isa::FastEngine engine(program, memory);
+  engine.run(100);
+  EXPECT_EQ(engine.epoch(), 0u);
+  const uint64_t decoded_before = engine.blocks_decoded();
+  EXPECT_GT(decoded_before, 0u);
+  engine.invalidate_code();
+  EXPECT_EQ(engine.epoch(), 1u);
+  // Same image, so execution continues identically — but blocks re-decode.
+  engine.run();
+  EXPECT_TRUE(engine.halted());
+  EXPECT_GT(engine.blocks_decoded(), decoded_before);
+  expect_identical(run_interpreter(program), run_fast(program),
+                   "invalidate mid-run leaves semantics unchanged");
+}
+
+TEST(FastEngine, BlockCacheHitsDominateOnLoops) {
+  const isa::Program program = testing::figure1_program(512);
+  mem::MainMemory memory;
+  isa::load_data_image(program, memory);
+  isa::FastEngine engine(program, memory);
+  engine.run();
+  EXPECT_TRUE(engine.halted());
+  // The figure-1 loop re-enters the same few blocks hundreds of times.
+  EXPECT_LT(engine.blocks_decoded() * 10, engine.blocks_entered());
+}
+
+TEST(FastEngine, NullSinkCollectsNothingButExecutes) {
+  const isa::Program program = testing::random_program(11);
+  const RunTrace ref = run_interpreter(program);
+  mem::MainMemory memory;
+  isa::load_data_image(program, memory);
+  isa::FastEngine engine(program, memory);
+  engine.run();  // no on_block
+  EXPECT_EQ(engine.executed(), ref.executed);
+  EXPECT_EQ(engine.regs(), ref.regs);
+  EXPECT_EQ(memory.digest(), ref.mem_digest);
+}
+
+// --- FunctionalEngine facade ----------------------------------------------
+
+TEST(FunctionalEngine, BothKindsDeliverIdenticalStreams) {
+  const isa::Program program = testing::random_program(21);
+  RunTrace traces[2];
+  const EngineKind kinds[2] = {EngineKind::kSwitch, EngineKind::kCached};
+  for (int k = 0; k < 2; ++k) {
+    mem::MainMemory memory;
+    isa::load_data_image(program, memory);
+    isa::FunctionalEngine engine(program, memory, kinds[k]);
+    EXPECT_EQ(engine.kind(), kinds[k]);
+    engine.set_sink([&](uint64_t, const StepEvent* ev, size_t n) {
+      traces[k].events.insert(traces[k].events.end(), ev, ev + n);
+    });
+    engine.run();
+    traces[k].executed = engine.executed();
+    traces[k].halted = engine.halted();
+    traces[k].pc = engine.pc();
+    traces[k].regs = engine.regs();
+    traces[k].mem_digest = memory.digest();
+  }
+  expect_identical(traces[0], traces[1], "facade switch vs cached");
+}
+
+TEST(FunctionalEngine, RunToIsMonotonic) {
+  const isa::Program program = testing::figure1_program(256);
+  for (const EngineKind kind : {EngineKind::kSwitch, EngineKind::kCached}) {
+    mem::MainMemory memory;
+    isa::load_data_image(program, memory);
+    isa::FunctionalEngine engine(program, memory, kind);
+    engine.run_to(50);
+    EXPECT_EQ(engine.executed(), 50u);
+    engine.run_to(30);  // no-op: positions are monotonic
+    EXPECT_EQ(engine.executed(), 50u);
+    engine.run_to(80);
+    EXPECT_EQ(engine.executed(), 80u);
+  }
+}
+
+TEST(FunctionalEngine, EnvKnobParses) {
+  const char* saved = std::getenv("CFIR_ENGINE");
+  const std::string saved_value = saved != nullptr ? saved : "";
+
+  unsetenv("CFIR_ENGINE");
+  EXPECT_EQ(isa::engine_kind_from_env(), EngineKind::kCached);
+  setenv("CFIR_ENGINE", "", 1);
+  EXPECT_EQ(isa::engine_kind_from_env(), EngineKind::kCached);
+  setenv("CFIR_ENGINE", "cached", 1);
+  EXPECT_EQ(isa::engine_kind_from_env(), EngineKind::kCached);
+  setenv("CFIR_ENGINE", "switch", 1);
+  EXPECT_EQ(isa::engine_kind_from_env(), EngineKind::kSwitch);
+  setenv("CFIR_ENGINE", "turbo", 1);
+  EXPECT_THROW((void)isa::engine_kind_from_env(), std::runtime_error);
+
+  if (saved != nullptr) {
+    setenv("CFIR_ENGINE", saved_value.c_str(), 1);
+  } else {
+    unsetenv("CFIR_ENGINE");
+  }
+  EXPECT_STREQ(isa::engine_kind_name(EngineKind::kCached), "cached");
+  EXPECT_STREQ(isa::engine_kind_name(EngineKind::kSwitch), "switch");
+}
+
+}  // namespace
+}  // namespace cfir
