@@ -102,11 +102,18 @@ int usage() {
       "                         [same flags as sample]\n"
       "                         [--configs=<spec>,<spec>,... (config grid\n"
       "                         sharing one checkpoint set)]\n"
+      "                         [--no-warm (skip warm sidecars; shards\n"
+      "                         stream the gaps at execute time)]\n"
       "                         writes <wl>.s<scale>.cfirman + checkpoints\n"
       "                         + per-(interval,config) warm sidecars\n"
       "       trace_tool run-shard <manifest> [--shard=i/N] [--jobs=J]\n"
       "                         [--out=file (default <stem>.shard<i>of<N>"
       ".cfirshd)]\n"
+      "                         [--trace=<trace-file> (stream deferred\n"
+      "                         warming gaps from the recorded trace —\n"
+      "                         a CFIRTRC2 file is read per block index,\n"
+      "                         so a shard decodes only its intervals'\n"
+      "                         blocks)]\n"
       "       trace_tool merge  <manifest> <shard-file>... [--per-phase]\n"
       "                         [--config=<name> (one grid column)]\n"
       "       trace_tool watch  <manifest> [--once] [--interval-ms=N]\n"
@@ -115,6 +122,8 @@ int usage() {
       "env: CFIR_TRACE_DIR (output dir), CFIR_THREADS (sample/run-shard),\n"
       "     CFIR_ENGINE=cached|switch (functional engine for record/plan/\n"
       "     warming passes; identical output bytes, cached is ~3-4x faster),\n"
+      "     CFIR_TRACE_FORMAT=v1|v2 (trace writer format, default v2 —\n"
+      "     columnar seekable CFIRTRC2; v1 is the row-oriented oracle),\n"
       "     CFIR_STRICT_BLOBS (reject legacy footer-less blobs),\n"
       "     CFIR_TRACE=<file> (same as --trace-out),\n"
       "     CFIR_PROGRESS=1|stderr (.cfirprog heartbeats)\n"
@@ -213,6 +222,33 @@ int cmd_info(int argc, char** argv) {
   std::printf("records: %llu  final digest: 0x%016llx\n",
               static_cast<unsigned long long>(reader.record_count()),
               static_cast<unsigned long long>(reader.final_digest()));
+  uint64_t file_bytes = 0;
+  {
+    std::ifstream in(path, std::ios::binary | std::ios::ate);
+    if (in) file_bytes = static_cast<uint64_t>(in.tellg());
+  }
+  std::printf("format: v%u  file: %llu bytes  (%.3f B/inst)\n",
+              reader.format_version(),
+              static_cast<unsigned long long>(file_bytes),
+              reader.record_count() == 0
+                  ? 0.0
+                  : static_cast<double>(file_bytes) /
+                        static_cast<double>(reader.record_count()));
+  if (reader.format_version() >= trace::kTraceVersionV2) {
+    std::printf("blocks: %zu  block_len: %u\n", reader.block_count(),
+                reader.block_len());
+    const std::array<uint64_t, trace::kTraceV2Columns> cols =
+        reader.column_bytes();
+    uint64_t payload = 0;
+    std::printf("columns:");
+    for (size_t c = 0; c < cols.size(); ++c) {
+      payload += cols[c];
+      std::printf(" %s=%llu", trace::trace_v2_column_name(c),
+                  static_cast<unsigned long long>(cols[c]));
+    }
+    std::printf("  (payload %llu bytes)\n",
+                static_cast<unsigned long long>(payload));
+  }
 
   uint64_t branches = 0, taken = 0, loads = 0, stores = 0;
   trace::TraceRecord rec;
@@ -305,6 +341,10 @@ struct PlanArgs {
   uint64_t warmup = 0;
   uint64_t detail_len = 0;
   uint32_t max_k = 0;
+  /// plan only: bind the configs with NO warm sidecars — warming is
+  /// deferred to run-shard, which streams the gaps (ideally from a
+  /// recorded CFIRTRC2 trace via --trace).
+  bool no_warm = false;
   /// The config grid: (name, config) points. Defaults to one tool_config()
   /// point; `sample --config=<spec>` replaces it, `plan --configs=...`
   /// extends it to a whole grid sharing one checkpoint set.
@@ -358,6 +398,8 @@ bool parse_plan_args(int argc, char** argv, PlanArgs& out) {
       if (!parse_config_list(arg.substr(9), out)) return false;
     } else if (arg.rfind("--configs=", 0) == 0) {
       if (!parse_config_list(arg.substr(10), out)) return false;
+    } else if (arg == "--no-warm") {
+      out.no_warm = true;
     } else if (arg.rfind("--", 0) == 0) {
       return false;
     } else {
@@ -428,6 +470,10 @@ void print_run(const trace::SampledRun& run, trace::SampleMode mode,
 int cmd_sample(int argc, char** argv) {
   PlanArgs args;
   if (!parse_plan_args(argc, argv, args)) return usage();
+  if (args.no_warm) {
+    std::fprintf(stderr, "trace_tool sample: --no-warm is a plan flag\n");
+    return usage();
+  }
   if (args.configs.size() != 1) {
     std::fprintf(stderr,
                  "trace_tool sample: takes exactly one --config spec (use "
@@ -457,8 +503,23 @@ int cmd_plan(int argc, char** argv) {
   // whole config grid; each config's functional warm state is captured in
   // ONE fan-out streaming pass (bind_configs) and rides in per-(interval,
   // config) sidecar files, so run-shard never re-streams the prefixes.
-  const std::vector<trace::ConfigBinding> bindings =
-      trace::bind_configs(plan, args.configs, program);
+  // --no-warm defers that capture to execute time instead (ConfigBinding
+  // documents empty warm as exactly this contract): each shard streams
+  // only its own gaps, best paired with `run-shard --trace=` on a
+  // CFIRTRC2 trace so the stream is block-seeked, not re-executed.
+  std::vector<trace::ConfigBinding> bindings;
+  if (args.no_warm) {
+    bindings.reserve(args.configs.size());
+    for (const auto& [name, config] : args.configs) {
+      trace::ConfigBinding b;
+      b.name = name;
+      b.config = config;
+      b.config_hash = config.digest();
+      bindings.push_back(std::move(b));
+    }
+  } else {
+    bindings = trace::bind_configs(plan, args.configs, program);
+  }
 
   const std::string manifest_path = trace::env_trace_dir() + "/" +
                                     args.workload + ".s" +
@@ -490,11 +551,14 @@ int cmd_plan(int argc, char** argv) {
 int cmd_run_shard(int argc, char** argv) {
   std::string manifest_path;
   std::string out_path;
+  std::string warm_trace;
   trace::ShardSelection shard;
   int jobs = 0;
   for (int i = 0; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg.rfind("--shard=", 0) == 0) {
+    if (arg.rfind("--trace=", 0) == 0) {
+      warm_trace = arg.substr(8);
+    } else if (arg.rfind("--shard=", 0) == 0) {
       // A malformed or out-of-range shard spec is a usage error (exit 2),
       // same as an unknown flag — not an internal failure.
       try {
@@ -523,6 +587,19 @@ int cmd_run_shard(int argc, char** argv) {
       workloads::build(manifest.workload, manifest.scale);
   const trace::IntervalPlan plan =
       trace::plan_from_manifest(manifest, manifest_path);
+  if (!warm_trace.empty()) {
+    // Refuse a trace recorded from a different workload before any
+    // simulation happens — warming from the wrong stream would silently
+    // skew every interval this shard owns.
+    const trace::TraceReader probe(warm_trace);
+    if (probe.meta().workload != manifest.workload ||
+        probe.meta().scale != manifest.scale) {
+      throw trace::ConfigMismatchError(
+          "run-shard: --trace is " + probe.meta().workload + ".s" +
+          std::to_string(probe.meta().scale) + " but the manifest is " +
+          manifest.workload + ".s" + std::to_string(manifest.scale));
+    }
+  }
 
   if (out_path.empty()) {
     out_path = trace::path_stem(manifest_path) + ".shard" +
@@ -545,14 +622,21 @@ int cmd_run_shard(int argc, char** argv) {
     const std::vector<trace::ConfigBinding> bindings =
         trace::bindings_from_manifest(manifest, manifest_path, shard);
     result = trace::run_shard(bindings, program, plan, shard, jobs,
-                              manifest.plan_hash);
+                              manifest.plan_hash, warm_trace);
   } else {
     // v1: the config is executor-supplied. Refuse to execute under a
     // config the plan was not made for — a shard simulated under the
     // wrong core would silently skew the merged result.
     trace::verify_manifest_config(manifest, tool_config(), plan);
-    result = trace::run_shard(tool_config(), program, plan, shard, jobs,
-                              manifest.plan_hash);
+    // Same call the single-config run_shard overload makes, with the
+    // warm-trace routing threaded through.
+    trace::ConfigBinding binding;
+    binding.name = tool_config().label();
+    binding.config = tool_config();
+    binding.config_hash = manifest.plan_hash;
+    result = trace::run_shard(std::vector<trace::ConfigBinding>{binding},
+                              program, plan, shard, jobs, manifest.plan_hash,
+                              warm_trace);
   }
   result.save(out_path);
   uint64_t detailed = 0;

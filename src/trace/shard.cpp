@@ -221,7 +221,8 @@ struct ShardTelemetry {
 
 ShardResult run_shard(const std::vector<ConfigBinding>& configs,
                       const isa::Program& program, const IntervalPlan& plan,
-                      ShardSelection shard, int threads, uint64_t plan_hash) {
+                      ShardSelection shard, int threads, uint64_t plan_hash,
+                      const std::string& warm_trace) {
   const size_t k = plan.boundaries.size();
   if (plan.lengths.size() != k || plan.weights.size() != k ||
       plan.checkpoints.size() != k) {
@@ -322,7 +323,17 @@ ShardResult run_shard(const std::vector<ConfigBinding>& configs,
         targets.push_back(plan.checkpoints[i].executed);
       }
       const obs::Stopwatch warm_clock;
-      captured = capture_warm_states_grid(need, program, targets);
+      if (!warm_trace.empty()) {
+        // Stream the gaps from the recorded trace: a CFIRTRC2 reader
+        // seeks per the block index, so this shard decodes only blocks
+        // covering [0, its last interval boundary) — cheaper the fewer
+        // intervals the shard owns — and the blobs still match the
+        // engine pass bit for bit (same record stream).
+        TraceReader reader(warm_trace);
+        captured = capture_warm_states_grid(need, program, reader, targets);
+      } else {
+        captured = capture_warm_states_grid(need, program, targets);
+      }
       result.warm_wall_us = warm_clock.elapsed_us();
       obs::Registry::instance()
           .histogram("shard.warm_capture_us")

@@ -13,6 +13,7 @@
 #include "trace/blob.hpp"
 #include "trace/errors.hpp"
 #include "trace/io.hpp"
+#include "trace/trace_v2.hpp"
 
 namespace cfir::trace {
 
@@ -54,15 +55,33 @@ std::string env_trace_dir() {
   return (v == nullptr || *v == '\0') ? std::string(".") : std::string(v);
 }
 
+TraceFormat trace_format_from_env() {
+  const char* v = std::getenv("CFIR_TRACE_FORMAT");
+  if (v == nullptr || *v == '\0' || std::strcmp(v, "v2") == 0) {
+    return TraceFormat::kV2;
+  }
+  if (std::strcmp(v, "v1") == 0) return TraceFormat::kV1;
+  throw std::runtime_error(
+      std::string("CFIR_TRACE_FORMAT must be 'v1' or 'v2', got '") + v +
+      "'");
+}
+
 // ---------------------------------------------------------------------------
 // TraceWriter
 // ---------------------------------------------------------------------------
 
-TraceWriter::TraceWriter(const std::string& path, const TraceMeta& meta)
-    : out_(path, std::ios::binary | std::ios::trunc),
+TraceWriter::TraceWriter(const std::string& path, const TraceMeta& meta,
+                         TraceFormat format, uint32_t block_len)
+    : format_(format),
       path_(path),
       prev_pc_(meta.base_pc),
       base_pc_(meta.base_pc) {
+  if (format_ == TraceFormat::kV2) {
+    v2_ = std::make_unique<v2::BlockWriter>(
+        path, meta, block_len == 0 ? kTraceBlockLen : block_len);
+    return;
+  }
+  out_.open(path, std::ios::binary | std::ios::trunc);
   if (!out_) {
     throw std::runtime_error("TraceWriter: cannot open " + path);
   }
@@ -96,6 +115,11 @@ void TraceWriter::put_varint(uint64_t v) {
 }
 
 void TraceWriter::append(const TraceRecord& rec) {
+  if (v2_) {
+    v2_->append(rec);
+    ++records_;
+    return;
+  }
   uint8_t tag = static_cast<uint8_t>(rec.kind) & kKindMask;
   if (rec.kind == RecordKind::kBranch && rec.taken) tag |= kTakenBit;
   if (rec.kind == RecordKind::kLoad || rec.kind == RecordKind::kStore) {
@@ -123,6 +147,11 @@ void TraceWriter::finish(
     const std::array<uint64_t, isa::kNumLogicalRegs>& final_regs,
     uint64_t final_digest) {
   if (finished_) return;
+  if (v2_) {
+    v2_->finish(final_regs, final_digest);
+    finished_ = true;
+    return;
+  }
   out_.seekp(kOffRecordCount);
   put_raw(out_, records_);
   out_.seekp(kOffFinalDigest);
@@ -144,15 +173,32 @@ void TraceWriter::finish(
 TraceReader::TraceReader(const std::string& path)
     : in_(path, std::ios::binary) {
   if (!in_) throw std::runtime_error("TraceReader: cannot open " + path);
+  // Sniff the magic to pick the codec. v2 validates per block + via the
+  // index CRC, so only the v1 path verifies the whole-file footer — that
+  // keeps a seeked v2 open from checksumming payload it never decodes.
+  char magic[sizeof(kTraceMagic)] = {};
+  in_.read(magic, sizeof(magic));
+  if (!in_) throw BadMagicError("TraceReader: bad magic in " + path);
+  if (std::memcmp(magic, kTraceMagicV2, sizeof(magic)) == 0) {
+    in_.close();
+    version_ = kTraceVersionV2;
+    v2_ = std::make_unique<v2::FileView>(v2::open_file(path));
+    meta_ = v2_->meta;
+    record_count_ = v2_->record_count;
+    final_digest_ = v2_->final_digest;
+    final_regs_ = v2_->final_regs;
+    open_us_ = std::chrono::duration_cast<std::chrono::microseconds>(
+                   std::chrono::steady_clock::now().time_since_epoch())
+                   .count();
+    return;
+  }
+  if (std::memcmp(magic, kTraceMagic, sizeof(magic)) != 0) {
+    throw BadMagicError("TraceReader: bad magic in " + path);
+  }
   // Verify the CRC footer (when present) before decoding anything; the
   // record stream below is bounded by record_count, so the footer bytes are
   // never consumed as records.
   verify_crc_footer(path, "TraceReader");
-  char magic[sizeof(kTraceMagic)];
-  in_.read(magic, sizeof(magic));
-  if (!in_ || std::memcmp(magic, kTraceMagic, sizeof(magic)) != 0) {
-    throw BadMagicError("TraceReader: bad magic in " + path);
-  }
   const uint32_t version = get_raw<uint32_t>(in_);
   if (version != kTraceVersion) {
     throw VersionError("TraceReader: unsupported version " +
@@ -180,10 +226,13 @@ TraceReader::TraceReader(const std::string& path)
   in_.read(meta_.workload.data(), name_len);
   if (!in_) throw std::runtime_error("TraceReader: truncated header");
   prev_pc_ = meta_.base_pc;
+  data_start_ = in_.tellg();
   open_us_ = std::chrono::duration_cast<std::chrono::microseconds>(
                  std::chrono::steady_clock::now().time_since_epoch())
                  .count();
 }
+
+TraceReader::~TraceReader() = default;
 
 uint64_t TraceReader::get_varint() {
   uint64_t v = 0;
@@ -201,27 +250,53 @@ uint64_t TraceReader::get_varint() {
   return v;
 }
 
+void TraceReader::drain_telemetry() {
+  // Decode-throughput telemetry, settled once per fully drained stream
+  // (never per record — next() is the replay hot path). v2 counts its
+  // records/bytes per decoded block instead, so only the histogram is
+  // shared.
+  if (telemetry_done_) return;
+  telemetry_done_ = true;
+  const int64_t now_us =
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count();
+  obs::Registry& reg = obs::Registry::instance();
+  if (version_ == kTraceVersion) {
+    const auto pos = in_.tellg();
+    reg.counter("trace.decode_records").add(record_count_);
+    if (pos > 0) {
+      reg.counter("trace.decode_bytes").add(static_cast<uint64_t>(pos));
+    }
+  }
+  reg.histogram("trace.decode_us")
+      .observe(static_cast<uint64_t>(std::max<int64_t>(
+          0, now_us - open_us_)));
+}
+
 bool TraceReader::next(TraceRecord& out) {
   if (read_ >= record_count_) {
-    // Decode-throughput telemetry, settled once per fully drained stream
-    // (never per record — next() is the replay hot path).
-    if (!telemetry_done_) {
-      telemetry_done_ = true;
-      const int64_t now_us =
-          std::chrono::duration_cast<std::chrono::microseconds>(
-              std::chrono::steady_clock::now().time_since_epoch())
-              .count();
-      const auto pos = in_.tellg();
-      obs::Registry& reg = obs::Registry::instance();
-      reg.counter("trace.decode_records").add(record_count_);
-      if (pos > 0) {
-        reg.counter("trace.decode_bytes").add(static_cast<uint64_t>(pos));
-      }
-      reg.histogram("trace.decode_us")
-          .observe(static_cast<uint64_t>(std::max<int64_t>(
-              0, now_us - open_us_)));
-    }
+    drain_telemetry();
     return false;
+  }
+  if (v2_) {
+    // Serve out of the cached block, decoding the covering block on
+    // demand — a seek_to only pays for blocks it actually reads into.
+    if (cur_block_ == SIZE_MAX ||
+        read_ < v2_->blocks[cur_block_].first_record ||
+        read_ >= v2_->blocks[cur_block_].first_record +
+                     v2_->blocks[cur_block_].count) {
+      const auto it = std::upper_bound(
+          v2_->blocks.begin(), v2_->blocks.end(), read_,
+          [](uint64_t r, const v2::BlockIndexEntry& e) {
+            return r < e.first_record;
+          });
+      cur_block_ = static_cast<size_t>(it - v2_->blocks.begin()) - 1;
+      block_cache_ = v2::decode_block(*v2_, cur_block_);
+    }
+    out = block_cache_[read_ - v2_->blocks[cur_block_].first_record];
+    ++read_;
+    return true;
   }
   const int tag_c = in_.get();
   if (tag_c == std::char_traits<char>::eof()) {
@@ -250,6 +325,60 @@ bool TraceReader::next(TraceRecord& out) {
   }
   ++read_;
   return true;
+}
+
+void TraceReader::seek_to(uint64_t inst_index) {
+  if (inst_index > record_count_) {
+    throw std::out_of_range(
+        "TraceReader::seek_to(" + std::to_string(inst_index) +
+        ") past record count " + std::to_string(record_count_));
+  }
+  if (v2_ || inst_index == read_) {
+    // v2 repositions in O(1); next() finds and decodes the covering block.
+    read_ = inst_index;
+    return;
+  }
+  // v1 has no index: decode forward, rewinding first when the target is
+  // behind. Correct (and the reason the interface works on legacy files),
+  // just O(prefix).
+  if (inst_index < read_) {
+    in_.clear();
+    in_.seekg(data_start_);
+    read_ = 0;
+    prev_pc_ = meta_.base_pc;
+    have_prev_ = false;
+    last_addr_ = 0;
+  }
+  TraceRecord scratch;
+  while (read_ < inst_index && next(scratch)) {
+  }
+}
+
+size_t TraceReader::block_count() const {
+  return v2_ ? v2_->blocks.size() : 0;
+}
+
+uint32_t TraceReader::block_len() const { return v2_ ? v2_->block_len : 0; }
+
+uint64_t TraceReader::block_first_record(size_t b) const {
+  if (!v2_ || b >= v2_->blocks.size()) {
+    throw std::out_of_range("TraceReader::block_first_record(" +
+                            std::to_string(b) + ")");
+  }
+  return v2_->blocks[b].first_record;
+}
+
+std::vector<TraceRecord> TraceReader::decode_block(size_t b) const {
+  if (!v2_) {
+    throw std::logic_error(
+        "TraceReader::decode_block: v1 traces have no blocks");
+  }
+  return v2::decode_block(*v2_, b);
+}
+
+std::array<uint64_t, kTraceV2Columns> TraceReader::column_bytes() const {
+  return v2_ ? v2::column_bytes(*v2_)
+             : std::array<uint64_t, kTraceV2Columns>{};
 }
 
 // ---------------------------------------------------------------------------
@@ -297,11 +426,12 @@ class StepRecorder {
 isa::InterpResult record_interpreter(const isa::Program& program,
                                      const std::string& path,
                                      const TraceMeta& meta,
-                                     uint64_t max_insts) {
+                                     uint64_t max_insts, TraceFormat format,
+                                     uint32_t block_len) {
   obs::Span span("trace.record");
   TraceMeta m = meta;
   m.base_pc = program.base();
-  TraceWriter writer(path, m);
+  TraceWriter writer(path, m, format, block_len);
 
   // Capture runs on the CFIR_ENGINE-selected functional engine; the cached
   // engine emits the identical record stream per-block instead of

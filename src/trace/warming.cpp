@@ -123,6 +123,26 @@ void FunctionalWarmer::advance_to(uint64_t n_insts) {
   engine_->run_to(n_insts);
 }
 
+void FunctionalWarmer::advance_on_trace(TraceReader& reader,
+                                        uint64_t n_insts) {
+  if (n_insts <= warmed_) return;
+  reader.seek_to(warmed_);
+  TraceRecord rec;
+  while (warmed_ < n_insts) {
+    if (!reader.next(rec)) {
+      throw std::runtime_error(
+          "FunctionalWarmer::advance_on_trace: trace ends at " +
+          std::to_string(warmed_) + ", warm target " +
+          std::to_string(n_insts));
+    }
+    on_record(rec);  // increments warmed_
+  }
+  // A later advance_to() must resume from the new position; drop any live
+  // engine so ensure_engine() fast-skips the trace-warmed prefix.
+  engine_.reset();
+  engine_mem_.reset();
+}
+
 void FunctionalWarmer::apply_to(sim::Simulator& sim) const {
   core::Core& core = sim.core();
   core.gshare() = gshare_;
@@ -240,6 +260,51 @@ std::vector<std::vector<std::vector<uint8_t>>> capture_warm_states_grid(
   // the same convention ShardResult::warmed_insts uses.
   obs::Registry& reg = obs::Registry::instance();
   reg.counter("warming.insts").add(engine.executed());
+  reg.histogram("warming.capture_us").observe(clock.elapsed_us());
+  return out;
+}
+
+std::vector<std::vector<std::vector<uint8_t>>> capture_warm_states_grid(
+    const std::vector<core::CoreConfig>& configs, const isa::Program& program,
+    TraceReader& reader, const std::vector<uint64_t>& targets) {
+  if (configs.empty()) {
+    throw std::runtime_error("capture_warm_states_grid: no configs");
+  }
+  std::vector<std::unique_ptr<FunctionalWarmer>> warmers;
+  warmers.reserve(configs.size());
+  for (const core::CoreConfig& config : configs) {
+    warmers.push_back(std::make_unique<FunctionalWarmer>(config, program));
+  }
+
+  // The stored records ARE the engine's event stream (the recorder used
+  // the same sink), so fanning them out trains byte-identical state — but
+  // a CFIRTRC2 reader only decodes the blocks covering [0, last target).
+  obs::Span span("warming.capture", targets.size());
+  const obs::Stopwatch clock;
+  std::vector<std::vector<std::vector<uint8_t>>> out(configs.size());
+  for (auto& per_config : out) per_config.reserve(targets.size());
+  reader.seek_to(0);
+  uint64_t pos = 0;
+  TraceRecord rec;
+  for (const uint64_t target : targets) {
+    if (target < pos) {
+      throw std::runtime_error("capture_warm_states_grid: targets not sorted");
+    }
+    while (pos < target) {
+      if (!reader.next(rec)) {
+        throw std::runtime_error(
+            "capture_warm_states_grid: trace ends at " + std::to_string(pos) +
+            ", warm target " + std::to_string(target));
+      }
+      for (auto& warmer : warmers) warmer->on_record(rec);
+      ++pos;
+    }
+    for (size_t c = 0; c < warmers.size(); ++c) {
+      out[c].push_back(warmers[c]->serialize_state());
+    }
+  }
+  obs::Registry& reg = obs::Registry::instance();
+  reg.counter("warming.insts").add(pos);
   reg.histogram("warming.capture_us").observe(clock.elapsed_us());
   return out;
 }

@@ -93,6 +93,16 @@ class FunctionalWarmer {
   /// stopped.
   void advance_to(uint64_t n_insts);
 
+  /// Like advance_to(), but streams the gap out of a recorded trace
+  /// instead of re-executing the program on the functional engine — on a
+  /// CFIRTRC2 file the reader seeks straight to the warmer's position and
+  /// decodes only the covering blocks, so warming cost follows the gap,
+  /// not the prefix. The record stream is identical to what advance_to
+  /// feeds itself (the recorder used the same engine events), so the
+  /// trained state — and serialize_state() blobs — stay bit-identical.
+  /// Monotonic like advance_to; `reader` must be the trace of `program`.
+  void advance_on_trace(TraceReader& reader, uint64_t n_insts);
+
   /// Committed instructions warmed so far.
   [[nodiscard]] uint64_t warmed() const { return warmed_; }
 
@@ -153,6 +163,17 @@ class FunctionalWarmer {
 [[nodiscard]] std::vector<std::vector<std::vector<uint8_t>>>
 capture_warm_states_grid(const std::vector<core::CoreConfig>& configs,
                          const isa::Program& program,
+                         const std::vector<uint64_t>& targets);
+
+/// Trace-fed variant: streams the committed records out of `reader`
+/// (seeking to 0 first) instead of re-executing the program, reading only
+/// the blocks covering [0, targets.back()) on a CFIRTRC2 file. Blobs are
+/// bit-identical to the engine-pass variant because the recorded stream
+/// is the same event stream. Throws if the trace ends before the last
+/// target.
+[[nodiscard]] std::vector<std::vector<std::vector<uint8_t>>>
+capture_warm_states_grid(const std::vector<core::CoreConfig>& configs,
+                         const isa::Program& program, TraceReader& reader,
                          const std::vector<uint64_t>& targets);
 
 }  // namespace cfir::trace

@@ -112,7 +112,10 @@ TEST(TraceFormat, CrcFooterRejectsBitFlips) {
   TempFile file("crcflip");
   TraceMeta meta;
   meta.workload = "figure1";
-  (void)record_interpreter(program, file.path(), meta);
+  // v1 relies on the whole-file CRC verified at open; CFIRTRC2 localizes
+  // integrity per block/index (tests/test_trace_v2.cpp), so pin to v1.
+  (void)record_interpreter(program, file.path(), meta, UINT64_MAX,
+                           TraceFormat::kV1);
   EXPECT_NO_THROW(TraceReader{file.path()});
 
   std::vector<uint8_t> bytes = file_bytes(file.path());
@@ -132,7 +135,10 @@ TEST(TraceFormat, LegacyFooterlessFileStillLoads) {
   TempFile file("legacy");
   TraceMeta meta;
   meta.workload = "figure1";
-  const isa::InterpResult r = record_interpreter(program, file.path(), meta);
+  // Footer-less files are a v1-era artifact; CFIRTRC2 has carried the
+  // footer from day one, so the legacy path is pinned to the v1 writer.
+  const isa::InterpResult r = record_interpreter(
+      program, file.path(), meta, UINT64_MAX, TraceFormat::kV1);
 
   std::vector<uint8_t> bytes = file_bytes(file.path());
   bytes.resize(bytes.size() - 8);  // drop "CRC1" + u32
@@ -157,7 +163,8 @@ TEST(TraceFormat, StrictBlobsRejectsLegacyFooterlessFiles) {
   TempFile file("strict");
   TraceMeta meta;
   meta.workload = "figure1";
-  (void)record_interpreter(program, file.path(), meta);
+  (void)record_interpreter(program, file.path(), meta, UINT64_MAX,
+                           TraceFormat::kV1);
 
   std::vector<uint8_t> bytes = file_bytes(file.path());
   bytes.resize(bytes.size() - 8);  // drop "CRC1" + u32
@@ -272,7 +279,9 @@ TEST(TraceFormat, FuzzRandomRecordStreamsRoundTrip) {
   // The varint/delta codec must reproduce *arbitrary* record streams, not
   // just streams the interpreter can emit: adversarial pc jumps (large
   // positive and negative deltas), address swings across the whole 64-bit
-  // space, and every kind/size combination.
+  // space, and every kind/size combination. Both writers must survive it:
+  // the row-oriented v1 codec and the columnar CFIRTRC2 one.
+  for (const TraceFormat format : {TraceFormat::kV1, TraceFormat::kV2}) {
   for (uint64_t seed = 1; seed <= 10; ++seed) {
     std::mt19937_64 gen(seed);
     std::vector<TraceRecord> records;
@@ -306,7 +315,9 @@ TEST(TraceFormat, FuzzRandomRecordStreamsRoundTrip) {
     TraceMeta meta;
     meta.workload = "fuzz";
     meta.base_pc = records.front().pc;
-    TraceWriter writer(file.path(), meta);
+    // A deliberately odd, small block capacity so the v2 stream spans
+    // several blocks with ragged coder-base snapshots (v1 ignores it).
+    TraceWriter writer(file.path(), meta, format, 257);
     for (const TraceRecord& rec : records) writer.append(rec);
     std::array<uint64_t, isa::kNumLogicalRegs> regs{};
     for (auto& r : regs) r = gen();
@@ -323,6 +334,7 @@ TEST(TraceFormat, FuzzRandomRecordStreamsRoundTrip) {
       ASSERT_EQ(rec, records[i]) << "seed " << seed << " record " << i;
     }
     EXPECT_FALSE(reader.next(rec));
+  }
   }
 }
 
