@@ -13,6 +13,7 @@
 
 #include "obs/metrics.hpp"
 #include "obs/tracer.hpp"
+#include "sim/pool.hpp"
 #include "sim/simulator.hpp"
 #include "trace/sampling.hpp"
 #include "workloads/workloads.hpp"
@@ -56,6 +57,8 @@ trace::WarmMode env_warm_mode() {
 
 uint64_t env_detail_len() { return env_u64("CFIR_DETAIL_LEN", 0); }
 
+int env_warm_jobs() { return static_cast<int>(env_u64("CFIR_WARM_JOBS", 0)); }
+
 isa::EngineKind env_engine_kind() { return isa::engine_kind_from_env(); }
 
 trace::ShardSelection env_shard() {
@@ -73,49 +76,26 @@ void parallel_for(size_t n, const std::function<void(size_t)>& fn,
   if (threads <= 0) threads = 1;
   threads = std::min<int>(threads, static_cast<int>(n));
 
-  std::atomic<size_t> next{0};
-  std::atomic<bool> failed{false};
-  std::exception_ptr first_error;
-  std::mutex error_mu;
-
-  auto worker = [&](int lane) {
-    // Label this worker's lane in the trace viewer. Lane -1 is the
-    // calling thread (inline path), which keeps whatever name it has.
-    if (lane >= 0 && obs::Tracer::enabled()) {
-      obs::Tracer::set_thread_name("worker-" + std::to_string(lane));
-    }
-    for (;;) {
-      const size_t i = next.fetch_add(1);
-      if (i >= n || failed.load()) break;
+  if (threads <= 1) {
+    // Inline path: same claim semantics as the pool (every claimed index
+    // runs fn; the first failure stops further claims), no pool round
+    // trip. The calling thread keeps whatever tracer name it has.
+    std::exception_ptr first_error;
+    for (size_t i = 0; i < n && !first_error; ++i) {
       try {
         fn(i);
       } catch (...) {
-        std::lock_guard<std::mutex> lk(error_mu);
-        if (!first_error) first_error = std::current_exception();
-        failed.store(true);
+        first_error = std::current_exception();
       }
     }
-  };
-
-  if (threads <= 1) {
-    worker(-1);
-  } else {
-    std::vector<std::thread> pool;
-    pool.reserve(static_cast<size_t>(threads));
-    try {
-      for (int t = 0; t < threads; ++t) pool.emplace_back(worker, t);
-    } catch (...) {
-      // Thread creation failed mid-pool (e.g. resource exhaustion).
-      // Without this join, the vector's destructor would run on joinable
-      // threads and std::terminate the whole process; instead stop
-      // handing out work, join what exists, and surface the error.
-      failed.store(true);
-      for (auto& th : pool) th.join();
-      throw;
-    }
-    for (auto& th : pool) th.join();
+    if (first_error) std::rethrow_exception(first_error);
+    return;
   }
-  if (first_error) std::rethrow_exception(first_error);
+  // Threaded path: the memoized shared pool executes the batch —
+  // `threads - 1` pool workers plus the calling thread, so the requested
+  // parallelism is honored without spawning (and joining) a fresh thread
+  // set per call. Exception semantics live in ThreadPool::run.
+  ThreadPool::shared().run(n, fn, threads - 1);
 }
 
 std::vector<RunOutcome> run_all(const std::vector<RunSpec>& specs,

@@ -96,10 +96,13 @@ struct SweepSavings {
                                               int threads = 0,
                                               SweepSavings* savings = nullptr);
 
-/// The shared work-stealing-free job pool behind run_all and
-/// trace::SampledRun: invokes `fn(0..n)` across `threads` workers
-/// (`threads` <= 0 picks CFIR_THREADS or the hardware concurrency) and
-/// rethrows the first exception after all workers join.
+/// The fan-out primitive behind run_all and trace::SampledRun: invokes
+/// `fn(0..n)` across `threads` workers (`threads` <= 0 picks
+/// CFIR_THREADS or the hardware concurrency) and rethrows the first
+/// exception after the batch drains. Executes on the memoized
+/// sim::ThreadPool::shared() (sim/pool.hpp) — `threads - 1` pool workers
+/// plus the calling thread — so per-wave callers (trace decode, the
+/// warming pipeline) pay no thread spawn per call.
 void parallel_for(size_t n, const std::function<void(size_t)>& fn,
                   int threads = 0);
 
@@ -116,6 +119,12 @@ void parallel_for(size_t n, const std::function<void(size_t)>& fn,
 /// detailed; typos throw (see trace::parse_warm_mode).
 [[nodiscard]] trace::WarmMode env_warm_mode();
 [[nodiscard]] uint64_t env_detail_len();  ///< CFIR_DETAIL_LEN, default 0
+/// CFIR_WARM_JOBS, default 0: parallelism cap for the pipelined warming
+/// path (trace/warming.hpp). 0 = auto (CFIR_THREADS / hardware
+/// concurrency), 1 = the sequential reference path, N = at most N
+/// threads across decode prefetch and per-config fan-out. Results are
+/// bit-identical at every setting; the knob trades threads for wall.
+[[nodiscard]] int env_warm_jobs();
 /// CFIR_ENGINE ("switch" | "cached"), default cached: which functional
 /// engine the planning/warming/capture passes run on. The trace layer
 /// reads the knob itself at engine construction; this accessor exists so

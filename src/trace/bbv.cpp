@@ -58,11 +58,13 @@ BbvSet BbvBuilder::finish() {
 BbvSet bbv_from_trace(TraceReader& reader, uint64_t interval_len) {
   BbvBuilder builder(interval_len);
   // On a CFIRTRC2 trace, fan the block decodes (CRC + column expansion —
-  // the expensive part) out on the parallel_for pool, in bounded waves so
-  // memory stays at a few blocks per worker. The records are then fed to
-  // the builder strictly in stream order: leader discovery order defines
-  // the BBV dimension numbering, so the vectors stay bit-identical to a
-  // sequential read.
+  // the expensive part) out on the memoized sim::ThreadPool behind
+  // parallel_for, in bounded waves so memory stays at a few blocks per
+  // worker — the pool persists across waves, so a 1000-block trace pays
+  // zero thread spawns here instead of one set per 32-block wave. The
+  // records are then fed to the builder strictly in stream order: leader
+  // discovery order defines the BBV dimension numbering, so the vectors
+  // stay bit-identical to a sequential read.
   const size_t n_blocks = reader.block_count();
   if (n_blocks > 1) {
     constexpr size_t kWave = 32;

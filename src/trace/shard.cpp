@@ -222,7 +222,7 @@ struct ShardTelemetry {
 ShardResult run_shard(const std::vector<ConfigBinding>& configs,
                       const isa::Program& program, const IntervalPlan& plan,
                       ShardSelection shard, int threads, uint64_t plan_hash,
-                      const std::string& warm_trace) {
+                      const std::string& warm_trace, int warm_jobs) {
   const size_t k = plan.boundaries.size();
   if (plan.lengths.size() != k || plan.weights.size() != k ||
       plan.checkpoints.size() != k) {
@@ -330,9 +330,10 @@ ShardResult run_shard(const std::vector<ConfigBinding>& configs,
         // intervals the shard owns — and the blobs still match the
         // engine pass bit for bit (same record stream).
         TraceReader reader(warm_trace);
-        captured = capture_warm_states_grid(need, program, reader, targets);
+        captured =
+            capture_warm_states_grid(need, program, reader, targets, warm_jobs);
       } else {
-        captured = capture_warm_states_grid(need, program, targets);
+        captured = capture_warm_states_grid(need, program, targets, warm_jobs);
       }
       result.warm_wall_us = warm_clock.elapsed_us();
       obs::Registry::instance()

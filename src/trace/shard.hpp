@@ -147,14 +147,18 @@ struct ShardResult {
 /// of re-executing — on a CFIRTRC2 trace the shard then decodes only the
 /// blocks covering its own intervals + warming gaps (O(intervals), not
 /// O(prefix); observable via the `trace.blocks_read` counter), with blobs
-/// bit-identical to the engine pass.
+/// bit-identical to the engine pass. `warm_jobs` caps the pipelined
+/// warm-capture path (trace/warming.hpp capture_warm_states_grid):
+/// -1 reads CFIR_WARM_JOBS, 0 = auto, 1 = the sequential reference path
+/// — blobs, stats and merged grids are bit-identical at every setting.
 [[nodiscard]] ShardResult run_shard(const std::vector<ConfigBinding>& configs,
                                     const isa::Program& program,
                                     const IntervalPlan& plan,
                                     ShardSelection shard = {},
                                     int threads = 0,
                                     uint64_t plan_hash = 0,
-                                    const std::string& warm_trace = {});
+                                    const std::string& warm_trace = {},
+                                    int warm_jobs = -1);
 
 /// Single-config convenience: one binding named by the config's label,
 /// with `config_hash` (when non-zero) stamped as both the plan hash and

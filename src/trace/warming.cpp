@@ -1,11 +1,15 @@
 #include "trace/warming.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "ci/mechanism.hpp"
 #include "obs/metrics.hpp"
 #include "obs/tracer.hpp"
+#include "sim/pool.hpp"
 #include "sim/simulator.hpp"
+#include "sim/sweep.hpp"
+#include "trace/batch_reader.hpp"
 #include "util/warmable.hpp"
 
 namespace cfir::trace {
@@ -14,6 +18,106 @@ namespace {
 /// Blob header guarding against feeding a warm-state blob into a warmer
 /// built from a different configuration.
 constexpr uint32_t kWarmStateMagic = 0x314D5257;  // "WRM1"
+
+/// Engine-path fan-out batch: one default trace block's worth of
+/// records, so the engine-fed and trace-fed pipelines see the same
+/// batch granularity.
+constexpr size_t kEngineBatch = kTraceBlockLen;
+
+/// jobs < 0 → CFIR_WARM_JOBS; <= 0 → auto (the shared pool's size, i.e.
+/// CFIR_THREADS / hardware concurrency); 1 = sequential reference path.
+int resolve_warm_jobs(int jobs) {
+  if (jobs < 0) jobs = sim::env_warm_jobs();
+  if (jobs <= 0) jobs = sim::ThreadPool::shared().size();
+  return std::max(jobs, 1);
+}
+
+void check_targets_sorted(const std::vector<uint64_t>& targets) {
+  for (size_t i = 1; i < targets.size(); ++i) {
+    if (targets[i] < targets[i - 1]) {
+      throw std::runtime_error("capture_warm_states_grid: targets not sorted");
+    }
+  }
+}
+
+[[noreturn]] void throw_trace_truncated(uint64_t pos, uint64_t target,
+                                        size_t index, size_t n_targets) {
+  throw std::runtime_error(
+      "capture_warm_states_grid: trace ends at " + std::to_string(pos) +
+      " records, warm target " + std::to_string(target) + " (interval " +
+      std::to_string(index) + " of " + std::to_string(n_targets) + ")");
+}
+
+std::vector<std::unique_ptr<FunctionalWarmer>> make_warmers(
+    const std::vector<core::CoreConfig>& configs,
+    const isa::Program& program) {
+  std::vector<std::unique_ptr<FunctionalWarmer>> warmers;
+  warmers.reserve(configs.size());
+  for (const core::CoreConfig& config : configs) {
+    warmers.push_back(std::make_unique<FunctionalWarmer>(config, program));
+  }
+  return warmers;
+}
+
+/// Per-config fan-out of one decoded batch: one task per config, each
+/// walking the identical record span in stream order on its own (single
+/// threaded) warmer and serializing snapshot blobs for the targets that
+/// land inside the span — so serialization happens off the decode
+/// thread, inside the task that owns the warmer. Targets are consumed
+/// when `pos` reaches them BEFORE the record at `pos` trains, exactly
+/// like the sequential loop; a target equal to the batch's end position
+/// is deliberately left to the next batch (or the caller's
+/// finalization), keeping the consumption point unambiguous. Returns
+/// the target index the caller should resume from.
+size_t feed_batch_grid(std::vector<std::unique_ptr<FunctionalWarmer>>& warmers,
+                       const std::vector<std::vector<TraceRecord>>& blocks,
+                       uint64_t first_record, size_t records,
+                       const std::vector<uint64_t>& targets, size_t ti,
+                       std::vector<std::vector<std::vector<uint8_t>>>& out,
+                       int jobs) {
+  obs::Registry& reg = obs::Registry::instance();
+  const obs::Stopwatch feed_clock;
+  const size_t nt = targets.size();
+  sim::ThreadPool::shared().run(
+      warmers.size(),
+      [&](size_t c) {
+        FunctionalWarmer& warmer = *warmers[c];
+        size_t t = ti;
+        uint64_t pos = first_record;
+        for (const auto& block : blocks) {
+          for (const TraceRecord& rec : block) {
+            while (t < nt && targets[t] == pos) {
+              out[c][t++] = warmer.serialize_state();
+            }
+            warmer.on_record(rec);
+            ++pos;
+          }
+        }
+      },
+      jobs - 1);
+  reg.counter("warming.feed_us").add(feed_clock.elapsed_us());
+  reg.counter("warming.batches").add(1);
+  const uint64_t end = first_record + records;
+  while (ti < nt && targets[ti] < end) ++ti;
+  return ti;
+}
+
+/// Snapshots targets [ti, nt) — all sitting exactly at the current
+/// stream position — in parallel across configs.
+void snapshot_tail_grid(std::vector<std::unique_ptr<FunctionalWarmer>>& warmers,
+                        const std::vector<uint64_t>& targets, size_t ti,
+                        std::vector<std::vector<std::vector<uint8_t>>>& out,
+                        int jobs) {
+  if (ti >= targets.size()) return;
+  sim::ThreadPool::shared().run(
+      warmers.size(),
+      [&](size_t c) {
+        for (size_t t = ti; t < targets.size(); ++t) {
+          out[c][t] = warmers[c]->serialize_state();
+        }
+      },
+      jobs - 1);
+}
 }  // namespace
 
 const char* warm_mode_name(WarmMode mode) {
@@ -124,16 +228,23 @@ void FunctionalWarmer::advance_to(uint64_t n_insts) {
 }
 
 void FunctionalWarmer::advance_on_trace(TraceReader& reader,
-                                        uint64_t n_insts) {
+                                        uint64_t n_insts,
+                                        std::string_view context) {
   if (n_insts <= warmed_) return;
   reader.seek_to(warmed_);
   TraceRecord rec;
   while (warmed_ < n_insts) {
     if (!reader.next(rec)) {
-      throw std::runtime_error(
+      std::string msg =
           "FunctionalWarmer::advance_on_trace: trace ends at " +
-          std::to_string(warmed_) + ", warm target " +
-          std::to_string(n_insts));
+          std::to_string(warmed_) + " records, warm target " +
+          std::to_string(n_insts);
+      if (!context.empty()) {
+        msg += " (";
+        msg += context;
+        msg += ")";
+      }
+      throw std::runtime_error(msg);
     }
     on_record(rec);  // increments warmed_
   }
@@ -216,17 +327,15 @@ std::vector<std::vector<uint8_t>> capture_warm_states(
   return out;
 }
 
-std::vector<std::vector<std::vector<uint8_t>>> capture_warm_states_grid(
+namespace {
+/// Sequential engine-fed grid capture: the pre-pipeline reference path
+/// (jobs == 1), kept verbatim as the oracle the pipelined path is
+/// differential-tested against.
+std::vector<std::vector<std::vector<uint8_t>>> capture_grid_engine_sequential(
     const std::vector<core::CoreConfig>& configs, const isa::Program& program,
     const std::vector<uint64_t>& targets) {
-  if (configs.empty()) {
-    throw std::runtime_error("capture_warm_states_grid: no configs");
-  }
-  std::vector<std::unique_ptr<FunctionalWarmer>> warmers;
-  warmers.reserve(configs.size());
-  for (const core::CoreConfig& config : configs) {
-    warmers.push_back(std::make_unique<FunctionalWarmer>(config, program));
-  }
+  std::vector<std::unique_ptr<FunctionalWarmer>> warmers =
+      make_warmers(configs, program);
 
   // One functional-engine pass; the sink delivers the same TraceRecord
   // stream FunctionalWarmer::advance_to feeds itself, so the fanned-out
@@ -241,16 +350,9 @@ std::vector<std::vector<std::vector<uint8_t>>> capture_warm_states_grid(
     }
   });
 
-  obs::Span span("warming.capture", targets.size());
-  const obs::Stopwatch clock;
   std::vector<std::vector<std::vector<uint8_t>>> out(configs.size());
   for (auto& per_config : out) per_config.reserve(targets.size());
-  uint64_t prev = 0;
   for (const uint64_t target : targets) {
-    if (target < prev) {
-      throw std::runtime_error("capture_warm_states_grid: targets not sorted");
-    }
-    prev = target;
     engine.run_to(target);
     for (size_t c = 0; c < warmers.size(); ++c) {
       out[c].push_back(warmers[c]->serialize_state());
@@ -258,43 +360,75 @@ std::vector<std::vector<std::vector<uint8_t>>> capture_warm_states_grid(
   }
   // The streamed prefix is counted once however many configs fanned out —
   // the same convention ShardResult::warmed_insts uses.
-  obs::Registry& reg = obs::Registry::instance();
-  reg.counter("warming.insts").add(engine.executed());
-  reg.histogram("warming.capture_us").observe(clock.elapsed_us());
+  obs::Registry::instance().counter("warming.insts").add(engine.executed());
   return out;
 }
 
-std::vector<std::vector<std::vector<uint8_t>>> capture_warm_states_grid(
+/// Pipelined engine-fed grid capture: the engine streams block-sized
+/// record batches into a buffer (an engine can't decode ahead of itself,
+/// so this is the documented sequential-decode fallback), then each
+/// batch trains all configs in parallel via feed_batch_grid. A program
+/// that halts before the last target snapshots the remaining targets at
+/// its final state, exactly like the sequential engine path.
+std::vector<std::vector<std::vector<uint8_t>>> capture_grid_engine_pipelined(
+    const std::vector<core::CoreConfig>& configs, const isa::Program& program,
+    const std::vector<uint64_t>& targets, int jobs) {
+  std::vector<std::unique_ptr<FunctionalWarmer>> warmers =
+      make_warmers(configs, program);
+  std::vector<std::vector<std::vector<uint8_t>>> out(
+      configs.size(), std::vector<std::vector<uint8_t>>(targets.size()));
+
+  mem::MainMemory memory;
+  isa::load_data_image(program, memory);
+  isa::FunctionalEngine engine(program, memory);
+  // One persistent single-block buffer: the sink fills blocks[0], the
+  // fan-out reads it, clear() keeps the capacity across batches.
+  std::vector<std::vector<TraceRecord>> blocks(1);
+  std::vector<TraceRecord>& batch = blocks.front();
+  engine.set_sink([&](uint64_t, const isa::StepEvent* ev, size_t n) {
+    for (size_t i = 0; i < n; ++i) batch.push_back(to_trace_record(ev[i]));
+  });
+
+  obs::Registry& reg = obs::Registry::instance();
+  const uint64_t limit = targets.empty() ? 0 : targets.back();
+  uint64_t pos = 0;
+  size_t ti = 0;
+  while (pos < limit) {
+    batch.clear();
+    const obs::Stopwatch decode_clock;
+    engine.run_to(std::min(limit, pos + kEngineBatch));
+    reg.counter("warming.decode_wait_us").add(decode_clock.elapsed_us());
+    if (batch.empty()) break;  // program halted before the last target
+    const size_t records = batch.size();
+    ti = feed_batch_grid(warmers, blocks, pos, records, targets, ti, out,
+                         jobs);
+    pos += records;
+  }
+  snapshot_tail_grid(warmers, targets, ti, out, jobs);
+  reg.counter("warming.insts").add(pos);
+  return out;
+}
+
+/// Sequential trace-fed grid capture (jobs == 1 oracle).
+std::vector<std::vector<std::vector<uint8_t>>> capture_grid_trace_sequential(
     const std::vector<core::CoreConfig>& configs, const isa::Program& program,
     TraceReader& reader, const std::vector<uint64_t>& targets) {
-  if (configs.empty()) {
-    throw std::runtime_error("capture_warm_states_grid: no configs");
-  }
-  std::vector<std::unique_ptr<FunctionalWarmer>> warmers;
-  warmers.reserve(configs.size());
-  for (const core::CoreConfig& config : configs) {
-    warmers.push_back(std::make_unique<FunctionalWarmer>(config, program));
-  }
+  std::vector<std::unique_ptr<FunctionalWarmer>> warmers =
+      make_warmers(configs, program);
 
   // The stored records ARE the engine's event stream (the recorder used
   // the same sink), so fanning them out trains byte-identical state — but
   // a CFIRTRC2 reader only decodes the blocks covering [0, last target).
-  obs::Span span("warming.capture", targets.size());
-  const obs::Stopwatch clock;
   std::vector<std::vector<std::vector<uint8_t>>> out(configs.size());
   for (auto& per_config : out) per_config.reserve(targets.size());
   reader.seek_to(0);
   uint64_t pos = 0;
   TraceRecord rec;
-  for (const uint64_t target : targets) {
-    if (target < pos) {
-      throw std::runtime_error("capture_warm_states_grid: targets not sorted");
-    }
+  for (size_t t = 0; t < targets.size(); ++t) {
+    const uint64_t target = targets[t];
     while (pos < target) {
       if (!reader.next(rec)) {
-        throw std::runtime_error(
-            "capture_warm_states_grid: trace ends at " + std::to_string(pos) +
-            ", warm target " + std::to_string(target));
+        throw_trace_truncated(pos, target, t, targets.size());
       }
       for (auto& warmer : warmers) warmer->on_record(rec);
       ++pos;
@@ -303,9 +437,87 @@ std::vector<std::vector<std::vector<uint8_t>>> capture_warm_states_grid(
       out[c].push_back(warmers[c]->serialize_state());
     }
   }
-  obs::Registry& reg = obs::Registry::instance();
-  reg.counter("warming.insts").add(pos);
-  reg.histogram("warming.capture_us").observe(clock.elapsed_us());
+  obs::Registry::instance().counter("warming.insts").add(pos);
+  return out;
+}
+
+/// Pipelined trace-fed grid capture: BlockBatchReader wave-decodes
+/// upcoming blocks concurrently with the per-config fan-out (double
+/// buffered), so decode never sits on the warmers' critical path.
+std::vector<std::vector<std::vector<uint8_t>>> capture_grid_trace_pipelined(
+    const std::vector<core::CoreConfig>& configs, const isa::Program& program,
+    TraceReader& reader, const std::vector<uint64_t>& targets, int jobs) {
+  std::vector<std::unique_ptr<FunctionalWarmer>> warmers =
+      make_warmers(configs, program);
+  std::vector<std::vector<std::vector<uint8_t>>> out(
+      configs.size(), std::vector<std::vector<uint8_t>>(targets.size()));
+
+  const uint64_t limit = targets.empty() ? 0 : targets.back();
+  uint64_t pos = 0;
+  size_t ti = 0;
+  {
+    BlockBatchReader batches(reader, limit, jobs);
+    BlockBatchReader::Batch batch;
+    while (batches.next_batch(batch)) {
+      const size_t records = batch.records();
+      ti = feed_batch_grid(warmers, batch.blocks, batch.first_record, records,
+                           targets, ti, out, jobs);
+      pos = batch.first_record + records;
+    }
+  }
+  // Leftover targets either sit exactly at the delivered end of stream
+  // (the normal case — the last target IS the record limit) or the trace
+  // is truncated.
+  size_t reachable = ti;
+  while (reachable < targets.size() && targets[reachable] == pos) {
+    ++reachable;
+  }
+  if (reachable < targets.size()) {
+    throw_trace_truncated(pos, targets[reachable], reachable, targets.size());
+  }
+  snapshot_tail_grid(warmers, targets, ti, out, jobs);
+  obs::Registry::instance().counter("warming.insts").add(pos);
+  return out;
+}
+}  // namespace
+
+std::vector<std::vector<std::vector<uint8_t>>> capture_warm_states_grid(
+    const std::vector<core::CoreConfig>& configs, const isa::Program& program,
+    const std::vector<uint64_t>& targets, int jobs) {
+  if (configs.empty()) {
+    throw std::runtime_error("capture_warm_states_grid: no configs");
+  }
+  check_targets_sorted(targets);
+  jobs = resolve_warm_jobs(jobs);
+  obs::Span span("warming.capture", targets.size());
+  const obs::Stopwatch clock;
+  auto out = jobs <= 1
+                 ? capture_grid_engine_sequential(configs, program, targets)
+                 : capture_grid_engine_pipelined(configs, program, targets,
+                                                 jobs);
+  obs::Registry::instance()
+      .histogram("warming.capture_us")
+      .observe(clock.elapsed_us());
+  return out;
+}
+
+std::vector<std::vector<std::vector<uint8_t>>> capture_warm_states_grid(
+    const std::vector<core::CoreConfig>& configs, const isa::Program& program,
+    TraceReader& reader, const std::vector<uint64_t>& targets, int jobs) {
+  if (configs.empty()) {
+    throw std::runtime_error("capture_warm_states_grid: no configs");
+  }
+  check_targets_sorted(targets);
+  jobs = resolve_warm_jobs(jobs);
+  obs::Span span("warming.capture", targets.size());
+  const obs::Stopwatch clock;
+  auto out = jobs <= 1 ? capture_grid_trace_sequential(configs, program,
+                                                       reader, targets)
+                       : capture_grid_trace_pipelined(configs, program,
+                                                      reader, targets, jobs);
+  obs::Registry::instance()
+      .histogram("warming.capture_us")
+      .observe(clock.elapsed_us());
   return out;
 }
 

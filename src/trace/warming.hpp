@@ -101,7 +101,11 @@ class FunctionalWarmer {
   /// feeds itself (the recorder used the same engine events), so the
   /// trained state — and serialize_state() blobs — stay bit-identical.
   /// Monotonic like advance_to; `reader` must be the trace of `program`.
-  void advance_on_trace(TraceReader& reader, uint64_t n_insts);
+  /// `context` (e.g. "interval 3 of 8") is appended to the
+  /// truncated-trace error so a shard run names which warm gap fell off
+  /// the end of the trace instead of just a bare record count.
+  void advance_on_trace(TraceReader& reader, uint64_t n_insts,
+                        std::string_view context = {});
 
   /// Committed instructions warmed so far.
   [[nodiscard]] uint64_t warmed() const { return warmed_; }
@@ -160,20 +164,36 @@ class FunctionalWarmer {
 /// Result[c][i] is the blob for config c warmed over [0, targets[i]), and
 /// each blob is bit-identical to the one a solo capture_warm_states pass
 /// under that config produces (same records, same training calls).
+///
+/// `jobs` caps the pipelined fan-out (docs/sampling.md "Pipelined
+/// warming"): the engine decodes the stream in block-sized batches and
+/// each batch trains the N configs' warmers in parallel, one task per
+/// config, snapshot blobs serialized inside those tasks. Every warmer
+/// still sees the identical record stream in order on a single thread,
+/// so the blobs are bit-identical at every setting (ctest-locked).
+/// jobs < 0 reads CFIR_WARM_JOBS (sim::env_warm_jobs), 0 means auto
+/// (CFIR_THREADS / hardware concurrency) and 1 forces the sequential
+/// reference path.
 [[nodiscard]] std::vector<std::vector<std::vector<uint8_t>>>
 capture_warm_states_grid(const std::vector<core::CoreConfig>& configs,
                          const isa::Program& program,
-                         const std::vector<uint64_t>& targets);
+                         const std::vector<uint64_t>& targets, int jobs = -1);
 
 /// Trace-fed variant: streams the committed records out of `reader`
-/// (seeking to 0 first) instead of re-executing the program, reading only
-/// the blocks covering [0, targets.back()) on a CFIRTRC2 file. Blobs are
-/// bit-identical to the engine-pass variant because the recorded stream
-/// is the same event stream. Throws if the trace ends before the last
-/// target.
+/// instead of re-executing the program, reading only the blocks covering
+/// [0, targets.back()) on a CFIRTRC2 file. Blobs are bit-identical to
+/// the engine-pass variant because the recorded stream is the same event
+/// stream. Throws if the trace ends before the last target. With
+/// `jobs` > 1 (resolution as above) this is the fully pipelined path: a
+/// BlockBatchReader (trace/batch_reader.hpp) wave-decodes upcoming
+/// CFIRTRC2 blocks concurrently with the per-config fan-out, so column
+/// decode + LZ never sits on the warmers' critical path (CFIRTRC1
+/// sources fall back to sequential decode, keeping the parallel
+/// fan-out). Overlap is observable via the warming.decode_wait_us /
+/// warming.feed_us / warming.batches counters.
 [[nodiscard]] std::vector<std::vector<std::vector<uint8_t>>>
 capture_warm_states_grid(const std::vector<core::CoreConfig>& configs,
                          const isa::Program& program, TraceReader& reader,
-                         const std::vector<uint64_t>& targets);
+                         const std::vector<uint64_t>& targets, int jobs = -1);
 
 }  // namespace cfir::trace

@@ -3,9 +3,12 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <stdexcept>
+#include <thread>
 
+#include "sim/pool.hpp"
 #include "sim/presets.hpp"
 
 namespace cfir::sim {
@@ -173,6 +176,66 @@ TEST(Sweep, SharedPlanGridMatchesPerColumnRunsAndReportsSavings) {
         << i;
     ASSERT_EQ(alone[0].phases.size(), together[i].phases.size()) << i;
   }
+}
+
+// The memoized worker pool behind parallel_for and the warming pipeline:
+// batches submitted concurrently from independent threads must each run
+// every index exactly once (the pool multiplexes its workers across the
+// live batches; each submitter drains its own).
+TEST(Pool, ConcurrentBatchesFromTwoThreadsEachRunOnce) {
+  ThreadPool& pool = ThreadPool::shared();
+  std::vector<std::atomic<int>> a(48), b(48);
+  std::thread ta([&] {
+    pool.run(a.size(), [&](size_t i) { a[i].fetch_add(1); });
+  });
+  std::thread tb([&] {
+    pool.run(b.size(), [&](size_t i) { b[i].fetch_add(1); });
+  });
+  ta.join();
+  tb.join();
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i].load(), 1) << i;
+  for (size_t i = 0; i < b.size(); ++i) EXPECT_EQ(b[i].load(), 1) << i;
+}
+
+// Nested run() must not deadlock even when every worker is already busy:
+// the submitting task participates in draining its own inner batch, so
+// the innermost batch always makes progress (the warming pipeline nests
+// exactly like this — config fan-out inside a shard's interval task).
+TEST(Pool, NestedRunCompletesAllIndices) {
+  std::atomic<int> total{0};
+  ThreadPool::shared().run(4, [&](size_t) {
+    ThreadPool::shared().run(8, [&](size_t) { total.fetch_add(1); });
+  });
+  EXPECT_EQ(total.load(), 32);
+}
+
+// max_workers caps the helpers a batch may borrow; with a cap of 1 the
+// observed concurrency can never exceed 2 (one helper + the submitter),
+// no matter how many workers the pool owns.
+TEST(Pool, MaxWorkersBoundsConcurrency) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4);
+  std::atomic<int> live{0}, high{0};
+  pool.run(
+      64,
+      [&](size_t) {
+        const int now = live.fetch_add(1) + 1;
+        int seen = high.load();
+        while (now > seen && !high.compare_exchange_weak(seen, now)) {
+        }
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+        live.fetch_sub(1);
+      },
+      /*max_workers=*/1);
+  EXPECT_LE(high.load(), 2);
+  EXPECT_GE(high.load(), 1);
+}
+
+TEST(Sweep, EnvWarmJobsParses) {
+  ASSERT_EQ(setenv("CFIR_WARM_JOBS", "4", 1), 0);
+  EXPECT_EQ(env_warm_jobs(), 4);
+  ASSERT_EQ(unsetenv("CFIR_WARM_JOBS"), 0);
+  EXPECT_EQ(env_warm_jobs(), 0);
 }
 
 TEST(Sweep, EnvShardParsesSpec) {

@@ -1,0 +1,336 @@
+// Bit-identity wall for the pipelined block-parallel warming path
+// (docs/sampling.md "Pipelined warming"): capture_warm_states_grid must
+// produce byte-identical warm blobs under every (source x jobs) setting —
+// the engine pass, a CFIRTRC1 trace and a CFIRTRC2 trace, each at
+// jobs = 1 (the sequential reference path), an explicit cap of 2, and
+// 0 (auto) — because each warmer always sees the identical record stream
+// in order on a single thread. Also locked here:
+//
+//  - a 4-record tiny-block CFIRTRC2 stress (every batch spans many block
+//    boundaries; targets at 0, duplicated, mid-block and at end-of-trace);
+//  - run_shard grids byte-equal across warm_jobs settings after scrubbing
+//    the (intentionally nondeterministic) wall-clock telemetry;
+//  - truncated traces name the offending warm target and interval, both
+//    in FunctionalWarmer::advance_on_trace and in the grid capture;
+//  - the CFIR_WARM_JOBS knob switches paths observably (warming.batches);
+//  - WarmingPipelineS8: the same matrix on bzip2 s8 (excluded from the
+//    sanitizer CI job alongside TraceV2S8 — same exclusion pattern).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "helpers.hpp"
+#include "obs/metrics.hpp"
+#include "sim/presets.hpp"
+#include "trace/sampling.hpp"
+#include "trace/shard.hpp"
+#include "trace/trace.hpp"
+#include "trace/warming.hpp"
+#include "workloads/workloads.hpp"
+
+namespace cfir::trace {
+namespace {
+
+class TempFile {
+ public:
+  explicit TempFile(const std::string& tag)
+      : path_(std::string(::testing::TempDir()) + "cfir_warmpipe_" + tag +
+              "_" + std::to_string(reinterpret_cast<uintptr_t>(this))) {}
+  ~TempFile() { std::remove(path_.c_str()); }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+using Blobs = std::vector<std::vector<std::vector<uint8_t>>>;
+
+Blobs capture_from(const std::string& trace_path,
+                   const std::vector<core::CoreConfig>& configs,
+                   const isa::Program& program,
+                   const std::vector<uint64_t>& targets, int jobs) {
+  TraceReader reader(trace_path);
+  return capture_warm_states_grid(configs, program, reader, targets, jobs);
+}
+
+/// Wall-clock telemetry is host-dependent by design; zero it so shard
+/// results can be compared byte for byte (the trace_tool --scrub-wall
+/// contract).
+ShardResult scrub_wall(ShardResult r) {
+  r.warm_wall_us = 0;
+  for (auto& iv : r.intervals) iv.wall_us.clear();
+  return r;
+}
+
+TEST(WarmingPipeline, BlobsBitIdenticalAcrossSourcesAndJobs) {
+  const isa::Program program = cfir::testing::figure1_program(512);
+  TempFile v1("v1"), v2("v2");
+  TraceMeta meta;
+  meta.workload = "figure1";
+  const isa::InterpResult r1 =
+      record_interpreter(program, v1.path(), meta, UINT64_MAX,
+                         TraceFormat::kV1);
+  const isa::InterpResult r2 =
+      record_interpreter(program, v2.path(), meta, UINT64_MAX,
+                         TraceFormat::kV2);
+  ASSERT_EQ(r1.executed, r2.executed);
+  const uint64_t total = r1.executed;
+
+  const std::vector<core::CoreConfig> configs = {
+      sim::presets::scal(2, 256), sim::presets::ci(2, 512),
+      sim::presets::wb(2, 256)};
+  // Targets at 0 (cold snapshot before any record), back to back
+  // duplicates, mid-stream and exactly at end-of-trace.
+  const std::vector<uint64_t> targets = {0,         1,         total / 3,
+                                         total / 3, total / 2, total - 1,
+                                         total};
+
+  const Blobs oracle =
+      capture_warm_states_grid(configs, program, targets, /*jobs=*/1);
+  ASSERT_EQ(oracle.size(), configs.size());
+  for (const auto& per_config : oracle) {
+    ASSERT_EQ(per_config.size(), targets.size());
+  }
+  // Cold and warm snapshots must actually differ, or the whole matrix
+  // below would pass vacuously on empty blobs.
+  EXPECT_NE(oracle[0][0], oracle[0][4]);
+  EXPECT_EQ(oracle[0][2], oracle[0][3]);  // duplicate target, same state
+
+  for (const int jobs : {1, 2, 0}) {
+    EXPECT_EQ(oracle, capture_warm_states_grid(configs, program, targets,
+                                               jobs))
+        << "engine jobs=" << jobs;
+    EXPECT_EQ(oracle, capture_from(v1.path(), configs, program, targets,
+                                   jobs))
+        << "v1 jobs=" << jobs;
+    EXPECT_EQ(oracle, capture_from(v2.path(), configs, program, targets,
+                                   jobs))
+        << "v2 jobs=" << jobs;
+  }
+}
+
+TEST(WarmingPipeline, EngineHaltBeforeLastTargetMatchesSequential) {
+  // The engine source snapshots targets past HALT at the final state
+  // instead of throwing (a plan may legitimately overshoot); sequential
+  // and pipelined must agree on that tail behavior too.
+  const isa::Program program = cfir::testing::figure1_program(128);
+  const std::vector<core::CoreConfig> configs = {sim::presets::ci(2, 256)};
+  const std::vector<uint64_t> targets = {100, 1u << 20, 1u << 21};
+  const Blobs oracle =
+      capture_warm_states_grid(configs, program, targets, /*jobs=*/1);
+  EXPECT_EQ(oracle[0][1], oracle[0][2]);  // both clamp to the halt state
+  for (const int jobs : {2, 0}) {
+    EXPECT_EQ(oracle,
+              capture_warm_states_grid(configs, program, targets, jobs))
+        << "jobs=" << jobs;
+  }
+}
+
+TEST(WarmingPipeline, TinyBlockStress) {
+  // 4-record CFIRTRC2 blocks: every wave spans dozens of block
+  // boundaries, and batch boundaries land mid-target-run. The decoded
+  // stream (and therefore every blob) must still match the engine oracle.
+  const isa::Program program = cfir::testing::figure1_program(64);
+  TempFile tiny("tiny");
+  TraceMeta meta;
+  meta.workload = "figure1";
+  const isa::InterpResult r = record_interpreter(
+      program, tiny.path(), meta, UINT64_MAX, TraceFormat::kV2,
+      /*block_len=*/4);
+  const uint64_t total = r.executed;
+  ASSERT_GT(total, uint64_t{16});
+  {
+    TraceReader reader(tiny.path());
+    EXPECT_EQ(reader.block_len(), 4u);
+    EXPECT_GE(reader.block_count(), total / 4);
+  }
+
+  const std::vector<core::CoreConfig> configs = {sim::presets::ci(2, 256),
+                                                 sim::presets::scal(2, 256)};
+  const std::vector<uint64_t> targets = {0, 3, 4, 5, 9, 9, total};
+  const Blobs oracle =
+      capture_warm_states_grid(configs, program, targets, /*jobs=*/1);
+  for (const int jobs : {1, 2, 0}) {
+    EXPECT_EQ(oracle, capture_from(tiny.path(), configs, program, targets,
+                                   jobs))
+        << "jobs=" << jobs;
+  }
+}
+
+TEST(WarmingPipeline, TruncatedTraceErrorNamesTargetAndInterval) {
+  const isa::Program program = cfir::testing::figure1_program(512);
+  TempFile cut("cut");
+  TraceMeta meta;
+  meta.workload = "figure1";
+  record_interpreter(program, cut.path(), meta, /*max_insts=*/100,
+                     TraceFormat::kV2);
+  const std::vector<core::CoreConfig> configs = {sim::presets::ci(2, 256)};
+  const std::vector<uint64_t> targets = {50, 150};
+  for (const int jobs : {1, 2}) {
+    try {
+      (void)capture_from(cut.path(), configs, program, targets, jobs);
+      FAIL() << "truncated trace accepted (jobs=" << jobs << ")";
+    } catch (const std::runtime_error& e) {
+      const std::string msg = e.what();
+      EXPECT_NE(msg.find("trace ends at 100 records"), std::string::npos)
+          << msg;
+      EXPECT_NE(msg.find("warm target 150"), std::string::npos) << msg;
+      EXPECT_NE(msg.find("(interval 1 of 2)"), std::string::npos) << msg;
+    }
+  }
+}
+
+TEST(WarmingPipeline, AdvanceOnTraceErrorCarriesContext) {
+  const isa::Program program = cfir::testing::figure1_program(512);
+  TempFile cut("adv");
+  TraceMeta meta;
+  meta.workload = "figure1";
+  record_interpreter(program, cut.path(), meta, /*max_insts=*/100,
+                     TraceFormat::kV2);
+  FunctionalWarmer warmer(sim::presets::ci(2, 256), program);
+  TraceReader reader(cut.path());
+  try {
+    warmer.advance_on_trace(reader, 150, "interval 3 of 8");
+    FAIL() << "truncated trace accepted";
+  } catch (const std::runtime_error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("trace ends at 100 records"), std::string::npos)
+        << msg;
+    EXPECT_NE(msg.find("warm target 150"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("(interval 3 of 8)"), std::string::npos) << msg;
+  }
+}
+
+TEST(WarmingPipeline, WarmJobsKnobSwitchesPathObservably) {
+  const isa::Program program = cfir::testing::figure1_program(256);
+  TempFile file("knob");
+  TraceMeta meta;
+  meta.workload = "figure1";
+  const isa::InterpResult r = record_interpreter(
+      program, file.path(), meta, UINT64_MAX, TraceFormat::kV2);
+  const std::vector<core::CoreConfig> configs = {sim::presets::ci(2, 256)};
+  const std::vector<uint64_t> targets = {r.executed / 2, r.executed};
+  obs::Counter& batches =
+      obs::Registry::instance().counter("warming.batches");
+
+  // Explicit jobs argument: the sequential path never touches the batch
+  // counter, the pipelined path counts every fed batch.
+  uint64_t before = batches.value();
+  (void)capture_from(file.path(), configs, program, targets, /*jobs=*/1);
+  EXPECT_EQ(batches.value(), before);
+  before = batches.value();
+  (void)capture_from(file.path(), configs, program, targets, /*jobs=*/2);
+  EXPECT_GT(batches.value(), before);
+
+  // jobs = -1 defers to CFIR_WARM_JOBS.
+  ASSERT_EQ(setenv("CFIR_WARM_JOBS", "2", 1), 0);
+  before = batches.value();
+  (void)capture_from(file.path(), configs, program, targets, /*jobs=*/-1);
+  EXPECT_GT(batches.value(), before);
+  ASSERT_EQ(setenv("CFIR_WARM_JOBS", "1", 1), 0);
+  before = batches.value();
+  (void)capture_from(file.path(), configs, program, targets, /*jobs=*/-1);
+  EXPECT_EQ(batches.value(), before);
+  ASSERT_EQ(unsetenv("CFIR_WARM_JOBS"), 0);
+}
+
+TEST(WarmingPipeline, RunShardGridBitIdenticalAcrossWarmJobs) {
+  const isa::Program program = cfir::testing::figure1_program(512);
+  TempFile file("shard");
+  TraceMeta meta;
+  meta.workload = "figure1";
+  record_interpreter(program, file.path(), meta, UINT64_MAX,
+                     TraceFormat::kV2);
+
+  const IntervalPlan plan =
+      plan_intervals(program, 4, 0, 0, WarmMode::kFunctional, 500);
+  std::vector<ConfigBinding> bindings(2);
+  bindings[0].config = sim::presets::ci(2, 256);
+  bindings[1].config = sim::presets::scal(2, 256);
+  for (auto& b : bindings) {
+    b.name = b.config.label();
+    b.config_hash = b.config.digest();
+  }
+
+  // Engine-warmed and trace-warmed shards, warm_jobs 1 vs 8: byte-equal
+  // CFIRSHD2 payloads once the wall telemetry is scrubbed.
+  const auto seq_eng = scrub_wall(
+      run_shard(bindings, program, plan, {0, 1}, 2, 0, {}, /*warm_jobs=*/1));
+  const auto pipe_eng = scrub_wall(
+      run_shard(bindings, program, plan, {0, 1}, 2, 0, {}, /*warm_jobs=*/8));
+  EXPECT_EQ(seq_eng.serialize(), pipe_eng.serialize());
+
+  const auto seq_trc = scrub_wall(run_shard(bindings, program, plan, {0, 1},
+                                            2, 0, file.path(),
+                                            /*warm_jobs=*/1));
+  const auto pipe_trc = scrub_wall(run_shard(bindings, program, plan, {0, 1},
+                                             2, 0, file.path(),
+                                             /*warm_jobs=*/8));
+  EXPECT_EQ(seq_trc.serialize(), pipe_trc.serialize());
+  EXPECT_EQ(seq_eng.serialize(), seq_trc.serialize());
+}
+
+// ---------------------------------------------------------------------------
+// WarmingPipelineS8: the matrix at paper scale. Excluded from the
+// sanitizer CI job (with SamplingAccuracy / TraceV2S8 — instrumented
+// builds make million-record streams too slow), still exact everywhere.
+// ---------------------------------------------------------------------------
+
+TEST(WarmingPipelineS8, GridMatrixOnBzip2) {
+  const isa::Program program = workloads::build("bzip2", 8);
+  TempFile file("s8");
+  TraceMeta meta;
+  meta.workload = "bzip2";
+  meta.scale = 8;
+  record_interpreter(program, file.path(), meta, /*max_insts=*/200'000,
+                     TraceFormat::kV2);
+  uint64_t total = 0;
+  {
+    TraceReader reader(file.path());
+    total = reader.record_count();
+  }
+  ASSERT_GT(total, uint64_t{50'000});  // capped at 200k or ran to halt
+
+  const std::vector<core::CoreConfig> configs = {
+      sim::presets::scal(2, 256), sim::presets::wb(2, 512),
+      sim::presets::ci(2, 512), sim::presets::vect(2, 512)};
+  std::vector<uint64_t> targets;
+  for (uint64_t i = 1; i <= 5; ++i) targets.push_back(total * i / 5);
+
+  const Blobs oracle =
+      capture_from(file.path(), configs, program, targets, /*jobs=*/1);
+  for (const int jobs : {2, 0}) {
+    EXPECT_EQ(oracle, capture_from(file.path(), configs, program, targets,
+                                   jobs))
+        << "jobs=" << jobs;
+  }
+
+  // Sharded grid over the recorded trace, merged: warm_jobs must never
+  // leak into the merged stats either.
+  const IntervalPlan plan =
+      plan_intervals(program, 3, total, 0, WarmMode::kFunctional, 2000);
+  std::vector<ConfigBinding> bindings(2);
+  bindings[0].config = configs[2];
+  bindings[1].config = configs[0];
+  for (auto& b : bindings) {
+    b.name = b.config.label();
+    b.config_hash = b.config.digest();
+  }
+  for (const uint32_t shard : {0u, 1u}) {
+    const auto seq = scrub_wall(run_shard(bindings, program, plan,
+                                          {shard, 2}, 2, 0, file.path(),
+                                          /*warm_jobs=*/1));
+    const auto pipe = scrub_wall(run_shard(bindings, program, plan,
+                                           {shard, 2}, 2, 0, file.path(),
+                                           /*warm_jobs=*/8));
+    EXPECT_EQ(seq.serialize(), pipe.serialize()) << "shard " << shard;
+  }
+}
+
+}  // namespace
+}  // namespace cfir::trace
