@@ -212,9 +212,9 @@ void ReplicaEngine::tick(uint64_t cycle, CycleResources& res) {
   }
   // 2. Retry materializations that starved for registers/slots.
   if (!materialize_retry_.empty() && (cycle & 15) == 0) {
-    std::vector<uint32_t> retry;
-    retry.swap(materialize_retry_);
-    for (const uint32_t slot : retry) {
+    retry_scratch_.clear();
+    retry_scratch_.swap(materialize_retry_);
+    for (const uint32_t slot : retry_scratch_) {
       SrsmtEntry& e = srsmt_.entry(slot);
       if (e.valid && e.mat_pending) materialize(slot);
     }
@@ -224,7 +224,8 @@ void ReplicaEngine::tick(uint64_t cycle, CycleResources& res) {
   auto& stats = core_.stats();
   size_t scanned = 0;
   const size_t scan_limit = ready_.size();
-  std::deque<Ref> deferred;
+  deferred_scratch_.clear();
+  std::vector<Ref>& deferred = deferred_scratch_;
   while (res.issue_slots > 0 && !ready_.empty() && scanned < scan_limit) {
     ++scanned;
     Ref ref = ready_.front();

@@ -94,6 +94,11 @@ class ReplicaEngine {
       completions_;
   uint64_t completion_order_ = 0;
   std::vector<uint32_t> materialize_retry_;
+  // Reused tick() scratch: ping-pongs buffers with materialize_retry_ /
+  // holds resource-deferred replicas, so the per-cycle hot path stops
+  // allocating once warm.
+  std::vector<uint32_t> retry_scratch_;
+  std::vector<Ref> deferred_scratch_;
 
   struct CopyWaiter {
     uint32_t rob_slot;

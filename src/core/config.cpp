@@ -66,6 +66,31 @@ CoreConfig CoreConfig::deserialize(util::ByteReader& in) {
   return cfg;
 }
 
+uint64_t CoreConfig::warm_digest() const {
+  // Exactly the fields FunctionalWarmer state depends on: the policy byte
+  // stamped into the blob, predictor geometry, and cache geometry (tags and
+  // LRU depend on size/assoc/line_bytes; hit latencies are timing-only and
+  // never reach warm state). Fields listed in component order of
+  // FunctionalWarmer::serialize_state so a new warm-relevant knob has an
+  // obvious place to land.
+  util::Digest d;
+  d.u8(static_cast<uint8_t>(policy));
+  d.u32(gshare_entries);
+  d.u32(gshare_history_bits);
+  d.u32(mbs_sets);
+  d.u32(mbs_ways);
+  d.u32(stride_sets);
+  d.u32(stride_ways);
+  const mem::CacheConfig* levels[] = {&memory.l1i, &memory.l1d, &memory.l2,
+                                      &memory.l3};
+  for (const mem::CacheConfig* c : levels) {
+    d.u32(c->size_bytes);
+    d.u32(c->assoc);
+    d.u32(c->line_bytes);
+  }
+  return d.value();
+}
+
 std::vector<CoreConfig::NamedValue> CoreConfig::fields() const {
   std::vector<NamedValue> out;
 #define X(kind, field) out.push_back({#field, CFIR_CFG_VAL_##kind(field)});

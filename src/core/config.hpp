@@ -103,6 +103,16 @@ struct CoreConfig {
   /// being silently averaged (trace/manifest.hpp).
   [[nodiscard]] uint64_t digest() const;
 
+  /// Digest over only the fields functional-warm state depends on (policy,
+  /// predictor geometry, cache geometry — not latencies, widths or
+  /// register counts). Config points with equal warm_digest() train
+  /// byte-identical warm blobs from the same committed prefix, so sweeps
+  /// that vary ports/regs/widths share one `.cfirwarm` sidecar per
+  /// interval instead of one per config (trace/sampling.cpp
+  /// bind_configs, trace/manifest.cpp write_manifest). Deliberately NOT
+  /// part of CFIR_CORECONFIG_FIELDS: it is derived, not configuration.
+  [[nodiscard]] uint64_t warm_digest() const;
+
   /// Byte codec over the same field list and order as digest(): a config
   /// embedded in a CFIRMAN2 manifest rebuilds on any machine without that
   /// machine knowing the preset it came from. deserialize() throws

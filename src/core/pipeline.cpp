@@ -2,18 +2,40 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdlib>
 #include <stdexcept>
+
+#include "obs/metrics.hpp"
 
 namespace cfir::core {
 
 using isa::Opcode;
 
+const char* sched_mode_name(SchedMode mode) {
+  switch (mode) {
+    case SchedMode::kRef: return "ref";
+    case SchedMode::kFast: return "fast";
+  }
+  return "?";
+}
+
+SchedMode sched_mode_from_env() {
+  const char* v = std::getenv("CFIR_CORE_SCHED");
+  if (v == nullptr || *v == '\0' || std::string_view(v) == "fast") {
+    return SchedMode::kFast;
+  }
+  if (std::string_view(v) == "ref") return SchedMode::kRef;
+  throw std::runtime_error("CFIR_CORE_SCHED must be 'fast' or 'ref', got '" +
+                           std::string(v) + "'");
+}
+
 Core::Core(const CoreConfig& config, const isa::Program& program,
-           mem::MainMemory& memory, Mechanism* mechanism)
+           mem::MainMemory& memory, Mechanism* mechanism, SchedMode sched)
     : cfg_(config),
       program_(program),
       mem_(memory),
       mech_(mechanism),
+      sched_(sched),
       hierarchy_(config.memory),
       gshare_(config.gshare_entries, config.gshare_history_bits),
       mbs_(config.mbs_sets, config.mbs_ways),
@@ -25,6 +47,29 @@ Core::Core(const CoreConfig& config, const isa::Program& program,
   }
   rob_.resize(cfg_.rob_size);
   reg_waiters_.resize(cfg_.num_phys_regs);
+  if (sched_ == SchedMode::kFast) {
+    cal_.resize(kCalBuckets);
+    smem_next_.assign(cfg_.rob_size, kUnlinked);
+    smem_prev_.assign(cfg_.rob_size, kUnlinked);
+    smem_gate_epoch_.assign(cfg_.rob_size, 0);
+    smem_gate_port_.assign(cfg_.rob_size, 0);
+    reg_wait_head_.assign(cfg_.num_phys_regs, -1);
+    reg_wait_tail_.assign(cfg_.num_phys_regs, -1);
+    // Live line-buffer entries are at most (window + 1 cycles of history)
+    // x (<= cache_ports inserts/cycle); size the ring 2x that so a live
+    // line can never be overwritten (bit-identity with the ref map).
+    uint32_t ring = 64;
+    const uint32_t need =
+        static_cast<uint32_t>(kLineBufferWindow + 2) *
+        std::max<uint32_t>(1, cfg_.cache_ports) * 2;
+    while (ring < need) ring <<= 1;
+    line_ring_.assign(ring, LineSlot{});
+    line_ring_mask_ = ring - 1;
+  }
+  obs::Registry& reg = obs::Registry::instance();
+  obs_cycles_ = &reg.counter("core.cycles");
+  obs_flushes_ = &reg.counter("core.flushes");
+  obs_rob_occupancy_ = &reg.histogram("core.rob_occupancy");
   // Initial architectural mapping: one physical register per logical, value 0.
   for (int l = 0; l < isa::kNumLogicalRegs; ++l) {
     const int p = regfile_.alloc();
@@ -59,14 +104,190 @@ uint32_t Core::rob_tail_slot() const {
 }
 
 void Core::schedule_completion(uint32_t slot, uint64_t seq, uint64_t when) {
+  if (sched_ == SchedMode::kFast) {
+    // Almost every event lands within the ring horizon; the rare deeper
+    // latency parks in the overflow vector and migrates during drain.
+    if (when - cycle_ < kCalBuckets) {
+      cal_[when & (kCalBuckets - 1)].push_back({when, seq, slot});
+      // A zero-latency completion scheduled after this cycle's drain (the
+      // copy-issue path) must re-open its time slot.
+      if (when < cal_next_drain_) cal_next_drain_ = when;
+    } else {
+      cal_overflow_.push_back({when, seq, slot});
+    }
+    return;
+  }
   events_.push({when, seq, slot});
 }
 
 void Core::add_waiter(int phys, uint32_t slot, uint64_t seq) {
+  if (sched_ == SchedMode::kFast) {
+    int32_t n;
+    if (waiter_free_ >= 0) {
+      n = waiter_free_;
+      waiter_free_ = waiter_pool_[static_cast<size_t>(n)].next;
+    } else {
+      n = static_cast<int32_t>(waiter_pool_.size());
+      waiter_pool_.push_back({});
+    }
+    WaiterNode& node = waiter_pool_[static_cast<size_t>(n)];
+    node.seq = seq;
+    node.slot = slot;
+    node.next = -1;
+    const size_t p = static_cast<size_t>(phys);
+    if (reg_wait_tail_[p] >= 0) {
+      waiter_pool_[static_cast<size_t>(reg_wait_tail_[p])].next = n;
+    } else {
+      reg_wait_head_[p] = n;
+    }
+    reg_wait_tail_[p] = n;
+    return;
+  }
   reg_waiters_[static_cast<size_t>(phys)].push_back({slot, seq});
 }
 
+void Core::ready_push(uint64_t seq, uint32_t slot) {
+  if (sched_ == SchedMode::kFast) {
+    ready_list_push(seq, slot);
+    return;
+  }
+  ready_q_.push({seq, slot});
+}
+
+void Core::ready_list_push(uint64_t seq, uint32_t slot) {
+  int32_t n;
+  if (ready_free_ >= 0) {
+    n = ready_free_;
+    ready_free_ = ready_pool_[static_cast<size_t>(n)].next;
+  } else {
+    n = static_cast<int32_t>(ready_pool_.size());
+    ready_pool_.push_back({});
+  }
+  ReadyNode& node = ready_pool_[static_cast<size_t>(n)];
+  node.seq = seq;
+  node.slot = slot;
+  // Insert keeping ascending seq. Dispatch pushes the globally newest seq
+  // (O(1) tail append). Wake-ups scan from whichever end is nearer by seq
+  // distance — seqs are dense (one per dispatch), so this stays O(1)-ish
+  // even right after a squash leaves a run of stale high-seq nodes at the
+  // tail while survivors wake near the head.
+  int32_t after;
+  if (ready_tail_ < 0 ||
+      seq >= ready_pool_[static_cast<size_t>(ready_tail_)].seq) {
+    after = ready_tail_;
+  } else if (seq <= ready_pool_[static_cast<size_t>(ready_head_)].seq) {
+    after = -1;
+  } else if (seq - ready_pool_[static_cast<size_t>(ready_head_)].seq <
+             ready_pool_[static_cast<size_t>(ready_tail_)].seq - seq) {
+    int32_t before = ready_head_;
+    while (ready_pool_[static_cast<size_t>(before)].seq <= seq) {
+      before = ready_pool_[static_cast<size_t>(before)].next;
+    }
+    after = ready_pool_[static_cast<size_t>(before)].prev;
+  } else {
+    after = ready_tail_;
+    while (after >= 0 && ready_pool_[static_cast<size_t>(after)].seq > seq) {
+      after = ready_pool_[static_cast<size_t>(after)].prev;
+    }
+  }
+  node.prev = after;
+  if (after >= 0) {
+    node.next = ready_pool_[static_cast<size_t>(after)].next;
+    ready_pool_[static_cast<size_t>(after)].next = n;
+  } else {
+    node.next = ready_head_;
+    ready_head_ = n;
+  }
+  if (node.next >= 0) {
+    ready_pool_[static_cast<size_t>(node.next)].prev = n;
+  } else {
+    ready_tail_ = n;
+  }
+}
+
+void Core::ready_list_unlink(int32_t n) {
+  ReadyNode& node = ready_pool_[static_cast<size_t>(n)];
+  if (node.prev >= 0) {
+    ready_pool_[static_cast<size_t>(node.prev)].next = node.next;
+  } else {
+    ready_head_ = node.next;
+  }
+  if (node.next >= 0) {
+    ready_pool_[static_cast<size_t>(node.next)].prev = node.prev;
+  } else {
+    ready_tail_ = node.prev;
+  }
+  node.next = ready_free_;
+  node.prev = -1;
+  ready_free_ = n;
+}
+
+void Core::smem_insert(uint32_t slot, uint64_t seq) {
+  const int32_t s = static_cast<int32_t>(slot);
+  assert(smem_next_[slot] == kUnlinked && "slot already stalled");
+  // Sorted by seq ascending; listed entries are always live (squash unlinks
+  // eagerly), so rob_[p].seq IS the entry's sort key.
+  int32_t after = smem_tail_;
+  while (after >= 0 && rob_[static_cast<uint32_t>(after)].seq > seq) {
+    after = smem_prev_[static_cast<size_t>(after)];
+  }
+  smem_prev_[slot] = after;
+  if (after >= 0) {
+    smem_next_[slot] = smem_next_[static_cast<size_t>(after)];
+    smem_next_[static_cast<size_t>(after)] = s;
+  } else {
+    smem_next_[slot] = smem_head_;
+    smem_head_ = s;
+  }
+  if (smem_next_[slot] >= 0) {
+    smem_prev_[static_cast<size_t>(smem_next_[slot])] = s;
+  } else {
+    smem_tail_ = s;
+  }
+}
+
+void Core::smem_unlink(uint32_t slot) {
+  if (smem_next_[slot] == kUnlinked) return;
+  const int32_t nxt = smem_next_[slot];
+  const int32_t prv = smem_prev_[slot];
+  if (prv >= 0) {
+    smem_next_[static_cast<size_t>(prv)] = nxt;
+  } else {
+    smem_head_ = nxt;
+  }
+  if (nxt >= 0) {
+    smem_prev_[static_cast<size_t>(nxt)] = prv;
+  } else {
+    smem_tail_ = prv;
+  }
+  smem_next_[slot] = kUnlinked;
+  smem_prev_[slot] = kUnlinked;
+}
+
 void Core::wake_reg(int phys) {
+  if (sched_ == SchedMode::kFast) {
+    // Detach the chain first (the ref path's move-then-clear): waiters
+    // added during the walk start a fresh chain woken next time.
+    int32_t n = reg_wait_head_[static_cast<size_t>(phys)];
+    if (n < 0) return;
+    reg_wait_head_[static_cast<size_t>(phys)] = -1;
+    reg_wait_tail_[static_cast<size_t>(phys)] = -1;
+    while (n >= 0) {
+      const WaiterNode w = waiter_pool_[static_cast<size_t>(n)];
+      waiter_pool_[static_cast<size_t>(n)].next = waiter_free_;
+      waiter_free_ = n;
+      n = w.next;
+      if (!slot_live_fast(w.slot, w.seq)) continue;
+      DynInst& di = at(w.slot);
+      if (di.completed || di.issued) continue;
+      if (di.mech.reused && !di.mech.via_copy) {
+        schedule_completion(w.slot, w.seq, cycle_ + 1);
+      } else if (di.pending_ops > 0) {
+        if (--di.pending_ops == 0) ready_push(w.seq, w.slot);
+      }
+    }
+    return;
+  }
   auto& ws = reg_waiters_[static_cast<size_t>(phys)];
   if (ws.empty()) return;
   std::vector<Waiter> pending = std::move(ws);
@@ -80,7 +301,7 @@ void Core::wake_reg(int phys) {
       // touching the issue machinery (paper section 2.3.4).
       schedule_completion(w.slot, w.seq, cycle_ + 1);
     } else if (di.pending_ops > 0) {
-      if (--di.pending_ops == 0) ready_q_.push({w.seq, w.slot});
+      if (--di.pending_ops == 0) ready_push(w.seq, w.slot);
     }
   }
 }
@@ -88,14 +309,38 @@ void Core::wake_reg(int phys) {
 void Core::replica_written(int phys) { wake_reg(phys); }
 
 void Core::wake_copy(uint32_t rob_slot, uint64_t seq) {
-  if (!slot_live(rob_slot, seq)) return;
+  const bool live = sched_ == SchedMode::kFast ? slot_live_fast(rob_slot, seq)
+                                               : slot_live(rob_slot, seq);
+  if (!live) return;
   DynInst& di = at(rob_slot);
   if (di.pending_ops > 0 && --di.pending_ops == 0) {
-    ready_q_.push({seq, rob_slot});
+    ready_push(seq, rob_slot);
   }
 }
 
 bool Core::line_buffer_lookup(uint64_t line, uint32_t& latency_out) {
+  if (sched_ == SchedMode::kFast) {
+    // Newest-first: the most recent insert for a line is the map's
+    // overwrite. Entries are inserted in cycle order, so the first expired
+    // entry ends the search (everything older is expired too, and expired
+    // entries always miss).
+    const uint32_t size = static_cast<uint32_t>(line_ring_.size());
+    const uint32_t valid = static_cast<uint32_t>(
+        std::min<uint64_t>(line_ring_fill_, size));
+    for (uint32_t k = 0; k < valid; ++k) {
+      LineSlot& ls = line_ring_[(line_ring_pos_ - 1 - k) & line_ring_mask_];
+      if (cycle_ > ls.expire_cycle) break;
+      if (ls.line != line) continue;
+      if (ls.uses >= cfg_.wide_bus_loads_per_access) return false;
+      ++ls.uses;
+      ++stats_.loads_piggybacked;
+      latency_out = ls.ready_cycle > cycle_
+                        ? static_cast<uint32_t>(ls.ready_cycle - cycle_)
+                        : 1;
+      return true;
+    }
+    return false;
+  }
   const auto it = line_buffer_.find(line);
   if (it == line_buffer_.end()) return false;
   LineAccess& la = it->second;
@@ -111,6 +356,16 @@ bool Core::line_buffer_lookup(uint64_t line, uint32_t& latency_out) {
 }
 
 void Core::line_buffer_insert(uint64_t line, uint32_t latency) {
+  if (sched_ == SchedMode::kFast) {
+    LineSlot& ls = line_ring_[line_ring_pos_ & line_ring_mask_];
+    ++line_ring_pos_;
+    if (line_ring_fill_ < line_ring_.size()) ++line_ring_fill_;
+    ls.line = line;
+    ls.ready_cycle = cycle_ + latency;
+    ls.expire_cycle = cycle_ + kLineBufferWindow;
+    ls.uses = 1;
+    return;
+  }
   if (line_buffer_.size() > 32) {
     for (auto it = line_buffer_.begin(); it != line_buffer_.end();) {
       it = it->second.expire_cycle < cycle_ ? line_buffer_.erase(it)
@@ -266,7 +521,7 @@ void Core::dispatch(DynInst di) {
     }
   } else if (di.mech.reused && di.mech.via_copy) {
     if (mech_->copy_source_ready(di)) {
-      ready_q_.push({seq, slot});
+      ready_push(seq, slot);
     } else {
       di.pending_ops = 1;
       mech_->register_copy_waiter(slot, di);
@@ -296,7 +551,7 @@ void Core::dispatch(DynInst di) {
       add_waiter(di.ps2, slot, seq);
     }
     di.pending_ops = pending;
-    if (pending == 0) ready_q_.push({seq, slot});
+    if (pending == 0) ready_push(seq, slot);
   }
 
   di.dispatched = true;
@@ -308,11 +563,15 @@ void Core::dispatch(DynInst di) {
 // ---------------------------------------------------------------------------
 // Issue / execute.
 // ---------------------------------------------------------------------------
-namespace {
-enum class IssueResult { kIssued, kNoResource, kMemStall };
+void Core::issue_stage() {
+  if (sched_ == SchedMode::kFast) {
+    issue_stage_fast();
+  } else {
+    issue_stage_ref();
+  }
 }
 
-void Core::issue_stage() {
+void Core::issue_stage_ref() {
   uint32_t slots = cfg_.issue_width;
 
   // Memory operations that stalled on disambiguation retry first (they are
@@ -380,6 +639,94 @@ void Core::issue_stage() {
   }
 }
 
+void Core::issue_stage_fast() {
+  uint32_t slots = cfg_.issue_width;
+
+  // Stalled memory retries: the intrusive list is already seq-sorted and
+  // all-live, so this walk visits exactly the entries the ref path's
+  // sort-filter-rebuild visits, in the same order, and stopping at
+  // slots == 0 retains the tail in place.
+  int32_t s = smem_head_;
+  while (s >= 0) {
+    if (slots == 0) break;
+    const int32_t next = smem_next_[static_cast<size_t>(s)];
+    const uint32_t slot = static_cast<uint32_t>(s);
+    DynInst& di = at(slot);
+    if (di.issued || di.completed || di.pending_ops > 0) {
+      smem_unlink(slot);
+    } else if (smem_gate_epoch_[slot] == lsq_store_epoch_ &&
+               (!smem_gate_port_[slot] ||
+                (!cfg_.wide_bus && fu_.mem_ports_left() == 0))) {
+      // Provably refused again (see the gate's invariant in the header):
+      // skipping replays neither the address recomputation nor the LSQ
+      // scans, and a refused ref attempt consumed no issue slots either.
+    } else if (try_issue(slot)) {
+      smem_unlink(slot);
+      --slots;
+    } else {
+      smem_gate_epoch_[slot] = lsq_store_epoch_;
+      smem_gate_port_[slot] = mem_fail_port_;
+    }
+    s = next;
+  }
+
+  // Main select loop: the seq-sorted ready list yields the heap's pop
+  // order; stale nodes (squashed slots) are dropped on inspection and
+  // consume select bandwidth exactly like the heap's stale pops; retried
+  // entries keep their position instead of the pop/re-push round trip.
+  uint32_t inspected = 0;
+  const uint32_t inspect_limit = cfg_.issue_width * 4;
+  int32_t n = ready_head_;
+  while (slots > 0 && n >= 0 && inspected < inspect_limit) {
+    const int32_t next = ready_pool_[static_cast<size_t>(n)].next;
+    const uint64_t seq = ready_pool_[static_cast<size_t>(n)].seq;
+    const uint32_t slot = ready_pool_[static_cast<size_t>(n)].slot;
+    ++inspected;
+    if (!slot_live_fast(slot, seq)) {
+      ready_list_unlink(n);
+      n = next;
+      continue;
+    }
+    DynInst& di = at(slot);
+    if (di.issued || di.completed || di.pending_ops > 0) {
+      ready_list_unlink(n);
+      n = next;
+      continue;
+    }
+    if (di.mech.reused && di.mech.via_copy) {
+      uint32_t lat = 0;
+      uint64_t value = 0;
+      if (mech_->try_issue_copy(di, cycle_, lat, value)) {
+        di.issued = true;
+        di.result = value;
+        schedule_completion(slot, seq, cycle_ + lat);
+        ready_list_unlink(n);
+        --slots;
+      }
+      n = next;
+      continue;
+    }
+    if (try_issue(slot)) {
+      ready_list_unlink(n);
+      --slots;
+    } else if (di.is_load || di.is_store) {
+      ready_list_unlink(n);
+      smem_insert(slot, seq);
+      smem_gate_epoch_[slot] = lsq_store_epoch_;
+      smem_gate_port_[slot] = mem_fail_port_;
+    }
+    n = next;
+  }
+
+  // Leftover bandwidth goes to the replica engine (section 2.4.1: lower
+  // priority than the main thread).
+  if (mech_ != nullptr) {
+    CycleResources res{slots, fu_.simple_int_left(), fu_.muldiv_left(),
+                       fu_.mem_ports_left()};
+    mech_->issue_cycle(cycle_, res);
+  }
+}
+
 bool Core::try_issue(uint32_t slot) {
   DynInst& di = at(slot);
   const Opcode op = di.inst.op;
@@ -403,6 +750,7 @@ bool Core::try_issue(uint32_t slot) {
 }
 
 bool Core::issue_mem(DynInst& di) {
+  mem_fail_port_ = false;
   const uint64_t seq = di.seq;
   const uint32_t slot = static_cast<uint32_t>(&di - rob_.data());
   // Address generation.
@@ -422,6 +770,7 @@ bool Core::issue_mem(DynInst& di) {
     entry->value_known = true;
     di.addr_known = true;
     di.issued = true;
+    ++lsq_store_epoch_;  // addr+value now known: stalled loads may unblock
     execute(di, slot, cfg_.agu_latency);
     // A store becoming address-known may unblock stalled loads next cycle.
     return true;
@@ -458,6 +807,7 @@ bool Core::issue_mem(DynInst& di) {
       line_buffer_insert(line, lat);
     }
   } else {
+    mem_fail_port_ = true;
     return false;
   }
   di.result = mem_.read(di.mem_addr, di.mem_size);
@@ -474,12 +824,61 @@ void Core::execute(DynInst& di, uint32_t slot, uint32_t latency) {
 // Writeback: completion events, branch resolution, recovery.
 // ---------------------------------------------------------------------------
 void Core::writeback_stage() {
+  if (sched_ == SchedMode::kFast) {
+    writeback_stage_fast();
+  } else {
+    writeback_stage_ref();
+  }
+}
+
+void Core::writeback_stage_ref() {
   while (!events_.empty() && events_.top().when <= cycle_) {
     const Event ev = events_.top();
     events_.pop();
     if (!slot_live(ev.slot, ev.seq)) continue;
     complete(ev.slot);
   }
+}
+
+void Core::writeback_stage_fast() {
+  // Migrate overflow events whose due time entered the ring horizon.
+  if (!cal_overflow_.empty()) {
+    size_t keep = 0;
+    for (size_t i = 0; i < cal_overflow_.size(); ++i) {
+      const Event& ev = cal_overflow_[i];
+      if (ev.when - cycle_ < kCalBuckets) {
+        cal_[ev.when & (kCalBuckets - 1)].push_back(ev);
+      } else {
+        cal_overflow_[keep++] = cal_overflow_[i];
+      }
+    }
+    cal_overflow_.resize(keep);
+  }
+  // Drain every not-yet-drained time slot <= cycle_ in (when, seq) order —
+  // exactly the heap's pop order. Normally this is the single bucket for
+  // cycle_; a zero-latency event pushed after its slot drained reopens it
+  // (cal_next_drain_ rollback in schedule_completion).
+  for (uint64_t t = cal_next_drain_; t <= cycle_; ++t) {
+    std::vector<Event>& bucket = cal_[t & (kCalBuckets - 1)];
+    if (bucket.empty()) continue;
+    cal_scratch_.clear();
+    size_t keep = 0;
+    for (size_t i = 0; i < bucket.size(); ++i) {
+      if (bucket[i].when == t) {
+        cal_scratch_.push_back(bucket[i]);
+      } else {
+        bucket[keep++] = bucket[i];
+      }
+    }
+    bucket.resize(keep);
+    std::sort(cal_scratch_.begin(), cal_scratch_.end(),
+              [](const Event& a, const Event& b) { return a.seq < b.seq; });
+    for (const Event& ev : cal_scratch_) {
+      if (!slot_live_fast(ev.slot, ev.seq)) continue;
+      complete(ev.slot);
+    }
+  }
+  cal_next_drain_ = cycle_ + 1;
 }
 
 void Core::complete(uint32_t slot) {
@@ -525,6 +924,7 @@ void Core::resolve_branch(uint32_t slot) {
 
 void Core::recover_to(uint64_t seq, uint64_t new_fetch_pc,
                       uint64_t resume_delay) {
+  ++flushes_;
   squash_younger(seq);
   fetch_pc_ = new_fetch_pc;
   fetch_resume_cycle_ = cycle_ + resume_delay;
@@ -544,10 +944,12 @@ void Core::squash_younger(uint64_t seq_keep) {
       if (di.pd >= 0 && !di.mech.pd_from_replica) regfile_.free_reg(di.pd);
     }
     ++stats_.squashed;
+    if (sched_ == SchedMode::kFast) smem_unlink(slot);
     di.seq = 0;  // kill pending events/waiters pointing at this slot
     --rob_count_;
   }
   lsq_.squash_younger(seq_keep);
+  ++lsq_store_epoch_;  // conservative: squash may have removed stores
 }
 
 // ---------------------------------------------------------------------------
@@ -594,6 +996,26 @@ bool Core::commit_check(DynInst& di) {
   return false;
 }
 
+void Core::record_commit(const DynInst& di) {
+  CommitRecord& r = commit_buf_[commit_buf_n_++];
+  r.pc = di.pc;
+  r.mem_addr = di.mem_addr;
+  r.actual_target = di.actual_target;
+  r.op = di.inst.op;
+  r.mem_size = static_cast<uint8_t>(di.mem_size);
+  r.is_cond_branch = di.is_cond_branch;
+  r.is_load = di.is_load;
+  r.is_store = di.is_store;
+  r.actual_taken = di.actual_taken;
+  if (commit_buf_n_ == kCommitSpan) flush_commit_span();
+}
+
+void Core::flush_commit_span() {
+  if (commit_buf_n_ == 0) return;
+  if (on_commit_span) on_commit_span(commit_buf_.data(), commit_buf_n_);
+  commit_buf_n_ = 0;
+}
+
 void Core::apply_commit(DynInst& di) {
   const Opcode op = di.inst.op;
   if (di.has_dest) arch_regs_[di.inst.rd] = di.result;
@@ -607,6 +1029,7 @@ void Core::apply_commit(DynInst& di) {
     hierarchy_.access_data(di.mem_addr, /*is_write=*/true, cycle_);
     mem_.write(di.mem_addr, di.store_value, di.mem_size);
     lsq_.pop_front();
+    ++lsq_store_epoch_;  // a store left the LSQ
     ++stores_committed_this_cycle_;
     if (conflict) {
       // Section 2.4.3: squash everything after the store and refetch.
@@ -624,7 +1047,7 @@ void Core::apply_commit(DynInst& di) {
   if (di.mech.reused) ++stats_.reused_committed;
   if (mech_ != nullptr) mech_->on_commit(di);
   if (di.has_dest && di.old_pd >= 0) regfile_.free_reg(di.old_pd);
-  if (on_commit) on_commit(di);
+  if (on_commit_span) record_commit(di);
   last_commit_cycle_ = cycle_;
   if (op == Opcode::kHalt) {
     // HALT retires the machine but is not an architectural instruction;
@@ -684,6 +1107,7 @@ void Core::step_cycle() {
     ++stats_.reg_samples;
     stats_.regs_in_use_max =
         std::max<uint64_t>(stats_.regs_in_use_max, regfile_.in_use());
+    obs_rob_occupancy_->observe(rob_count_);
   }
   ++cycle_;
   stats_.cycles = cycle_;
@@ -717,6 +1141,14 @@ void Core::run(uint64_t max_commits) {
           std::to_string(cycle_) + "; head: " + head);
     }
   }
+  flush_commit_span();
+  // Export host telemetry to the obs registry (never part of SimStats, so
+  // observer attachment cannot perturb simulated results). Deltas keep
+  // re-entrant run() calls from double counting.
+  obs_cycles_->add(cycle_ - obs_cycles_exported_);
+  obs_cycles_exported_ = cycle_;
+  obs_flushes_->add(flushes_ - obs_flushes_exported_);
+  obs_flushes_exported_ = flushes_;
   // Mirror cache counters into the flat stats block.
   stats_.l1i_accesses = hierarchy_.l1i().stats().accesses;
   stats_.l1i_misses = hierarchy_.l1i().stats().misses;

@@ -5,8 +5,27 @@
 // This is the SimpleScalar-sim-outorder-equivalent substrate the paper
 // extends; the control-independence machinery attaches through the
 // Mechanism hook interface (core/types.hpp).
+//
+// Two schedulers implement the identical cycle-by-cycle semantics
+// (docs/architecture.md "Detailed core scheduler"; CFIR_CORE_SCHED knob):
+//
+//   fast  flat, allocation-free structures — a cycle-bucketed calendar
+//         ring for completion events, intrusive seq-sorted lists for the
+//         ready and stalled-memory sets, a free-listed waiter pool, and a
+//         small insertion-ordered ring for the wide-bus line buffers.
+//         The default.
+//   ref   the original containers (std::priority_queue wakeup heap,
+//         per-cycle std::sort + rebuild of the stalled list, per-register
+//         waiter vectors, std::unordered_map line buffers), kept verbatim
+//         as the differential oracle.
+//
+// Every SimStats field, cycle count and commit record is bit-identical
+// between the two (tests/test_core_sched_differential.cpp) — fast differs
+// only in host cost (bench/micro_detailed, guarded >=1.5x in
+// tests/test_detailed_bench.cpp).
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -28,14 +47,49 @@
 #include "mem/main_memory.hpp"
 #include "stats/stats.hpp"
 
+namespace cfir::obs {
+class Counter;
+class Histogram;
+}  // namespace cfir::obs
+
 namespace cfir::core {
+
+/// Which scheduler backs the detailed core's cycle loop.
+enum class SchedMode : uint8_t {
+  kRef = 0,   ///< original heap/map/vector structures (oracle)
+  kFast = 1,  ///< calendar ring + intrusive lists + pools (default)
+};
+
+[[nodiscard]] const char* sched_mode_name(SchedMode mode);
+/// Reads `CFIR_CORE_SCHED` ("fast" | "ref"; unset/empty = fast). Throws on
+/// typos so a misspelled knob fails loudly instead of silently running the
+/// wrong scheduler.
+[[nodiscard]] SchedMode sched_mode_from_env();
+
+/// One architecturally committed instruction, as delivered to the batched
+/// commit observer. Carries exactly what downstream consumers (the trace
+/// recorder, tests) rebuild their records from; field semantics match the
+/// committing DynInst.
+struct CommitRecord {
+  uint64_t pc = 0;
+  uint64_t mem_addr = 0;       ///< loads/stores only
+  uint64_t actual_target = 0;  ///< conditional branches only
+  isa::Opcode op = isa::Opcode::kNop;
+  uint8_t mem_size = 0;        ///< loads/stores only: access bytes
+  bool is_cond_branch = false;
+  bool is_load = false;
+  bool is_store = false;
+  bool actual_taken = false;   ///< conditional branches only
+};
 
 class Core {
  public:
   /// `mechanism` may be null (plain superscalar). `memory` must already hold
-  /// the program's data image.
+  /// the program's data image. `sched` selects the hot-loop scheduler; the
+  /// default reads the CFIR_CORE_SCHED environment knob.
   Core(const CoreConfig& config, const isa::Program& program,
-       mem::MainMemory& memory, Mechanism* mechanism);
+       mem::MainMemory& memory, Mechanism* mechanism,
+       SchedMode sched = sched_mode_from_env());
 
   /// Runs until `max_commits` instructions commit, HALT commits, or the
   /// program runs off its image. Throws std::runtime_error on deadlock
@@ -47,6 +101,7 @@ class Core {
 
   [[nodiscard]] bool halted() const { return halted_; }
   [[nodiscard]] uint64_t cycle() const { return cycle_; }
+  [[nodiscard]] SchedMode sched_mode() const { return sched_; }
   [[nodiscard]] const stats::SimStats& stats() const { return stats_; }
   [[nodiscard]] stats::SimStats& stats() { return stats_; }
 
@@ -62,10 +117,17 @@ class Core {
   void set_arch_state(const std::array<uint64_t, isa::kNumLogicalRegs>& regs,
                       uint64_t pc);
 
-  /// Observer fired for every architecturally committed instruction (HALT
-  /// included), in commit order. Used by the trace recorder; leave empty for
-  /// zero overhead beyond one branch per commit.
-  std::function<void(const DynInst&)> on_commit;
+  /// Batched commit observer (same contract as FastEngine::on_block): spans
+  /// of architecturally committed instructions (HALT included), in commit
+  /// order. Spans are delivered when the fixed internal buffer fills and
+  /// flushed at the end of every run() call; leave empty for zero overhead
+  /// beyond one branch per commit. Callers driving step_cycle() directly
+  /// call flush_commit_span() to drain the tail.
+  std::function<void(const CommitRecord* records, size_t n)> on_commit_span;
+
+  /// Delivers any buffered commit records to on_commit_span now. run()
+  /// calls this before returning; only direct step_cycle() drivers need it.
+  void flush_commit_span();
 
   // --- services used by the attached mechanism -----------------------------
   [[nodiscard]] const CoreConfig& config() const { return cfg_; }
@@ -121,9 +183,23 @@ class Core {
   void issue_stage();
   void fetch_stage();
 
+  // Scheduler-specific halves of writeback/issue (ref kept verbatim).
+  void writeback_stage_ref();
+  void writeback_stage_fast();
+  void issue_stage_ref();
+  void issue_stage_fast();
+
   // Helpers.
   [[nodiscard]] DynInst& at(uint32_t slot) { return rob_[slot]; }
   [[nodiscard]] bool slot_live(uint32_t slot, uint64_t seq) const;
+  /// Fast-scheduler liveness: equivalent to slot_live for the seqs stored
+  /// in events/waiters/ready nodes (always >= 1; next_seq_ starts at 1).
+  /// Commit and squash both zero rob_[slot].seq before a slot leaves the
+  /// window and seqs are never reused, so the seq match alone decides —
+  /// skipping slot_live's ring-index modulo on the hottest validations.
+  [[nodiscard]] bool slot_live_fast(uint32_t slot, uint64_t seq) const {
+    return rob_[slot].seq == seq;
+  }
   [[nodiscard]] uint32_t rob_tail_slot() const;
   void dispatch(DynInst di);
   bool try_issue(uint32_t slot);
@@ -134,6 +210,8 @@ class Core {
   void schedule_completion(uint32_t slot, uint64_t seq, uint64_t when);
   void add_waiter(int phys, uint32_t slot, uint64_t seq);
   void wake_reg(int phys);
+  /// Pushes (seq, slot) into the ready set of the active scheduler.
+  void ready_push(uint64_t seq, uint32_t slot);
   /// Squashes everything strictly younger than `seq` and redirects fetch.
   void recover_to(uint64_t seq, uint64_t new_fetch_pc, uint64_t resume_delay);
   void squash_younger(uint64_t seq);
@@ -141,12 +219,14 @@ class Core {
   /// triggers recovery when the executed result is not architectural.
   bool commit_check(DynInst& di);
   void apply_commit(DynInst& di);
+  void record_commit(const DynInst& di);
 
   // --- configuration and attached subsystems --------------------------------
   CoreConfig cfg_;
   const isa::Program& program_;
   mem::MainMemory& mem_;
   Mechanism* mech_;
+  SchedMode sched_;
   mem::CacheHierarchy hierarchy_;
   branch::Gshare gshare_;
   branch::ReturnAddressStack ras_;
@@ -162,7 +242,7 @@ class Core {
   uint32_t rob_head_ = 0;
   uint32_t rob_count_ = 0;
 
-  // --- wakeup/select ----------------------------------------------------------
+  // --- wakeup/select (ref scheduler) ----------------------------------------
   std::vector<std::vector<Waiter>> reg_waiters_;  ///< per physical register
   using ReadyQueue =
       std::priority_queue<std::pair<uint64_t, uint32_t>,
@@ -171,6 +251,75 @@ class Core {
   ReadyQueue ready_q_;                    ///< (seq, slot), lazy-validated
   std::vector<std::pair<uint64_t, uint32_t>> stalled_mem_;  ///< LSQ retries
   std::priority_queue<Event, std::vector<Event>, std::greater<>> events_;
+
+  // --- wakeup/select (fast scheduler) ---------------------------------------
+  // Completion events live in a cycle-bucketed calendar ring: bucket
+  // (when & mask) holds the events due at `when` (latencies are bounded by
+  // CoreConfig; anything beyond the ring horizon parks in cal_overflow_
+  // and migrates as the horizon advances). Draining time T pops exactly
+  // the heap's (when==T) events in ascending seq order.
+  static constexpr uint32_t kCalBuckets = 256;  // power of two
+  std::vector<std::vector<Event>> cal_;
+  std::vector<Event> cal_overflow_;
+  std::vector<Event> cal_scratch_;
+  uint64_t cal_next_drain_ = 0;
+
+  // The ready set is a seq-sorted doubly-linked list of pooled nodes with
+  // the SAME lazy-invalidation semantics as the ref heap: squashed entries
+  // stay until inspected (and consume select bandwidth exactly like the
+  // heap's stale pops), retried entries keep their position instead of a
+  // pop/re-push round trip.
+  struct ReadyNode {
+    uint64_t seq = 0;
+    uint32_t slot = 0;
+    int32_t prev = -1;
+    int32_t next = -1;
+  };
+  std::vector<ReadyNode> ready_pool_;
+  int32_t ready_free_ = -1;
+  int32_t ready_head_ = -1;
+  int32_t ready_tail_ = -1;
+  void ready_list_push(uint64_t seq, uint32_t slot);
+  void ready_list_unlink(int32_t node);
+
+  // Stalled memory ops thread an intrusive seq-sorted list through ROB
+  // slots (a slot is in the list at most once; squash unlinks eagerly, so
+  // entries are always live — the invisible part of the ref semantics).
+  std::vector<int32_t> smem_next_;
+  std::vector<int32_t> smem_prev_;
+  int32_t smem_head_ = -1;
+  int32_t smem_tail_ = -1;
+  static constexpr int32_t kUnlinked = -2;
+  void smem_insert(uint32_t slot, uint64_t seq);
+  void smem_unlink(uint32_t slot);
+
+  // Retry gating for stalled loads (fast scheduler): a refused issue_mem
+  // attempt has no side effects beyond recomputing the (fixed) address, and
+  // its outcome depends only on the LSQ's store population — disambiguation
+  // and forwarding consult older stores exclusively — plus, for the
+  // port-starved case, data-port availability. lsq_store_epoch_ bumps
+  // whenever a store issues (addr+value become known) or leaves the LSQ
+  // (commit or squash); a stalled load whose recorded epoch is current is
+  // provably refused again and is skipped without replaying the attempt.
+  // Port-starved loads additionally retry whenever a port is free (and
+  // always under wide_bus, where a line-buffer hit can serve them portless).
+  uint64_t lsq_store_epoch_ = 0;
+  bool mem_fail_port_ = false;  ///< set by issue_mem on the refusing path
+  std::vector<uint64_t> smem_gate_epoch_;
+  std::vector<uint8_t> smem_gate_port_;
+
+  // Register waiters draw nodes from one free-listed pool; each physical
+  // register keeps a FIFO chain (append at tail, detach-then-walk on wake —
+  // the same move-then-clear discipline as the ref vectors).
+  struct WaiterNode {
+    uint64_t seq = 0;
+    uint32_t slot = 0;
+    int32_t next = -1;
+  };
+  std::vector<WaiterNode> waiter_pool_;
+  int32_t waiter_free_ = -1;
+  std::vector<int32_t> reg_wait_head_;
+  std::vector<int32_t> reg_wait_tail_;
 
   // --- wide-bus line buffers -----------------------------------------------
   // A wide access reads the whole line into a short-lived buffer; up to
@@ -181,10 +330,39 @@ class Core {
     uint32_t uses;
     uint64_t expire_cycle;
   };
-  std::unordered_map<uint64_t, LineAccess> line_buffer_;
+  std::unordered_map<uint64_t, LineAccess> line_buffer_;  ///< ref scheduler
   static constexpr uint64_t kLineBufferWindow = 8;
   bool line_buffer_lookup(uint64_t line, uint32_t& latency_out);
   void line_buffer_insert(uint64_t line, uint32_t latency);
+
+  // Fast scheduler: a small insertion-ordered ring searched newest-first
+  // (the newest entry for a line IS the map's overwrite), aged lazily — the
+  // search early-exits at the first expired entry because insert order is
+  // cycle order. Sized so a live entry (<= window+1 cycles old, <=
+  // cache_ports inserts/cycle) can never be overwritten while live.
+  struct LineSlot {
+    uint64_t line = ~uint64_t{0};
+    uint64_t ready_cycle = 0;
+    uint64_t expire_cycle = 0;
+    uint32_t uses = 0;
+  };
+  std::vector<LineSlot> line_ring_;
+  uint32_t line_ring_mask_ = 0;
+  uint32_t line_ring_pos_ = 0;
+  uint64_t line_ring_fill_ = 0;  ///< slots ever written (validity horizon)
+
+  // --- batched commit observer ----------------------------------------------
+  static constexpr size_t kCommitSpan = 256;
+  std::array<CommitRecord, kCommitSpan> commit_buf_;
+  size_t commit_buf_n_ = 0;
+
+  // --- observability (obs::Registry; host telemetry, never SimStats) --------
+  obs::Counter* obs_cycles_ = nullptr;
+  obs::Counter* obs_flushes_ = nullptr;
+  obs::Histogram* obs_rob_occupancy_ = nullptr;
+  uint64_t flushes_ = 0;           ///< recover_to invocations (pipeline flushes)
+  uint64_t obs_cycles_exported_ = 0;
+  uint64_t obs_flushes_exported_ = 0;
 
   // --- fetch -------------------------------------------------------------------
   uint64_t fetch_pc_ = 0;

@@ -48,24 +48,30 @@ Simulator::Simulator(const core::CoreConfig& config, isa::Program program,
 }
 
 void Simulator::attach_trace(trace::TraceWriter& writer) {
-  core_->on_commit = [&writer](const core::DynInst& di) {
-    if (di.inst.op == isa::Opcode::kHalt) return;
-    trace::TraceRecord rec;
-    rec.pc = di.pc;
-    if (di.is_cond_branch) {
-      rec.kind = trace::RecordKind::kBranch;
-      rec.taken = di.actual_taken;
-      rec.next_pc = di.actual_target;
-    } else if (di.is_load) {
-      rec.kind = trace::RecordKind::kLoad;
-      rec.addr = di.mem_addr;
-      rec.size = static_cast<uint8_t>(di.mem_size);
-    } else if (di.is_store) {
-      rec.kind = trace::RecordKind::kStore;
-      rec.addr = di.mem_addr;
-      rec.size = static_cast<uint8_t>(di.mem_size);
+  // Spans batch the per-commit callback out of the core's hot loop; the
+  // core flushes the buffer when full and at the end of run().
+  core_->on_commit_span = [&writer](const core::CommitRecord* recs,
+                                    size_t n) {
+    for (size_t i = 0; i < n; ++i) {
+      const core::CommitRecord& cr = recs[i];
+      if (cr.op == isa::Opcode::kHalt) continue;
+      trace::TraceRecord rec;
+      rec.pc = cr.pc;
+      if (cr.is_cond_branch) {
+        rec.kind = trace::RecordKind::kBranch;
+        rec.taken = cr.actual_taken;
+        rec.next_pc = cr.actual_target;
+      } else if (cr.is_load) {
+        rec.kind = trace::RecordKind::kLoad;
+        rec.addr = cr.mem_addr;
+        rec.size = cr.mem_size;
+      } else if (cr.is_store) {
+        rec.kind = trace::RecordKind::kStore;
+        rec.addr = cr.mem_addr;
+        rec.size = cr.mem_size;
+      }
+      writer.append(rec);
     }
-    writer.append(rec);
   };
 }
 

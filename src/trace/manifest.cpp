@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <bit>
 #include <cstring>
+#include <unordered_map>
+#include <utility>
 
 #include "trace/blob.hpp"
 #include "trace/errors.hpp"
@@ -36,6 +38,32 @@ std::string basename_of(const std::string& path) {
 std::string warm_sidecar_name(const std::string& stem, size_t i, size_t c) {
   return stem + ".ck" + std::to_string(i) + ".cfg" + std::to_string(c) +
          ".cfirwarm";
+}
+
+std::string hex16(uint64_t v) {
+  static const char* kHex = "0123456789abcdef";
+  std::string s(16, '0');
+  for (int k = 15; k >= 0; --k) {
+    s[static_cast<size_t>(k)] = kHex[v & 0xf];
+    v >>= 4;
+  }
+  return s;
+}
+
+/// Content-keyed sidecar name: config points whose warm-relevant geometry
+/// coincides (core::CoreConfig::warm_digest) train byte-identical blobs,
+/// and keying the file by blob content lets them all reference ONE sidecar
+/// (iv.warm_files stores the name per config; readers never parse it).
+std::string warm_sidecar_content_name(const std::string& stem, size_t i,
+                                      uint64_t content_digest) {
+  return stem + ".ck" + std::to_string(i) + ".w" + hex16(content_digest) +
+         ".cfirwarm";
+}
+
+uint64_t blob_content_digest(const std::vector<uint8_t>& blob) {
+  util::Digest d;
+  d.bytes(blob.data(), blob.size());
+  return d.value();
 }
 
 void check_plan_shape(const IntervalPlan& plan, const char* who) {
@@ -361,11 +389,29 @@ ShardManifest write_manifest(const IntervalPlan& plan,
     ShardManifest::IntervalRef& iv = m.intervals[i];
     iv.checkpoint_file = basename_of(ck_path);
     iv.warm_files.resize(bindings.size());
+    // Dedup by blob content: a register/port sweep's configs share warm
+    // geometry (bind_configs trains each distinct warm_digest once and
+    // copies the blobs), so N grid columns typically collapse to a handful
+    // of sidecar files. The digest only nominates a sharing candidate —
+    // bytes are compared before reuse, so a hash collision degrades to a
+    // per-config file instead of serving the wrong warm state.
+    std::unordered_map<uint64_t, std::pair<const std::vector<uint8_t>*,
+                                           std::string>> written;
     for (size_t c = 0; c < bindings.size(); ++c) {
       if (bindings[c].warm.empty() || bindings[c].warm[i].empty()) continue;
-      const std::string warm_path = warm_sidecar_name(stem, i, c);
-      write_blob_file(warm_path, bindings[c].warm[i]);
+      const std::vector<uint8_t>& blob = bindings[c].warm[i];
+      const uint64_t bd = blob_content_digest(blob);
+      const auto it = written.find(bd);
+      if (it != written.end() && *it->second.first == blob) {
+        iv.warm_files[c] = it->second.second;
+        continue;
+      }
+      const std::string warm_path =
+          it == written.end() ? warm_sidecar_content_name(stem, i, bd)
+                              : warm_sidecar_name(stem, i, c);
+      write_blob_file(warm_path, blob);
       iv.warm_files[c] = basename_of(warm_path);
+      if (it == written.end()) written.emplace(bd, std::make_pair(&blob, iv.warm_files[c]));
     }
   }
   m.save(manifest_path);

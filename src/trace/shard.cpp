@@ -6,6 +6,7 @@
 #include <cstring>
 #include <memory>
 #include <stdexcept>
+#include <unordered_map>
 
 #include "obs/metrics.hpp"
 #include "obs/progress.hpp"
@@ -307,10 +308,18 @@ ShardResult run_shard(const std::vector<ConfigBinding>& configs,
   }
   if (functional) {
     std::vector<core::CoreConfig> need;
+    // Configs with coinciding warm-relevant geometry (warm_digest) train
+    // byte-identical warm state from the same committed stream, so they
+    // share one capture slot — the pass then warms each distinct geometry
+    // once, mirroring the bind_configs dedup.
+    std::unordered_map<uint64_t, int> slot_by_digest;
     for (size_t c = 0; c < nc; ++c) {
       if (configs[c].warm.empty() && !checkpoints_warm) {
-        capture_slot[c] = static_cast<int>(need.size());
-        need.push_back(configs[c].config);
+        const uint64_t wd = configs[c].config.warm_digest();
+        const auto [it, fresh] =
+            slot_by_digest.emplace(wd, static_cast<int>(need.size()));
+        if (fresh) need.push_back(configs[c].config);
+        capture_slot[c] = it->second;
       }
     }
     if (!need.empty()) {

@@ -1,0 +1,183 @@
+// Differential oracle for the detailed-core scheduler rewrite
+// (src/core/pipeline.*): CFIR_CORE_SCHED=fast (calendar-queue wakeup,
+// intrusive stall lists, epoch-gated load retries — the default) must be
+// indistinguishable from =ref (the original heap/sort scheduler, kept
+// verbatim) in every simulated result. "Indistinguishable" is byte
+// equality, not field spot-checks:
+//
+//  - plain Simulator runs: serialized SimStats (stats::serialize) and the
+//    cycle counter match across a config matrix that stresses every
+//    replaced structure — 1-port scalar (mem-port retries), the paper's CI
+//    mechanism (replica engine riding the same core loop), and a
+//    1K-entry-ROB wide window (calendar wrap + long stall lists);
+//  - the acceptance grid: {bzip2, parser, twolf} at scale 8 ×
+//    {detailed, functional, hybrid} warming, executed through the full
+//    plan / bind / run_shard grid path, with the merged CFIRSHD2 payloads
+//    byte-equal after zeroing the host wall-clock telemetry (the only
+//    fields documented as host-dependent, trace/shard.hpp).
+//
+// The knob itself is covered too: unset/empty/"fast" select the fast
+// scheduler, "ref" the reference, anything else throws.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "helpers.hpp"
+#include "sim/presets.hpp"
+#include "sim/simulator.hpp"
+#include "stats/stats.hpp"
+#include "trace/sampling.hpp"
+#include "trace/shard.hpp"
+#include "util/warmable.hpp"
+#include "workloads/workloads.hpp"
+
+namespace cfir {
+namespace {
+
+/// Sets CFIR_CORE_SCHED for the lifetime of one scoped run and restores
+/// the unset default after, so tests cannot leak a mode into each other.
+class ScopedSched {
+ public:
+  explicit ScopedSched(const char* mode) { setenv("CFIR_CORE_SCHED", mode, 1); }
+  ~ScopedSched() { unsetenv("CFIR_CORE_SCHED"); }
+};
+
+[[nodiscard]] std::vector<uint8_t> stats_bytes(const stats::SimStats& s) {
+  util::ByteWriter w;
+  stats::serialize(s, w);
+  return w.take();
+}
+
+struct RunResult {
+  std::vector<uint8_t> stats;
+  uint64_t cycles = 0;
+  uint64_t committed = 0;
+};
+
+[[nodiscard]] RunResult run_sim(const core::CoreConfig& config,
+                                const isa::Program& program, const char* sched,
+                                uint64_t max_insts) {
+  ScopedSched scoped(sched);
+  sim::Simulator sim(config, program);
+  const stats::SimStats st = sim.run(max_insts);
+  return {stats_bytes(st), st.cycles, st.committed};
+}
+
+[[nodiscard]] core::CoreConfig wide_window_config() {
+  core::CoreConfig c = sim::presets::scal(1, 2048);
+  c.rob_size = 1024;
+  c.lsq_size = 512;
+  return c;
+}
+
+/// The config matrix every identity test runs: each point stresses a
+/// different replaced structure (see file comment).
+[[nodiscard]] std::vector<std::pair<const char*, core::CoreConfig>>
+sched_matrix() {
+  return {
+      {"scal1p", sim::presets::scal(1, 256)},
+      {"ci2p", sim::presets::ci(2, 256)},
+      {"wide1p", wide_window_config()},
+  };
+}
+
+TEST(CoreSchedKnob, EnvSelection) {
+  unsetenv("CFIR_CORE_SCHED");
+  EXPECT_EQ(core::sched_mode_from_env(), core::SchedMode::kFast);
+  {
+    ScopedSched s("");
+    EXPECT_EQ(core::sched_mode_from_env(), core::SchedMode::kFast);
+  }
+  {
+    ScopedSched s("fast");
+    EXPECT_EQ(core::sched_mode_from_env(), core::SchedMode::kFast);
+  }
+  {
+    ScopedSched s("ref");
+    EXPECT_EQ(core::sched_mode_from_env(), core::SchedMode::kRef);
+  }
+  {
+    ScopedSched s("quantum");
+    EXPECT_THROW(static_cast<void>(core::sched_mode_from_env()),
+                 std::runtime_error);
+  }
+}
+
+TEST(CoreSchedDifferential, SimulatorStatsByteEqual) {
+  for (const std::string& name : {"bzip2", "parser", "twolf"}) {
+    const isa::Program program = workloads::build(name, 8);
+    for (const auto& [cfg_name, config] : sched_matrix()) {
+      const RunResult ref = run_sim(config, program, "ref", 120000);
+      const RunResult fast = run_sim(config, program, "fast", 120000);
+      EXPECT_EQ(ref.stats, fast.stats) << name << "/" << cfg_name;
+      EXPECT_EQ(ref.cycles, fast.cycles) << name << "/" << cfg_name;
+      EXPECT_GT(fast.committed, 0u) << name << "/" << cfg_name;
+    }
+  }
+}
+
+/// Random programs reach squash/retry interleavings the curated kernels
+/// may not (misfetched wakeups, stale calendar nodes, LSQ squashes that
+/// must bump the retry-gate epoch).
+TEST(CoreSchedDifferential, RandomProgramsByteEqual) {
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    const isa::Program program = testing::random_program(seed);
+    for (const auto& [cfg_name, config] : sched_matrix()) {
+      const RunResult ref = run_sim(config, program, "ref", 60000);
+      const RunResult fast = run_sim(config, program, "fast", 60000);
+      EXPECT_EQ(ref.stats, fast.stats) << "seed " << seed << "/" << cfg_name;
+      EXPECT_EQ(ref.cycles, fast.cycles) << "seed " << seed << "/" << cfg_name;
+    }
+  }
+}
+
+/// Strips the fields documented as host telemetry (trace/shard.hpp v3:
+/// warm-capture wall and per-(interval, config) detail wall) so the
+/// remaining payload is pure simulated result.
+[[nodiscard]] std::vector<uint8_t> simulated_payload(trace::ShardResult r) {
+  r.warm_wall_us = 0;
+  for (auto& interval : r.intervals) interval.wall_us.clear();
+  return r.serialize();
+}
+
+[[nodiscard]] std::vector<uint8_t> run_grid(const isa::Program& program,
+                                            trace::WarmMode warm_mode,
+                                            const char* sched) {
+  ScopedSched scoped(sched);
+  const trace::IntervalPlan plan =
+      trace::plan_intervals(program, 2, 120000, 5000, warm_mode);
+  const std::vector<std::pair<std::string, core::CoreConfig>> points = {
+      {"scal1p", sim::presets::scal(1, 256)},
+      {"ci2p", sim::presets::ci(2, 256)},
+  };
+  const std::vector<trace::ConfigBinding> bindings =
+      trace::bind_configs(plan, points, program);
+  return simulated_payload(trace::run_shard(bindings, program, plan));
+}
+
+/// The acceptance matrix: every workload × warm mode, through the same
+/// grid path a sharded experiment takes. Byte-equal CFIRSHD2 payloads
+/// imply equal per-interval stats, warm counts, and merged grids.
+TEST(CoreSchedDifferential, ShardGridByteEqualAcrossWarmModes) {
+  const std::vector<std::pair<const char*, trace::WarmMode>> modes = {
+      {"detailed", trace::WarmMode::kDetailed},
+      {"functional", trace::WarmMode::kFunctional},
+      {"hybrid", trace::WarmMode::kHybrid},
+  };
+  for (const std::string& name : {"bzip2", "parser", "twolf"}) {
+    const isa::Program program = workloads::build(name, 8);
+    for (const auto& [mode_name, mode] : modes) {
+      const std::vector<uint8_t> ref = run_grid(program, mode, "ref");
+      const std::vector<uint8_t> fast = run_grid(program, mode, "fast");
+      EXPECT_EQ(ref, fast) << name << "/" << mode_name;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cfir
